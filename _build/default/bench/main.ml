@@ -1,0 +1,950 @@
+(* The ASSET benchmark harness.
+
+   The paper has no quantitative evaluation (see DESIGN.md); this
+   harness regenerates its one structural figure and produces the
+   characterisation tables E1-E12 that DESIGN.md defines in its place.
+   Each experiment prints one table; `dune exec bench/main.exe` runs
+   them all.  Micro-benchmarks (E1, E4, E12) use Bechamel; workload
+   experiments report wall-clock throughput and engine counters. *)
+
+module E = Asset_core.Engine
+module R = Asset_core.Runtime
+module Sched = Asset_sched.Scheduler
+module Tid = Asset_util.Id.Tid
+module Oid = Asset_util.Id.Oid
+module Value = Asset_storage.Value
+module Store = Asset_storage.Store
+module Heap = Asset_storage.Heap_store
+module Lm = Asset_lock.Lock_manager
+module Ops = Asset_lock.Mode.Ops
+module Mode = Asset_lock.Mode
+module Dt = Asset_deps.Dep_type
+module Dg = Asset_deps.Dep_graph
+module Log = Asset_wal.Log
+module Record = Asset_wal.Record
+module Recovery = Asset_wal.Recovery
+module Table = Asset_util.Table
+module Rng = Asset_util.Rng
+module Workload = Asset_workload.Workload
+module Bank = Asset_workload.Bank
+open Asset_models
+
+let oid = Oid.of_int
+let vi = Value.of_int
+
+let fresh_db ?config ~objects () =
+  let store = Heap.store () in
+  Heap.populate store ~n:objects ~value:(fun _ -> vi 0);
+  E.create ?config store
+
+let stat db name = List.assoc name (E.stats db)
+
+let time_of f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel helper: measure a list of thunks, return ns/run            *)
+
+let bechamel_measure cases =
+  let open Bechamel in
+  let open Toolkit in
+  let tests =
+    List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) cases
+  in
+  let grouped = Test.make_grouped ~name:"" ~fmt:"%s%s" tests in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  List.filter_map
+    (fun (name, _) ->
+      match Hashtbl.find_opt results name with
+      | Some est -> (
+          match Analyze.OLS.estimates est with
+          | Some (ns :: _) -> Some (name, ns)
+          | _ -> None)
+      | None -> None)
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* F1: Figure 1 — the object descriptor                                *)
+
+let fig1 () =
+  let lm = Lm.create () in
+  let t n = Tid.of_int n in
+  ignore (Lm.acquire lm (t 1) (oid 1) Mode.Read);
+  ignore (Lm.acquire lm (t 2) (oid 1) Mode.Read);
+  ignore (Lm.acquire lm (t 3) (oid 1) Mode.Write);
+  Lm.add_permit lm ~grantor:(t 1) ~grantee:(Some (t 4)) ~oid:(oid 1) ~ops:Ops.write_only;
+  Format.printf "@.== F1: Figure 1 — object descriptor structure ==@.";
+  Format.printf "%a@." (Lm.pp_od lm) (oid 1)
+
+(* ------------------------------------------------------------------ *)
+(* E1: primitive overhead                                              *)
+
+let e1_primitives () =
+  let run_txn n_writes () =
+    let db = fresh_db ~objects:16 () in
+    R.run_exn db (fun () ->
+        let t =
+          E.initiate db (fun () ->
+              for i = 1 to n_writes do
+                E.write db (oid i) (vi i)
+              done)
+        in
+        ignore (E.begin_ db t);
+        ignore (E.commit db t))
+  in
+  let baseline () =
+    let db = fresh_db ~objects:16 () in
+    R.run_exn db (fun () -> ())
+  in
+  let results =
+    bechamel_measure
+      [
+        ("scheduler only (no txn)", baseline);
+        ("empty transaction", run_txn 0);
+        ("transaction, 1 write", run_txn 1);
+        ("transaction, 8 writes", run_txn 8);
+      ]
+  in
+  let t = Table.create ~title:"E1: primitive overhead (initiate/begin/commit path)"
+      ~header:[ "case"; "ns/run" ] in
+  List.iter (fun (name, ns) -> Table.add_row t [ name; Table.fmt_f ~digits:0 ns ]) results;
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E2: lock manager scalability                                        *)
+
+let e2_lockmgr () =
+  let t =
+    Table.create ~title:"E2: lock manager under contention (64 txns x 8 ops)"
+      ~header:[ "objects"; "w%"; "theta"; "committed"; "victims"; "lock waits"; "txn/s" ]
+  in
+  List.iter
+    (fun n_objects ->
+      List.iter
+        (fun write_ratio ->
+          List.iter
+            (fun theta ->
+              let m =
+                Workload.run
+                  {
+                    Workload.default_spec with
+                    Workload.n_objects;
+                    n_txns = 64;
+                    ops_per_txn = 8;
+                    write_ratio;
+                    theta;
+                    seed = 7;
+                  }
+              in
+              Table.add_row t
+                [
+                  Table.fmt_i n_objects;
+                  Table.fmt_i (int_of_float (write_ratio *. 100.));
+                  Table.fmt_f ~digits:1 theta;
+                  Table.fmt_i m.Workload.committed;
+                  Table.fmt_i m.Workload.deadlock_victims;
+                  Table.fmt_i m.Workload.lock_waits;
+                  Table.fmt_f ~digits:0 m.Workload.throughput;
+                ])
+            [ 0.0; 0.9 ])
+        [ 0.1; 0.5 ])
+    [ 16; 256; 4096 ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E3: permit vs blocking on a hot object                              *)
+
+let e3_permit () =
+  let run ~n_txns ~with_permits =
+    let db = fresh_db ~objects:4 () in
+    let _, dt =
+      time_of (fun () ->
+          R.run_exn db (fun () ->
+              let bodies =
+                List.init n_txns (fun _ () ->
+                    for _ = 1 to 4 do
+                      E.modify db (oid 1) (fun v -> Value.incr_int (Option.get v) 1);
+                      Sched.yield ()
+                    done)
+              in
+              let tids = List.map (fun b -> E.initiate db b) bodies in
+              if with_permits then begin
+                (* Everyone cooperates on the hot object: blanket
+                   permits plus a commit group. *)
+                List.iter
+                  (fun ti ->
+                    List.iter
+                      (fun tj ->
+                        if not (Tid.equal ti tj) then
+                          E.permit db ~from_:ti ~to_:tj ~oids:[ oid 1 ] ~ops:Ops.all)
+                      tids)
+                  tids;
+                let rec chain = function
+                  | a :: (b :: _ as rest) ->
+                      ignore (E.form_dependency db Dt.GC a b);
+                      chain rest
+                  | _ -> ()
+                in
+                chain tids
+              end;
+              List.iter (fun t -> ignore (E.begin_ db t)) tids;
+              List.iter
+                (fun t -> E.spawn db ~label:"c" (fun () -> ignore (E.commit db t)))
+                tids;
+              E.await_terminated db tids))
+    in
+    (db, dt)
+  in
+  let t =
+    Table.create ~title:"E3: cooperative sharing — permit vs blocking (hot object, 4 RMW each)"
+      ~header:[ "txns"; "mode"; "committed"; "lock waits"; "suspensions"; "ms" ]
+  in
+  List.iter
+    (fun n_txns ->
+      List.iter
+        (fun with_permits ->
+          let db, dt = run ~n_txns ~with_permits in
+          Table.add_row t
+            [
+              Table.fmt_i n_txns;
+              (if with_permits then "permit" else "blocking");
+              Table.fmt_i (stat db "commits");
+              Table.fmt_i (stat db "lock_waits");
+              Table.fmt_i (stat db "lock.suspensions");
+              Table.fmt_f ~digits:2 (dt *. 1000.);
+            ])
+        [ false; true ])
+    [ 2; 8; 16 ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E4: delegation cost                                                 *)
+
+let e4_delegate () =
+  let t =
+    Table.create ~title:"E4: delegate cost vs locked objects (split transaction)"
+      ~header:[ "objects delegated"; "us/delegate"; "us/object" ]
+  in
+  List.iter
+    (fun k ->
+      let db = fresh_db ~objects:(k + 1) () in
+      let total = ref 0.0 in
+      let rounds = 20 in
+      R.run_exn db (fun () ->
+          for _ = 1 to rounds do
+            let holder =
+              E.initiate db (fun () ->
+                  for i = 1 to k do
+                    E.write db (oid i) (vi 1)
+                  done)
+            in
+            let target = E.initiate db (fun () -> ()) in
+            ignore (E.begin_ db holder);
+            ignore (E.wait db holder);
+            let _, dt = time_of (fun () -> E.delegate db ~from_:holder ~to_:target) in
+            total := !total +. dt;
+            ignore (E.begin_ db target);
+            ignore (E.commit db target);
+            ignore (E.commit db holder)
+          done);
+      let us = !total /. float_of_int rounds *. 1e6 in
+      Table.add_row t
+        [ Table.fmt_i k; Table.fmt_f ~digits:1 us; Table.fmt_f ~digits:3 (us /. float_of_int k) ])
+    [ 1; 16; 256; 1024 ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E5: nested transactions — depth and fanout                          *)
+
+let e5_nested () =
+  let t =
+    Table.create ~title:"E5: nested transactions vs flat (same total writes)"
+      ~header:[ "shape"; "writes"; "mode"; "ms"; "abort contained" ]
+  in
+  let flat_time writes =
+    let db = fresh_db ~objects:(writes + 1) () in
+    let _, dt =
+      time_of (fun () ->
+          R.run_exn db (fun () ->
+              ignore
+                (Atomic.run db (fun () ->
+                     for i = 1 to writes do
+                       E.write db (oid i) (vi i)
+                     done))))
+    in
+    dt
+  in
+  let nested_time ~depth ~fanout =
+    let counter = ref 0 in
+    let db = fresh_db ~objects:1024 () in
+    let rec build level () =
+      if level = 0 then begin
+        incr counter;
+        E.write db (oid !counter) (vi 1)
+      end
+      else
+        for _ = 1 to fanout do
+          Nested.sub_exn db (build (level - 1))
+        done
+    in
+    let _, dt = time_of (fun () -> R.run_exn db (fun () -> ignore (Nested.root db (build depth)))) in
+    (dt, !counter)
+  in
+  List.iter
+    (fun (depth, fanout) ->
+      let dt, writes = nested_time ~depth ~fanout in
+      let flat = flat_time writes in
+      Table.add_row t
+        [
+          Printf.sprintf "depth=%d fanout=%d" depth fanout;
+          Table.fmt_i writes;
+          "nested";
+          Table.fmt_f ~digits:2 (dt *. 1000.);
+          "-";
+        ];
+      Table.add_row t
+        [
+          Printf.sprintf "depth=%d fanout=%d" depth fanout;
+          Table.fmt_i writes;
+          "flat";
+          Table.fmt_f ~digits:2 (flat *. 1000.);
+          "-";
+        ])
+    [ (1, 4); (2, 4); (3, 4); (6, 2) ];
+  (* Abort containment: a failing child under `Report leaves the parent
+     free to commit. *)
+  let db = fresh_db ~objects:8 () in
+  let contained = ref false in
+  R.run_exn db (fun () ->
+      let r =
+        Nested.root db (fun () ->
+            ignore (Nested.sub db (fun () -> failwith "child"));
+            E.write db (oid 1) (vi 1))
+      in
+      contained := r = `Committed);
+  Table.add_row t
+    [ "child abort, report policy"; "1"; "nested"; "-"; string_of_bool !contained ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E6: sagas vs long atomic transactions                               *)
+
+let e6_saga () =
+  let t =
+    Table.create
+      ~title:"E6: saga vs flat atomic — lock exposure and abort cost (chain of n steps)"
+      ~header:[ "n"; "abort@"; "mode"; "committed txns"; "compensations"; "max locks held"; "ms" ]
+  in
+  let saga_steps db n ~fail_at =
+    List.init n (fun i ->
+        if i = n - 1 && fail_at = None then
+          Saga.step ~label:"last" (fun () -> E.write db (oid (i + 1)) (vi 1))
+        else
+          Saga.step ~label:(string_of_int i)
+            ~compensate:(fun () -> E.write db (oid (i + 1)) (vi 0))
+            (fun () ->
+              if fail_at = Some i then failwith "injected";
+              E.write db (oid (i + 1)) (vi 1)))
+  in
+  let run_saga n ~fail_at =
+    let db = fresh_db ~objects:(n + 1) () in
+    let comps = ref 0 in
+    let _, dt =
+      time_of (fun () ->
+          R.run_exn db (fun () ->
+              match Saga.run db (saga_steps db n ~fail_at) with
+              | Saga.Committed -> ()
+              | Saga.Rolled_back { compensated; _ } -> comps := compensated))
+    in
+    (db, dt, !comps)
+  in
+  let run_flat n ~fail_at =
+    let db = fresh_db ~objects:(n + 1) () in
+    let _, dt =
+      time_of (fun () ->
+          R.run_exn db (fun () ->
+              ignore
+                (Atomic.run db (fun () ->
+                     for i = 1 to n do
+                       if fail_at = Some (i - 1) then failwith "injected";
+                       E.write db (oid i) (vi 1)
+                     done))))
+    in
+    (db, dt)
+  in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun fail_at ->
+          let db, dt, comps = run_saga n ~fail_at in
+          let fail_label = match fail_at with None -> "-" | Some k -> string_of_int k in
+          Table.add_row t
+            [
+              Table.fmt_i n;
+              fail_label;
+              "saga";
+              Table.fmt_i (stat db "commits");
+              Table.fmt_i comps;
+              (* Each saga component holds at most its own step's lock. *)
+              "1";
+              Table.fmt_f ~digits:2 (dt *. 1000.);
+            ];
+          let db, dt = run_flat n ~fail_at in
+          Table.add_row t
+            [
+              Table.fmt_i n;
+              fail_label;
+              "flat";
+              Table.fmt_i (stat db "commits");
+              "0";
+              Table.fmt_i (match fail_at with None -> n | Some k -> k);
+              Table.fmt_f ~digits:2 (dt *. 1000.);
+            ])
+        [ None; Some (n / 2) ])
+    [ 4; 16; 32 ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E7: group commit resolution                                         *)
+
+let e7_groupcommit () =
+  let t =
+    Table.create ~title:"E7: group commit (GC mark handshake), commit order permuted"
+      ~header:[ "group size"; "order seed"; "committed"; "commit records"; "retries"; "ms" ]
+  in
+  List.iter
+    (fun size ->
+      List.iter
+        (fun seed ->
+          let db = fresh_db ~objects:(size + 1) () in
+          let _, dt =
+            time_of (fun () ->
+                R.run_exn db (fun () ->
+                    let tids =
+                      List.init size (fun i ->
+                          E.initiate db (fun () -> E.write db (oid (i + 1)) (vi 1)))
+                    in
+                    let rec chain = function
+                      | a :: (b :: _ as rest) ->
+                          ignore (E.form_dependency db Dt.GC a b);
+                          chain rest
+                      | _ -> ()
+                    in
+                    chain tids;
+                    List.iter (fun x -> ignore (E.begin_ db x)) tids;
+                    (* Commit in a permuted order from separate fibers. *)
+                    let arr = Array.of_list tids in
+                    Rng.shuffle_in_place (Rng.create seed) arr;
+                    Array.iter
+                      (fun x -> E.spawn db ~label:"c" (fun () -> ignore (E.commit db x)))
+                      arr;
+                    E.await_terminated db tids))
+          in
+          let commit_records = ref 0 in
+          Log.iter (E.log db) (fun _ r ->
+              match r with Record.Commit _ -> incr commit_records | _ -> ());
+          Table.add_row t
+            [
+              Table.fmt_i size;
+              Table.fmt_i seed;
+              Table.fmt_i (stat db "commits");
+              Table.fmt_i !commit_records;
+              Table.fmt_i (stat db "commit_retries");
+              Table.fmt_f ~digits:2 (dt *. 1000.);
+            ])
+        [ 1; 2 ])
+    [ 2; 8; 64 ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E8: cursor stability vs repeatable read                             *)
+
+let e8_cursor () =
+  let t =
+    Table.create
+      ~title:"E8: cursor stability vs strict 2PL (1 scanner over R records, W writers)"
+      ~header:[ "records"; "writers"; "mode"; "writer waits"; "writers done before scan end" ]
+  in
+  let run ~records ~writers ~stable =
+    let db = fresh_db ~objects:(records + 1) () in
+    let early = ref 0 in
+    R.run_exn db (fun () ->
+        let record_oids = List.init records (fun i -> oid (i + 1)) in
+        let scanner =
+          E.initiate db (fun () ->
+              if stable then Cursor_stability.scan db record_oids ~f:(fun _ _ -> Sched.yield ())
+              else Cursor_stability.scan_repeatable db record_oids ~f:(fun _ _ -> Sched.yield ()))
+        in
+        let writer_tids =
+          List.init writers (fun w ->
+              E.initiate db (fun () ->
+                  E.write db (oid ((w mod records) + 1)) (vi 99);
+                  if not (E.is_terminated db scanner) then incr early))
+        in
+        ignore (E.begin_ db scanner);
+        Sched.yield ();
+        List.iter (fun w -> ignore (E.begin_ db w)) writer_tids;
+        List.iter
+          (fun w -> E.spawn db ~label:"cw" (fun () -> ignore (E.commit db w)))
+          writer_tids;
+        ignore (E.commit db scanner);
+        E.await_terminated db (scanner :: writer_tids));
+    (db, !early)
+  in
+  List.iter
+    (fun (records, writers) ->
+      List.iter
+        (fun stable ->
+          let db, early = run ~records ~writers ~stable in
+          Table.add_row t
+            [
+              Table.fmt_i records;
+              Table.fmt_i writers;
+              (if stable then "cursor-stability" else "repeatable-read");
+              Table.fmt_i (stat db "lock_waits");
+              Table.fmt_i early;
+            ])
+        [ true; false ])
+    [ (8, 4); (32, 8) ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E9: recovery                                                        *)
+
+let e9_recovery () =
+  let t =
+    Table.create ~title:"E9: recovery time vs log volume"
+      ~header:[ "updates"; "loser frac"; "redone"; "undone"; "ms" ]
+  in
+  List.iter
+    (fun n_updates ->
+      List.iter
+        (fun loser_frac ->
+          let log = Log.in_memory () in
+          let store = Heap.store () in
+          let n_objects = 64 in
+          for o = 1 to n_objects do
+            Store.write store (oid o) (vi 0)
+          done;
+          let rng = Rng.create 13 in
+          let per_txn = 10 in
+          let n_txns = n_updates / per_txn in
+          for txn = 1 to n_txns do
+            let tid = Tid.of_int txn in
+            for u = 1 to per_txn do
+              let o = 1 + Rng.int rng n_objects in
+              ignore
+                (Log.append log
+                   (Record.Update
+                      { tid; oid = oid o; before = Some (vi 0); after = vi ((txn * 100) + u) }))
+            done;
+            if Rng.float rng >= loser_frac then ignore (Log.append log (Record.Commit [ tid ]))
+          done;
+          let report, dt = time_of (fun () -> Recovery.recover log store) in
+          Table.add_row t
+            [
+              Table.fmt_i n_updates;
+              Table.fmt_f ~digits:1 loser_frac;
+              Table.fmt_i report.Recovery.updates_redone;
+              Table.fmt_i report.Recovery.updates_undone;
+              Table.fmt_f ~digits:2 (dt *. 1000.);
+            ])
+        [ 0.0; 0.5 ])
+    [ 100; 1_000; 10_000; 100_000 ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E10: the appendix workflow under failure injection                  *)
+
+let e10_workflow () =
+  let t =
+    Table.create ~title:"E10: appendix trip workflow under per-step failure probability"
+      ~header:[ "p(fail)"; "runs"; "succeeded"; "avg compensations"; "car booked (of successes)" ]
+  in
+  let vendors = [ "Delta"; "United"; "American"; "Equator"; "National"; "Avis" ] in
+  List.iter
+    (fun p ->
+      let runs = 200 in
+      let rng = Rng.create 21 in
+      let successes = ref 0 and comps = ref 0 and cars = ref 0 in
+      for _ = 1 to runs do
+        let db = fresh_db ~objects:8 () in
+        let avail = List.map (fun v -> (v, Rng.float rng >= p)) vendors in
+        R.run_exn db (fun () ->
+            let mk i v =
+              Workflow.task v
+                ~compensate:(fun () -> E.write db (oid (i + 1)) (vi 0))
+                (fun () ->
+                  if not (List.assoc v avail) then failwith "unavailable";
+                  E.write db (oid (i + 1)) (vi 1))
+            in
+            let wf =
+              Workflow.(
+                Seq
+                  [
+                    Alternatives
+                      [ Task (mk 0 "Delta"); Task (mk 1 "United"); Task (mk 2 "American") ];
+                    Task (mk 3 "Equator");
+                    Optional (Race [ mk 4 "National"; mk 5 "Avis" ]);
+                  ])
+            in
+            let o = Workflow.run db wf in
+            if o.Workflow.success then begin
+              incr successes;
+              let car o' = Value.to_int (Store.read_exn (E.store db) (oid o')) = 1 in
+              if car 5 || car 6 then incr cars
+            end;
+            comps := !comps + List.length (Workflow.compensated_labels o))
+      done;
+      Table.add_row t
+        [
+          Table.fmt_f ~digits:1 p;
+          Table.fmt_i runs;
+          Table.fmt_i !successes;
+          Table.fmt_f ~digits:2 (float_of_int !comps /. float_of_int runs);
+          Table.fmt_i !cars;
+        ])
+    [ 0.0; 0.1; 0.3; 0.5 ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E11: contingent and distributed model costs                         *)
+
+let e11_models () =
+  let t =
+    Table.create ~title:"E11: contingent alternatives and distributed group size"
+      ~header:[ "model"; "param"; "txns initiated"; "committed"; "ms" ]
+  in
+  (* Contingent: first k-1 alternatives fail. *)
+  List.iter
+    (fun k ->
+      let db = fresh_db ~objects:4 () in
+      let _, dt =
+        time_of (fun () ->
+            R.run_exn db (fun () ->
+                let alts =
+                  List.init k (fun i () ->
+                      if i < k - 1 then failwith "alt fails" else E.write db (oid 1) (vi 1))
+                in
+                match Contingent.run db alts with
+                | `Committed _ -> ()
+                | _ -> failwith "contingent must succeed"))
+      in
+      Table.add_row t
+        [
+          "contingent";
+          Printf.sprintf "alts=%d" k;
+          Table.fmt_i (E.transaction_count db);
+          Table.fmt_i (stat db "commits");
+          Table.fmt_f ~digits:2 (dt *. 1000.);
+        ])
+    [ 1; 4; 8 ];
+  (* Distributed: group size sweep. *)
+  List.iter
+    (fun g ->
+      let db = fresh_db ~objects:(g + 1) () in
+      let _, dt =
+        time_of (fun () ->
+            R.run_exn db (fun () ->
+                let comps = List.init g (fun i () -> E.write db (oid (i + 1)) (vi 1)) in
+                match Distributed.run db comps with
+                | `Committed -> ()
+                | _ -> failwith "distributed must succeed"))
+      in
+      Table.add_row t
+        [
+          "distributed";
+          Printf.sprintf "group=%d" g;
+          Table.fmt_i (E.transaction_count db);
+          Table.fmt_i (stat db "commits");
+          Table.fmt_f ~digits:2 (dt *. 1000.);
+        ])
+    [ 2; 8; 32 ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E12: dependency graph ablation                                      *)
+
+let e12_deps () =
+  let t =
+    Table.create ~title:"E12: dependency graph — cycle check cost (random CD/AD edges)"
+      ~header:[ "edges"; "cycle check"; "accepted"; "rejected"; "us/edge" ]
+  in
+  List.iter
+    (fun n_edges ->
+      List.iter
+        (fun check ->
+          let g = Dg.create ~cycle_check:check () in
+          let rng = Rng.create 3 in
+          let n_nodes = max 8 (n_edges / 4) in
+          let accepted = ref 0 and rejected = ref 0 in
+          let _, dt =
+            time_of (fun () ->
+                for _ = 1 to n_edges do
+                  let a = 1 + Rng.int rng n_nodes and b = 1 + Rng.int rng n_nodes in
+                  if a <> b then
+                    match
+                      Dg.add g
+                        (if Rng.bool rng then Dt.CD else Dt.AD)
+                        ~master:(Tid.of_int a) ~dependent:(Tid.of_int b)
+                    with
+                    | () -> incr accepted
+                    | exception Dg.Cycle_rejected _ -> incr rejected
+                done)
+          in
+          Table.add_row t
+            [
+              Table.fmt_i n_edges;
+              string_of_bool check;
+              Table.fmt_i !accepted;
+              Table.fmt_i !rejected;
+              Table.fmt_f ~digits:3 (dt /. float_of_int n_edges *. 1e6);
+            ])
+        [ true; false ])
+    [ 10; 100; 1_000; 10_000 ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E13: semantic increments vs write locks vs permits on a hot counter *)
+
+let e13_increment () =
+  let t =
+    Table.create
+      ~title:"E13: hot counter — Increment locks vs RMW write locks vs permits (4 ops/txn)"
+      ~header:[ "txns"; "mode"; "committed"; "victims"; "lock waits"; "final = expected"; "ms" ]
+  in
+  let run ~n_txns ~mode =
+    let db = fresh_db ~objects:4 () in
+    let _, dt =
+      time_of (fun () ->
+          R.run_exn db (fun () ->
+              let body () =
+                for _ = 1 to 4 do
+                  (match mode with
+                  | `Increment -> E.increment db (oid 1) 1
+                  | `Rmw | `Permit ->
+                      E.modify db (oid 1) (fun v -> Value.incr_int (Option.get v) 1));
+                  Sched.yield ()
+                done
+              in
+              let tids = List.init n_txns (fun _ -> E.initiate db body) in
+              if mode = `Permit then
+                List.iter
+                  (fun ti ->
+                    List.iter
+                      (fun tj ->
+                        if not (Tid.equal ti tj) then
+                          E.permit db ~from_:ti ~to_:tj ~oids:[ oid 1 ] ~ops:Ops.all)
+                      tids)
+                  tids;
+              List.iter (fun x -> ignore (E.begin_ db x)) tids;
+              List.iter (fun x -> E.spawn db ~label:"c" (fun () -> ignore (E.commit db x))) tids;
+              E.await_terminated db tids))
+    in
+    (db, dt)
+  in
+  List.iter
+    (fun n_txns ->
+      List.iter
+        (fun mode ->
+          let db, dt = run ~n_txns ~mode in
+          let committed = stat db "commits" in
+          let final =
+            Value.to_int (Store.read_exn (E.store db) (oid 1))
+          in
+          Table.add_row t
+            [
+              Table.fmt_i n_txns;
+              (match mode with `Increment -> "increment" | `Rmw -> "rmw-2pl" | `Permit -> "permit");
+              Table.fmt_i committed;
+              Table.fmt_i (stat db "deadlock_victims");
+              Table.fmt_i (stat db "lock_waits");
+              string_of_bool (final = committed * 4);
+              Table.fmt_f ~digits:2 (dt *. 1000.);
+            ])
+        [ `Rmw; `Permit; `Increment ])
+    [ 4; 16 ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E14: ablations — latches on/off, scheduling policy                  *)
+
+let e14_ablations () =
+  let t =
+    Table.create ~title:"E14: ablations (bank workload, 16 accounts, 100 transfers)"
+      ~header:[ "variant"; "committed"; "victims"; "total conserved"; "ms" ]
+  in
+  let run ~use_latches ~policy label =
+    let config = { E.default_config with E.use_latches } in
+    let store = Heap.store () in
+    Bank.setup store ~accounts:16 ~balance:1_000;
+    let db = E.create ~config store in
+    let committed = ref 0 and aborted = ref 0 in
+    let _, dt =
+      time_of (fun () ->
+          R.run_exn ~policy db (fun () ->
+              let c, a = Bank.run_transfers db ~accounts:16 ~n_txns:100 in
+              committed := c;
+              aborted := a))
+    in
+    Table.add_row t
+      [
+        label;
+        Table.fmt_i !committed;
+        Table.fmt_i !aborted;
+        string_of_bool (Bank.total db ~accounts:16 = 16_000);
+        Table.fmt_f ~digits:2 (dt *. 1000.);
+      ]
+  in
+  run ~use_latches:true ~policy:Sched.Fifo "latches on, fifo";
+  run ~use_latches:false ~policy:Sched.Fifo "latches off, fifo";
+  run ~use_latches:true ~policy:(Sched.Random_seeded 1) "latches on, random seed 1";
+  run ~use_latches:true ~policy:(Sched.Random_seeded 2) "latches on, random seed 2";
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E15: shared-cache vs private-workspace operating mode               *)
+
+let e15_workspace () =
+  let t =
+    Table.create
+      ~title:"E15: operating modes — shared cache vs private workspace (k updates on m objects)"
+      ~header:[ "objects"; "updates/object"; "mode"; "log records"; "ms" ]
+  in
+  let count_updates db =
+    let n = ref 0 in
+    Log.iter (E.log db) (fun _ r -> match r with Record.Update _ -> incr n | _ -> ());
+    !n
+  in
+  let run ~objects ~updates ~mode =
+    let db = fresh_db ~objects () in
+    let _, dt =
+      time_of (fun () ->
+          R.run_exn db (fun () ->
+              ignore
+                (Atomic.run db (fun () ->
+                     match mode with
+                     | `Shared ->
+                         for o = 1 to objects do
+                           for u = 1 to updates do
+                             E.write db (oid o) (vi u)
+                           done
+                         done
+                     | `Workspace ->
+                         Asset_core.Workspace.with_workspace db (fun w ->
+                             for o = 1 to objects do
+                               for u = 1 to updates do
+                                 Asset_core.Workspace.set w (oid o) (vi u)
+                               done
+                             done)))))
+    in
+    (count_updates db, dt)
+  in
+  List.iter
+    (fun (objects, updates) ->
+      List.iter
+        (fun mode ->
+          let log_records, dt = run ~objects ~updates ~mode in
+          Table.add_row t
+            [
+              Table.fmt_i objects;
+              Table.fmt_i updates;
+              (match mode with `Shared -> "shared cache" | `Workspace -> "workspace");
+              Table.fmt_i log_records;
+              Table.fmt_f ~digits:2 (dt *. 1000.);
+            ])
+        [ `Shared; `Workspace ])
+    [ (8, 10); (8, 100); (64, 100) ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E16: index substrate — in-memory vs paged B+tree                    *)
+
+let e16_index () =
+  let t =
+    Table.create ~title:"E16: index substrate — in-memory vs paged B+tree (n inserts + n lookups)"
+      ~header:[ "n"; "structure"; "insert ms"; "lookup ms"; "scan ms" ]
+  in
+  List.iter
+    (fun n ->
+      (* In-memory. *)
+      let mem = Asset_index.Btree.create () in
+      let _, ti =
+        time_of (fun () ->
+            for k = 1 to n do
+              Asset_index.Btree.insert mem (k * 7 mod n) k
+            done)
+      in
+      let _, tl =
+        time_of (fun () ->
+            for k = 1 to n do
+              ignore (Asset_index.Btree.find mem (k mod n))
+            done)
+      in
+      let _, ts = time_of (fun () -> Asset_index.Btree.iter mem (fun _ _ -> ())) in
+      Table.add_row t
+        [
+          Table.fmt_i n;
+          "in-memory";
+          Table.fmt_f ~digits:2 (ti *. 1000.);
+          Table.fmt_f ~digits:2 (tl *. 1000.);
+          Table.fmt_f ~digits:2 (ts *. 1000.);
+        ];
+      (* Paged. *)
+      let path = Filename.temp_file "asset_bench" ".btree" in
+      let paged = Asset_index.Paged_btree.create ~page_size:4096 ~pool_capacity:256 path in
+      let _, ti =
+        time_of (fun () ->
+            for k = 1 to n do
+              Asset_index.Paged_btree.insert paged (k * 7 mod n) k
+            done)
+      in
+      let _, tl =
+        time_of (fun () ->
+            for k = 1 to n do
+              ignore (Asset_index.Paged_btree.find paged (k mod n))
+            done)
+      in
+      let _, ts = time_of (fun () -> Asset_index.Paged_btree.iter paged (fun _ _ -> ())) in
+      Asset_index.Paged_btree.close paged;
+      Sys.remove path;
+      Table.add_row t
+        [
+          Table.fmt_i n;
+          "paged (4K pages)";
+          Table.fmt_f ~digits:2 (ti *. 1000.);
+          Table.fmt_f ~digits:2 (tl *. 1000.);
+          Table.fmt_f ~digits:2 (ts *. 1000.);
+        ])
+    [ 1_000; 10_000; 100_000 ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Format.printf "ASSET benchmark harness — experiments F1, E1-E16 (see DESIGN.md)@.";
+  fig1 ();
+  e1_primitives ();
+  e2_lockmgr ();
+  e3_permit ();
+  e4_delegate ();
+  e5_nested ();
+  e6_saga ();
+  e7_groupcommit ();
+  e8_cursor ();
+  e9_recovery ();
+  e10_workflow ();
+  e11_models ();
+  e12_deps ();
+  e13_increment ();
+  e14_ablations ();
+  e15_workspace ();
+  e16_index ();
+  Format.printf "@.done.@."

@@ -1,0 +1,1 @@
+examples/cad_cooperative.ml: Asset_core Asset_models Asset_sched Asset_storage Asset_util Format Option Printf String

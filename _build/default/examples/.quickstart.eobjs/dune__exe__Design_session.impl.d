@@ -1,0 +1,1 @@
+examples/design_session.ml: Asset_core Asset_models Asset_sched Asset_storage Asset_util Chained Format Split_join

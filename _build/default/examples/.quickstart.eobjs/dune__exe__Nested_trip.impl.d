@@ -1,0 +1,1 @@
+examples/nested_trip.ml: Asset_core Asset_models Asset_storage Asset_util Format

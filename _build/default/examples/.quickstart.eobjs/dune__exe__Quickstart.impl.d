@@ -1,0 +1,1 @@
+examples/quickstart.ml: Asset_core Asset_models Asset_storage Asset_util Asset_workload Format

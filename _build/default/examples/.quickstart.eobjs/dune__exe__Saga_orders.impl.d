@@ -1,0 +1,1 @@
+examples/saga_orders.ml: Asset_core Asset_models Asset_storage Asset_util Format Option

@@ -1,0 +1,1 @@
+examples/saga_orders.mli:

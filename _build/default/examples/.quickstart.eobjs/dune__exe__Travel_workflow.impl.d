@@ -1,0 +1,1 @@
+examples/travel_workflow.ml: Asset_core Asset_models Asset_storage Asset_util Format Hashtbl List Option String

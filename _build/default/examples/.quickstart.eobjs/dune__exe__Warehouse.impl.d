@@ -1,0 +1,1 @@
+examples/warehouse.ml: Asset_core Asset_models Asset_sched Asset_storage Asset_util Format List Option

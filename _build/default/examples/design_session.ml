@@ -1,0 +1,105 @@
+(* A long-running design session: split/join, savepoints, and chained
+   transactions on one open-ended activity.
+
+   Split transactions were proposed for exactly this setting
+   ("Split-Transactions for Open-Ended activities", the paper's
+   reference [19]): a designer works for hours, and wants to release
+   finished parts of the work without ending the session.
+
+   The session below:
+     1. works on two components of a design;
+     2. *splits off* the finished component so it can commit
+        immediately (reviewers can see it) while the session continues;
+     3. uses a *savepoint* to explore a risky variant and roll it back
+        without losing the session;
+     4. finishes as a *chain*, carrying the in-progress component
+        across a commit boundary so the intermediate state never
+        becomes visible.
+
+   Run with:  dune exec examples/design_session.exe *)
+
+module E = Asset_core.Engine
+module R = Asset_core.Runtime
+module Tid = Asset_util.Id.Tid
+module Oid = Asset_util.Id.Oid
+module Value = Asset_storage.Value
+module Store = Asset_storage.Store
+module Sched = Asset_sched.Scheduler
+open Asset_models
+
+let chassis = Oid.of_int 1
+let engine_part = Oid.of_int 2
+
+let set db oid s = E.write db oid (Value.of_string s)
+let show store oid =
+  match Store.read store oid with Some v -> Value.to_string v | None -> "<none>"
+
+let () =
+  let store = Asset_storage.Heap_store.store () in
+  Store.write store chassis (Value.of_string "chassis-v0");
+  Store.write store engine_part (Value.of_string "engine-v0");
+  let db = E.create store in
+
+  R.run_exn db (fun () ->
+      (* Part 1: the session starts, edits both components, and splits
+         the finished chassis off for early release. *)
+      let split_tid = ref Tid.null in
+      let session =
+        E.initiate db (fun () ->
+            set db chassis "chassis-v1-final";
+            set db engine_part "engine-v1-draft";
+            (* Release the chassis without ending the session. *)
+            (match Split_join.split_idle ~objs:[ chassis ] db with
+            | Some s -> split_tid := s
+            | None -> failwith "split failed");
+            (* Part 2: explore a risky engine variant under a
+               savepoint. *)
+            let sp = E.savepoint db in
+            set db engine_part "engine-v2-experimental-turbo";
+            (* ... analysis says no. Roll the variant back; the session
+               (and its locks) survive. *)
+            E.rollback_to db sp)
+      in
+      ignore (E.begin_ db session);
+      ignore (E.wait db session);
+      (* The finished chassis commits now, mid-session. *)
+      assert (E.commit db !split_tid);
+      Format.printf "released early:  chassis = %s@." (show store chassis);
+      assert (show store chassis = "chassis-v1-final");
+
+      (* A reviewer reads the chassis immediately — but would block on
+         the engine, which the session still holds. *)
+      let reviewer =
+        E.initiate db (fun () ->
+            let v = E.read_exn db chassis in
+            assert (Value.to_string v = "chassis-v1-final"))
+      in
+      ignore (E.begin_ db reviewer);
+      assert (E.commit db reviewer);
+      Format.printf "reviewer saw the released chassis while the session continued@.";
+
+      (* The session commits; its engine draft (savepoint rolled the
+         turbo variant back) becomes durable. *)
+      assert (E.commit db session);
+      Format.printf "session committed: engine = %s@." (show store engine_part);
+      assert (show store engine_part = "engine-v1-draft"));
+
+  (* Part 3: finishing touches as a chained transaction — validate,
+     then sign off, carrying the engine part across the boundary so the
+     not-yet-signed state is never visible. *)
+  R.run_exn db (fun () ->
+      let r =
+        Chained.run db
+          ~carry:(fun _ -> [ engine_part ])
+          [
+            (fun () -> set db engine_part "engine-v2-validated");
+            (fun () ->
+              let v = Value.to_string (E.read_exn db engine_part) in
+              assert (v = "engine-v2-validated");
+              set db engine_part "engine-v2-signed-off");
+          ]
+      in
+      assert (Chained.committed r));
+  Format.printf "chain finished:   engine = %s@." (show store engine_part);
+  assert (show store engine_part = "engine-v2-signed-off");
+  Format.printf "design_session: OK@."

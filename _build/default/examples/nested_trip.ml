@@ -1,0 +1,120 @@
+(* The trip-arrangement nested transaction of section 3.1.4, translated
+   primitive-by-primitive as the paper does it:
+
+       void trip() {
+         tid t1 = initiate(make_airline_reservation);
+         permit(self(), t1);  begin(t1);
+         if (!wait(t1)) abort(self());
+         delegate(t1, self());  commit(t1);
+         ... same for the hotel ...
+       }
+
+   and then the same trip through the [Nested] combinators.  Both the
+   success path and the hotel-failure path (airline effects undone with
+   the whole trip) are exercised.
+
+   Run with:  dune exec examples/nested_trip.exe *)
+
+module E = Asset_core.Engine
+module Runtime = Asset_core.Runtime
+module Tid = Asset_util.Id.Tid
+module Oid = Asset_util.Id.Oid
+module Value = Asset_storage.Value
+module Store = Asset_storage.Store
+module Nested = Asset_models.Nested
+
+let airline_seats = Oid.of_int 1
+let hotel_rooms = Oid.of_int 2
+
+let get db oid = Value.to_int (E.read_exn db oid)
+let take db oid what =
+  let n = get db oid in
+  if n <= 0 then failwith (what ^ " unavailable");
+  E.write db oid (Value.of_int (n - 1))
+
+let make_airline_reservation db () = take db airline_seats "airline seat"
+let make_hotel_reservation db () = take db hotel_rooms "hotel room"
+
+(* The paper's trip() function, literally. *)
+let trip db () =
+  let t1 = E.initiate db (make_airline_reservation db) in
+  E.permit db ~from_:(E.self db) ~to_:t1;
+  ignore (E.begin_ db t1);
+  if not (E.wait db t1) then ignore (E.abort db (E.self db));
+  E.delegate db ~from_:t1 ~to_:(E.self db);
+  ignore (E.commit db t1);
+
+  let t2 = E.initiate db (make_hotel_reservation db) in
+  E.permit db ~from_:(E.self db) ~to_:t2;
+  ignore (E.begin_ db t2);
+  if not (E.wait db t2) then ignore (E.abort db (E.self db));
+  E.delegate db ~from_:t2 ~to_:(E.self db);
+  ignore (E.commit db t2)
+
+let fresh ~seats ~rooms =
+  let store = Asset_storage.Heap_store.store () in
+  Store.write store airline_seats (Value.of_int seats);
+  Store.write store hotel_rooms (Value.of_int rooms);
+  (store, E.create store)
+
+let () =
+  (* Success: one seat and one room are taken, atomically. *)
+  let store, db = fresh ~seats:3 ~rooms:3 in
+  Runtime.run_exn db (fun () ->
+      let t = E.initiate db (trip db) in
+      ignore (E.begin_ db t);
+      assert (E.commit db t));
+  assert (Value.to_int (Store.read_exn store airline_seats) = 2);
+  assert (Value.to_int (Store.read_exn store hotel_rooms) = 2);
+  Format.printf "trip 1: committed (2 seats, 2 rooms left)@.";
+
+  (* Hotel full: the airline reservation made by the subtransaction
+     (already delegated to the trip) is undone when the trip aborts —
+     "The effects of the airline reservation transaction must be undone
+     in that case." *)
+  let store, db = fresh ~seats:3 ~rooms:0 in
+  Runtime.run_exn db (fun () ->
+      let t = E.initiate db (trip db) in
+      ignore (E.begin_ db t);
+      assert (not (E.commit db t)));
+  assert (Value.to_int (Store.read_exn store airline_seats) = 3);
+  assert (Value.to_int (Store.read_exn store hotel_rooms) = 0);
+  Format.printf "trip 2: aborted, airline reservation undone@.";
+
+  (* The same trip via the Nested combinators, three levels deep:
+     trip -> (airline, hotel -> (room, breakfast)). *)
+  let store, db = fresh ~seats:1 ~rooms:1 in
+  let breakfast = Oid.of_int 3 in
+  Store.write store breakfast (Value.of_int 0);
+  let r =
+    ref (`Aborted : Asset_models.Atomic.result)
+  in
+  Runtime.run_exn db (fun () ->
+      r :=
+        Nested.root db (fun () ->
+            Nested.sub_exn db (make_airline_reservation db);
+            Nested.sub_exn db (fun () ->
+                take db hotel_rooms "hotel room";
+                Nested.sub_exn db (fun () -> E.write db breakfast (Value.of_int 1)))));
+  assert (!r = `Committed);
+  assert (Value.to_int (Store.read_exn store airline_seats) = 0);
+  assert (Value.to_int (Store.read_exn store breakfast) = 1);
+  Format.printf "trip 3: nested combinators committed three levels@.";
+
+  (* A failed sibling subtransaction with the [`Report] policy: the
+     parent survives and books a fallback instead. *)
+  let store, db = fresh ~seats:1 ~rooms:0 in
+  let fallback = Oid.of_int 4 in
+  Store.write store fallback (Value.of_int 0);
+  Runtime.run_exn db (fun () ->
+      let r =
+        Nested.root db (fun () ->
+            Nested.sub_exn db (make_airline_reservation db);
+            if not (Nested.sub db (make_hotel_reservation db)) then
+              Nested.sub_exn db (fun () -> E.write db fallback (Value.of_int 1)))
+      in
+      assert (r = `Committed));
+  assert (Value.to_int (Store.read_exn store airline_seats) = 0);
+  assert (Value.to_int (Store.read_exn store fallback) = 1);
+  Format.printf "trip 4: hotel failed, fallback booked, trip committed@.";
+  Format.printf "nested_trip: OK@."

@@ -1,0 +1,92 @@
+(* An order-processing saga (section 3.1.6).
+
+   A long-lived order activity as a saga of independently-committing
+   component transactions — reserve stock, charge the customer, book a
+   shipment, send the confirmation — each compensable except the last.
+   Component commits release their locks immediately, so other orders
+   interleave freely (isolation is per component); when a later step
+   fails, the committed prefix is compensated in reverse order, each
+   compensation retried until it commits.
+
+   Run with:  dune exec examples/saga_orders.exe *)
+
+module E = Asset_core.Engine
+module Runtime = Asset_core.Runtime
+module Oid = Asset_util.Id.Oid
+module Value = Asset_storage.Value
+module Store = Asset_storage.Store
+module Saga = Asset_models.Saga
+
+(* Objects: stock level, customer balance, shipments booked,
+   confirmations sent. *)
+let stock = Oid.of_int 1
+let balance = Oid.of_int 2
+let shipments = Oid.of_int 3
+let confirmations = Oid.of_int 4
+
+let get db oid = Value.to_int (Option.value (E.read db oid) ~default:(Value.of_int 0))
+let add db oid delta = E.write db oid (Value.of_int (get db oid + delta))
+
+let order db ~price ~payment_ok ~shipper_ok =
+  [
+    Saga.step ~label:"reserve-stock"
+      ~compensate:(fun () -> add db stock 1)
+      (fun () ->
+        if get db stock <= 0 then failwith "out of stock";
+        add db stock (-1));
+    Saga.step ~label:"charge-customer"
+      ~compensate:(fun () -> add db balance price)
+      (fun () ->
+        if not payment_ok then failwith "payment declined";
+        if get db balance < price then failwith "insufficient funds";
+        add db balance (-price));
+    Saga.step ~label:"book-shipment"
+      ~compensate:(fun () -> add db shipments (-1))
+      (fun () ->
+        if not shipper_ok then failwith "no shipping capacity";
+        add db shipments 1);
+    (* The last component needs no compensation: its commit commits the
+       saga. *)
+    Saga.step ~label:"send-confirmation" (fun () -> add db confirmations 1);
+  ]
+
+let snapshot store =
+  let v oid = Value.to_int (Store.read_exn store oid) in
+  (v stock, v balance, v shipments, v confirmations)
+
+let () =
+  let store = Asset_storage.Heap_store.store () in
+  Store.write store stock (Value.of_int 5);
+  Store.write store balance (Value.of_int 1_000);
+  Store.write store shipments (Value.of_int 0);
+  Store.write store confirmations (Value.of_int 0);
+  let db = E.create store in
+
+  Runtime.run_exn db (fun () ->
+      (* A successful order: all four components commit in order. *)
+      let r = Saga.run db (order db ~price:100 ~payment_ok:true ~shipper_ok:true) in
+      assert (Saga.committed r);
+      Format.printf "order 1: committed@.";
+
+      (* Shipment fails: stock reservation and the charge are
+         compensated, in reverse order. *)
+      (match Saga.run db (order db ~price:100 ~payment_ok:true ~shipper_ok:false) with
+      | Saga.Rolled_back { failed_step; compensated } ->
+          Format.printf "order 2: rolled back at step %d, %d compensations@." failed_step
+            compensated;
+          assert (failed_step = 2 && compensated = 2)
+      | Saga.Committed -> assert false);
+
+      (* Payment fails: only the stock reservation needs compensation. *)
+      (match Saga.run db (order db ~price:100 ~payment_ok:false ~shipper_ok:true) with
+      | Saga.Rolled_back { failed_step; compensated } ->
+          Format.printf "order 3: rolled back at step %d, %d compensations@." failed_step
+            compensated;
+          assert (failed_step = 1 && compensated = 1)
+      | Saga.Committed -> assert false));
+
+  let st, bal, sh, conf = snapshot store in
+  Format.printf "final state: stock=%d balance=%d shipments=%d confirmations=%d@." st bal sh conf;
+  (* Exactly one order went through. *)
+  assert (st = 4 && bal = 900 && sh = 1 && conf = 1);
+  Format.printf "saga_orders: OK@."

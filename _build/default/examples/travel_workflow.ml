@@ -1,0 +1,123 @@
+(* The appendix workflow: X's trip to the June 1994 conference.
+
+   "X prefers to fly on Delta, United, or American in that order ...
+   X must stay at hotel Equator ... The car must be rented from Avis or
+   National ... If no flight or hotel is available, the whole trip is
+   canceled.  If a car cannot be rented, the trip can still proceed."
+
+   The appendix hand-codes this with initiate/begin/commit/wait/abort;
+   here the same activity is expressed in the Workflow DSL — ordered
+   Alternatives for the flight, a mandatory Task for the hotel (whose
+   failure compensates the flight already booked), and an Optional Race
+   between the two rental companies ("Whichever of t5, t6 completes
+   first wins").
+
+   The scenario is run four times against different availability
+   patterns, including the hotel-full case that exercises flight
+   compensation.
+
+   Run with:  dune exec examples/travel_workflow.exe *)
+
+module E = Asset_core.Engine
+module Runtime = Asset_core.Runtime
+module Oid = Asset_util.Id.Oid
+module Value = Asset_storage.Value
+module Store = Asset_storage.Store
+module Workflow = Asset_models.Workflow
+
+(* Reservation objects: one per vendor, holding the count of bookings
+   made (a real system would store seat/room assignments). *)
+let vendors = [ "Delta"; "United"; "American"; "Equator"; "National"; "Avis" ]
+let oid_of_vendor v =
+  let rec index i = function
+    | [] -> invalid_arg v
+    | x :: rest -> if String.equal x v then i else index (i + 1) rest
+  in
+  Oid.of_int (1 + index 0 vendors)
+
+type world = { available : (string, bool) Hashtbl.t }
+
+let make_world pairs =
+  let available = Hashtbl.create 8 in
+  List.iter (fun v -> Hashtbl.replace available v true) vendors;
+  List.iter (fun (v, ok) -> Hashtbl.replace available v ok) pairs;
+  { available }
+
+(* A reservation transaction: fails (aborting itself) when the vendor
+   has no availability; otherwise increments the vendor's booking
+   count.  The compensating transaction decrements it — a semantic
+   undo, exactly what the appendix's cancel_* functions are. *)
+let reserve db world vendor =
+  Workflow.task vendor
+    ~compensate:(fun () ->
+      let oid = oid_of_vendor vendor in
+      let v = Option.value (E.read db oid) ~default:(Value.of_int 0) in
+      E.write db oid (Value.incr_int v (-1)))
+    (fun () ->
+      if not (Hashtbl.find world.available vendor) then failwith (vendor ^ ": sold out");
+      let oid = oid_of_vendor vendor in
+      let v = Option.value (E.read db oid) ~default:(Value.of_int 0) in
+      E.write db oid (Value.incr_int v 1))
+
+let x_conference db world =
+  Workflow.(
+    Seq
+      [
+        (* Flight: Delta, then United, then American, in that order. *)
+        Alternatives
+          [
+            Task (reserve db world "Delta");
+            Task (reserve db world "United");
+            Task (reserve db world "American");
+          ];
+        (* Hotel Equator is mandatory; its failure rolls the flight
+           back. *)
+        Task (reserve db world "Equator");
+        (* The rental car is optional and raced between companies. *)
+        Optional (Race [ reserve db world "National"; reserve db world "Avis" ]);
+      ])
+
+let bookings store =
+  List.filter_map
+    (fun v ->
+      match Store.read store (oid_of_vendor v) with
+      | Some value when Value.to_int value > 0 -> Some (v, Value.to_int value)
+      | _ -> None)
+    vendors
+
+let scenario name world_spec =
+  let store = Asset_storage.Heap_store.store () in
+  let db = E.create store in
+  let world = make_world world_spec in
+  Format.printf "--- scenario: %s ---@." name;
+  Runtime.run_exn db (fun () ->
+      let outcome = Workflow.run db (x_conference db world) in
+      Format.printf "  activity %s@." (if outcome.Workflow.success then "SUCCEEDED" else "FAILED");
+      List.iter (fun e -> Format.printf "  . %a@." Workflow.pp_event e) outcome.Workflow.events);
+  (match bookings store with
+  | [] -> Format.printf "  final bookings: none@."
+  | l -> List.iter (fun (v, n) -> Format.printf "  final booking: %s x%d@." v n) l);
+  store
+
+let () =
+  (* Everything available: Delta + Equator + a car. *)
+  let s1 = scenario "all available" [] in
+  assert (bookings s1 |> List.mem_assoc "Delta");
+  assert (bookings s1 |> List.mem_assoc "Equator");
+
+  (* Delta and United full: falls through to American. *)
+  let s2 = scenario "Delta and United full" [ ("Delta", false); ("United", false) ] in
+  assert (bookings s2 |> List.mem_assoc "American");
+
+  (* Hotel full: the flight reservation must be compensated and the
+     whole activity fails. *)
+  let s3 = scenario "hotel full" [ ("Equator", false) ] in
+  assert (bookings s3 = []);
+
+  (* No car anywhere: the trip still proceeds (the car is optional). *)
+  let s4 = scenario "no rental cars" [ ("National", false); ("Avis", false) ] in
+  assert (bookings s4 |> List.mem_assoc "Delta");
+  assert (bookings s4 |> List.mem_assoc "Equator");
+  assert (not (bookings s4 |> List.mem_assoc "National"));
+  assert (not (bookings s4 |> List.mem_assoc "Avis"));
+  Format.printf "travel_workflow: OK@."

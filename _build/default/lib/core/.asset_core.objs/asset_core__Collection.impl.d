@@ -1,0 +1,1 @@
+lib/core/collection.ml: Asset_index Asset_lock Asset_storage Asset_util Engine Fmt List Option String

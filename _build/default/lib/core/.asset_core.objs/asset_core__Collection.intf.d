@@ -1,0 +1,1 @@
+lib/core/collection.mli: Asset_storage Asset_util Engine

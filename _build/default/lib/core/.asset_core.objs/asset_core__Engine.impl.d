@@ -1,0 +1,1 @@
+lib/core/engine.ml: Asset_deps Asset_latch Asset_lock Asset_sched Asset_storage Asset_util Asset_wal Fmt Format Hashtbl Int List Logs Status

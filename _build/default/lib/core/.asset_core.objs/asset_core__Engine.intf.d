@@ -1,0 +1,1 @@
+lib/core/engine.mli: Asset_deps Asset_lock Asset_sched Asset_storage Asset_util Asset_wal Format Status

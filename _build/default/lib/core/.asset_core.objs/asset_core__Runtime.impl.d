@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Asset_sched Asset_storage Engine

@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Asset_sched Asset_storage Engine

@@ -1,0 +1,1 @@
+lib/core/workspace.ml: Asset_lock Asset_storage Asset_util Engine Fmt Hashtbl

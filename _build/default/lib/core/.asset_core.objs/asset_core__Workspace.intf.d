@@ -1,0 +1,1 @@
+lib/core/workspace.mli: Asset_storage Asset_util Engine

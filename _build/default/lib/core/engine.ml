@@ -1,0 +1,748 @@
+(* The ASSET engine: transaction descriptors and the complete primitive
+   set of section 2 over the section-4 substrate (lock manager with
+   permits, dependency graph, before/after-image log, per-object
+   latches, object store).
+
+   Concurrency model.  Every transaction body runs in a cooperative
+   fiber ([Asset_sched.Scheduler]); a primitive that must block parks
+   its fiber on the engine's version counter, which is bumped on every
+   state change, and retries — the literal "blocks and retries later
+   starting at step 1" of the paper's algorithms.  All primitives must
+   therefore be called from inside [Runtime.run] (the application's main
+   program is itself a fiber). *)
+
+module Tid = Asset_util.Id.Tid
+module Oid = Asset_util.Id.Oid
+module Value = Asset_storage.Value
+module Store = Asset_storage.Store
+module Lock = Asset_lock.Lock_manager
+module Mode = Asset_lock.Mode
+module Dep = Asset_deps.Dep_graph
+module Dep_type = Asset_deps.Dep_type
+module Log = Asset_wal.Log
+module Record = Asset_wal.Record
+module Sched = Asset_sched.Scheduler
+module Latch = Asset_latch.Latch
+
+exception Txn_aborted of Tid.t
+(** Raised inside a transaction body whose transaction has been aborted
+    (by itself, by dependency propagation, or as a deadlock victim);
+    unwinds the body back to the engine. *)
+
+exception Not_in_transaction
+(** A data operation ([read]/[write]) was invoked outside any
+    transaction body. *)
+
+type td = {
+  tid : Tid.t;
+  parent : Tid.t;
+  body : unit -> unit;
+  mutable status : Status.t;
+  mutable fid : int; (* scheduler fiber, -1 until begun *)
+  mutable updates : int list; (* LSNs of updates this txn is responsible for, newest first *)
+  mutable failure : exn option; (* body exception, if any *)
+  mutable waiting_on : string; (* diagnostic: why currently parked *)
+  mutable begin_denied : bool;
+      (* a BD master aborted before this transaction began: it may
+         never begin (the dependency edge itself is gone by then) *)
+}
+
+type config = {
+  max_transactions : int;
+  deadlock_detection : bool;
+  use_latches : bool;
+  dep_cycle_check : bool;
+}
+
+let default_config =
+  { max_transactions = 10_000; deadlock_detection = true; use_latches = true; dep_cycle_check = true }
+
+type t = {
+  store : Store.t;
+  log : Log.t;
+  locks : Lock.t;
+  deps : Dep.t;
+  config : config;
+  tds : (Tid.t, td) Hashtbl.t;
+  tid_gen : Tid.gen;
+  latches : (Oid.t, Latch.t) Hashtbl.t;
+  fiber_txn : (int, Tid.t) Hashtbl.t; (* scheduler fid -> tid *)
+  mutable sched : Sched.t option;
+  mutable version : int; (* bumped on every observable state change *)
+  (* statistics *)
+  commits : Asset_util.Stats.Counter.t;
+  aborts : Asset_util.Stats.Counter.t;
+  group_commits : Asset_util.Stats.Counter.t;
+  lock_waits : Asset_util.Stats.Counter.t;
+  commit_retries : Asset_util.Stats.Counter.t;
+  deadlock_victims : Asset_util.Stats.Counter.t;
+  reads : Asset_util.Stats.Counter.t;
+  writes : Asset_util.Stats.Counter.t;
+}
+
+let create ?(config = default_config) ?log store =
+  let log = match log with Some l -> l | None -> Log.in_memory () in
+  {
+    store;
+    log;
+    locks = Lock.create ();
+    deps = Dep.create ~cycle_check:config.dep_cycle_check ();
+    config;
+    tds = Hashtbl.create 128;
+    tid_gen = Tid.generator ();
+    latches = Hashtbl.create 128;
+    fiber_txn = Hashtbl.create 64;
+    sched = None;
+    version = 0;
+    commits = Asset_util.Stats.Counter.create "engine.commits";
+    aborts = Asset_util.Stats.Counter.create "engine.aborts";
+    group_commits = Asset_util.Stats.Counter.create "engine.group_commits";
+    lock_waits = Asset_util.Stats.Counter.create "engine.lock_waits";
+    commit_retries = Asset_util.Stats.Counter.create "engine.commit_retries";
+    deadlock_victims = Asset_util.Stats.Counter.create "engine.deadlock_victims";
+    reads = Asset_util.Stats.Counter.create "engine.reads";
+    writes = Asset_util.Stats.Counter.create "engine.writes";
+  }
+
+let bump db = db.version <- db.version + 1
+
+let sched db =
+  match db.sched with
+  | Some s -> s
+  | None -> invalid_arg "Asset engine: no scheduler attached (use Runtime.run)"
+
+let td db tid =
+  match Hashtbl.find_opt db.tds tid with
+  | Some td -> td
+  | None -> Fmt.invalid_arg "Asset engine: unknown transaction %a" Tid.pp tid
+
+let status db tid = (td db tid).status
+let is_terminated db tid = Status.terminated (status db tid)
+let is_aborted db tid = match status db tid with Status.Aborted | Status.Aborting -> true | _ -> false
+let is_committed db tid = Status.equal (status db tid) Status.Committed
+let parent_of db tid = (td db tid).parent
+let failure_of db tid = (td db tid).failure
+
+let latch db oid =
+  match Hashtbl.find_opt db.latches oid with
+  | Some l -> l
+  | None ->
+      let l = Latch.create ~name:(Format.asprintf "latch:%a" Oid.pp oid) () in
+      Hashtbl.replace db.latches oid l;
+      l
+
+(* Park the current fiber until the engine version moves past [v]. *)
+let wait_for_change db ~reason v =
+  Sched.wait_until ~reason (fun () -> db.version > v)
+
+(* ------------------------------------------------------------------ *)
+(* self / parent                                                       *)
+
+let self_opt db =
+  match db.sched with
+  | None -> None
+  | Some s -> Hashtbl.find_opt db.fiber_txn (Sched.current_fid s)
+
+let self db = match self_opt db with Some tid -> tid | None -> Tid.null
+
+let parent db =
+  match self_opt db with Some tid -> (td db tid).parent | None -> Tid.null
+
+let current_td db =
+  match self_opt db with
+  | Some tid -> td db tid
+  | None -> raise Not_in_transaction
+
+(* A primitive invoked by (or a data operation of) an aborted
+   transaction unwinds immediately. *)
+let check_live td =
+  match td.status with
+  | Status.Aborting | Status.Aborted -> raise (Txn_aborted td.tid)
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* initiate / begin                                                    *)
+
+let initiate ?parent:parent_tid db body =
+  if Hashtbl.length db.tds >= db.config.max_transactions then Tid.null
+  else begin
+    let parent = match parent_tid with Some p -> p | None -> self db in
+    let tid = Tid.fresh db.tid_gen in
+    let td =
+      {
+        tid;
+        parent;
+        body;
+        status = Status.Initiated;
+        fid = -1;
+        updates = [];
+        failure = None;
+        waiting_on = "";
+        begin_denied = false;
+      }
+    in
+    Hashtbl.replace db.tds tid td;
+    td.tid
+  end
+
+(* Forward declaration: finalize_abort is used by the body wrapper. *)
+let abort_ref : (t -> Tid.t -> bool) ref = ref (fun _ _ -> assert false)
+
+let run_body db td =
+  Hashtbl.replace db.fiber_txn td.fid td.tid;
+  (try td.body ()
+   with
+  | Txn_aborted _ -> () (* the abort machinery has already done its work *)
+  | e ->
+      (* A body failure aborts the transaction, Ode-style.  Aborting
+         oneself raises [Txn_aborted] to unwind the body; here the body
+         has already ended, so swallow it. *)
+      td.failure <- Some e;
+      (try ignore (!abort_ref db td.tid) with Txn_aborted _ -> ()));
+  Hashtbl.remove db.fiber_txn td.fid;
+  (match td.status with Status.Running -> td.status <- Status.Completed | _ -> ());
+  bump db
+
+let begin_ db tid =
+  let td = td db tid in
+  match td.status with
+  | Status.Initiated when td.begin_denied -> false
+  | Status.Initiated ->
+      (* Extension: begin-on-commit dependencies gate the start. *)
+      let masters = Dep.bd_masters db.deps tid in
+      let rec wait_bd () =
+        let blocked =
+          List.filter
+            (fun m -> match status db m with Status.Committed -> false | _ -> true)
+            masters
+        in
+        match blocked with
+        | [] -> true
+        | ms when List.exists (fun m -> is_aborted db m) ms -> false
+        | _ ->
+            let v = db.version in
+            wait_for_change db ~reason:"begin: BD master not committed" v;
+            wait_bd ()
+      in
+      if masters <> [] && not (wait_bd ()) then false
+      else begin
+        td.status <- Status.Running;
+        Log.append db.log (Record.Begin tid) |> ignore;
+        td.fid <- Sched.spawn (sched db) ~label:(Format.asprintf "%a" Tid.pp tid) (fun () -> run_body db td);
+        bump db;
+        true
+      end
+  | _ -> false
+
+let begin_many db tids = List.for_all (fun t -> begin_ db t) tids
+
+(* ------------------------------------------------------------------ *)
+(* Data operations: the section 4.2 read / write algorithms            *)
+
+let acquire_lock db td oid mode =
+  let rec loop () =
+    check_live td;
+    match Lock.acquire db.locks td.tid oid mode with
+    | Lock.Acquired -> ()
+    | Lock.Blocked_on blockers ->
+        Asset_util.Stats.Counter.incr db.lock_waits;
+        td.waiting_on <-
+          Format.asprintf "lock %a/%a held by %a" Oid.pp oid Mode.pp mode
+            (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",") Tid.pp)
+            blockers;
+        let v = db.version in
+        wait_for_change db ~reason:td.waiting_on v;
+        loop ()
+  in
+  loop ();
+  td.waiting_on <- ""
+
+let with_latch db oid mode f =
+  if db.config.use_latches then Latch.with_latch ~spin:Sched.yield (latch db oid) mode f else f ()
+
+(* Acquire a lock without touching the data — used by layers (e.g.
+   private workspaces) that want to declare intent up front and avoid
+   later upgrades. *)
+let lock db oid mode =
+  let td = current_td db in
+  check_live td;
+  acquire_lock db td oid mode
+
+let read db oid =
+  let td = current_td db in
+  check_live td;
+  acquire_lock db td oid Mode.Read;
+  Asset_util.Stats.Counter.incr db.reads;
+  with_latch db oid Latch.S (fun () -> Store.read db.store oid)
+
+let read_exn db oid =
+  match read db oid with
+  | Some v -> v
+  | None -> Fmt.invalid_arg "Asset read: %a does not exist" Oid.pp oid
+
+let write db oid value =
+  let td = current_td db in
+  check_live td;
+  acquire_lock db td oid Mode.Write;
+  Asset_util.Stats.Counter.incr db.writes;
+  with_latch db oid Latch.X (fun () ->
+      let before = Store.read db.store oid in
+      let lsn = Log.append db.log (Record.Update { tid = td.tid; oid; before; after = value }) in
+      td.updates <- lsn :: td.updates;
+      Store.write db.store oid value)
+
+(* Read-modify-write helper: the common increment/update pattern. *)
+let modify db oid f =
+  let v = read db oid in
+  write db oid (f v)
+
+(* A commuting increment (the paper's section-5 "semantics of objects"
+   plan): Increment locks are mutually compatible, so concurrent
+   transactions increment the same counter without blocking or lock
+   upgrades, and undo is logical (subtract the delta) so an abort never
+   clobbers other transactions' concurrent increments — unlike the
+   permit-based cooperation of section 3.2.1, where abort installs
+   before images and loses them.  An increment of a missing object
+   creates it at [delta]. *)
+let increment db oid delta =
+  let td = current_td db in
+  check_live td;
+  acquire_lock db td oid Mode.Increment;
+  Asset_util.Stats.Counter.incr db.writes;
+  with_latch db oid Latch.X (fun () ->
+      let current =
+        match Store.read db.store oid with Some v -> Value.to_int v | None -> 0
+      in
+      let after = Value.of_int (current + delta) in
+      let lsn = Log.append db.log (Record.Increment { tid = td.tid; oid; delta; after }) in
+      td.updates <- lsn :: td.updates;
+      Store.write db.store oid after)
+
+(* ------------------------------------------------------------------ *)
+(* Savepoints: partial rollback inside a transaction                   *)
+
+type savepoint = { sp_tid : Tid.t; sp_boundary : int (* first LSN *after* the savepoint *) }
+
+(* Mark the current point in the invoking transaction's update history.
+   Rolling back to it undoes (and CLR-logs) every update the
+   transaction became responsible for afterwards; locks acquired in
+   between are retained, per the usual savepoint semantics. *)
+let savepoint db =
+  let td = current_td db in
+  check_live td;
+  { sp_tid = td.tid; sp_boundary = Log.length db.log }
+
+let rollback_to db sp =
+  let td = current_td db in
+  check_live td;
+  if not (Tid.equal sp.sp_tid td.tid) then
+    invalid_arg "Engine.rollback_to: savepoint belongs to another transaction";
+  let undo, keep = List.partition (fun lsn -> lsn >= sp.sp_boundary) td.updates in
+  List.iter
+    (fun lsn ->
+      match Log.get db.log lsn with
+      | Record.Update { oid; before; _ } ->
+          Log.append db.log (Record.Clr { tid = td.tid; oid; image = before }) |> ignore;
+          (match before with
+          | Some v -> Store.write db.store oid v
+          | None -> Store.delete db.store oid)
+      | Record.Increment { oid; delta; _ } ->
+          let current =
+            match Store.read db.store oid with Some v -> Value.to_int v | None -> 0
+          in
+          let image = Value.of_int (current - delta) in
+          Log.append db.log (Record.Clr { tid = td.tid; oid; image = Some image }) |> ignore;
+          Store.write db.store oid image
+      | _ -> ())
+    (List.sort (fun a b -> Int.compare b a) undo);
+  td.updates <- keep;
+  bump db
+
+(* ------------------------------------------------------------------ *)
+(* wait                                                                *)
+
+let wait db tid =
+  let rec loop () =
+    match status db tid with
+    | Status.Aborted | Status.Aborting -> false
+    | Status.Completed | Status.Committing | Status.Committed -> true
+    | Status.Initiated | Status.Running ->
+        let v = db.version in
+        wait_for_change db ~reason:(Format.asprintf "wait(%a)" Tid.pp tid) v;
+        loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* delegate                                                            *)
+
+let delegate ?oids db ~from_ ~to_ =
+  let from_td = td db from_ and to_td = td db to_ in
+  if Status.terminated from_td.status then
+    Fmt.invalid_arg "delegate: %a has terminated" Tid.pp from_;
+  if Status.terminated to_td.status then Fmt.invalid_arg "delegate: %a has terminated" Tid.pp to_;
+  let moved_oids = Lock.delegate db.locks ~from_:from_ ~to_:to_ oids in
+  (* Transfer responsibility for the logged updates on the delegated
+     objects. *)
+  let covers oid = match oids with None -> true | Some l -> List.exists (Oid.equal oid) l in
+  let moving, staying =
+    List.partition
+      (fun lsn ->
+        match Log.get db.log lsn with
+        | Record.Update { oid; _ } | Record.Increment { oid; _ } -> covers oid
+        | _ -> false)
+      from_td.updates
+  in
+  from_td.updates <- staying;
+  (* Keep newest-first ordering in the target by merging and sorting. *)
+  to_td.updates <- List.sort (fun a b -> Int.compare b a) (moving @ to_td.updates);
+  Log.append db.log (Record.Delegate { from_; to_; oids }) |> ignore;
+  ignore moved_oids;
+  bump db
+
+(* ------------------------------------------------------------------ *)
+(* permit                                                              *)
+
+(* permit(ti, tj, ob_set, operations) and its three abbreviated forms.
+   [to_ = None] permits any transaction; [oids = None] expands, per the
+   paper, to "each object that t_i accessed or has permission to
+   access"; [ops = None] permits all operations. *)
+let permit ?to_ ?oids ?ops db ~from_ =
+  let ops = match ops with Some o -> o | None -> Mode.Ops.all in
+  let objects =
+    match oids with Some l -> l | None -> Lock.accessible_objects db.locks from_
+  in
+  List.iter (fun oid -> Lock.add_permit db.locks ~grantor:from_ ~grantee:to_ ~oid ~ops) objects;
+  bump db
+
+(* ------------------------------------------------------------------ *)
+(* form_dependency                                                     *)
+
+let form_dependency db dtype ti tj =
+  match Dep.add db.deps dtype ~master:ti ~dependent:tj with
+  | () ->
+      bump db;
+      true
+  | exception Dep.Cycle_rejected _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* abort: the section 4.2 algorithm                                    *)
+
+(* Abort propagation must reach every dependent even when one of them is
+   the transaction the current fiber is running (whose abort unwinds the
+   body with [Txn_aborted]): perform all the aborts first and re-raise
+   the self-unwind once at the end. *)
+let abort_many_ref : (t -> Tid.t list -> unit) ref = ref (fun _ _ -> assert false)
+
+let rec finalize_abort db (td : td) =
+  (* Step 2: install before images for each update t_i is responsible
+     for, newest first.  "This implies that subsequent updates done by
+     cooperating transactions will also be lost."  Every installation
+     is logged as a CLR so that recovery can repeat the undo instead of
+     re-deriving it (see Asset_wal.Recovery). *)
+  let lsns = List.sort (fun a b -> Int.compare b a) td.updates in
+  List.iter
+    (fun lsn ->
+      match Log.get db.log lsn with
+      | Record.Update { oid; before; _ } ->
+          Log.append db.log (Record.Clr { tid = td.tid; oid; image = before }) |> ignore;
+          (match before with
+          | Some v -> Store.write db.store oid v
+          | None -> Store.delete db.store oid)
+      | Record.Increment { oid; delta; _ } ->
+          (* Logical undo: subtract the delta from the *current* value,
+             preserving concurrent transactions' commuting increments.
+             The CLR carries the resulting physical image for redo. *)
+          let current =
+            match Store.read db.store oid with Some v -> Value.to_int v | None -> 0
+          in
+          let image = Value.of_int (current - delta) in
+          Log.append db.log (Record.Clr { tid = td.tid; oid; image = Some image }) |> ignore;
+          Store.write db.store oid image
+      | _ -> ())
+    lsns;
+  td.updates <- [];
+  (* Step 3: release all locks (and any pending requests). *)
+  ignore (Lock.release_all db.locks td.tid);
+  Lock.cancel_pending_all db.locks td.tid;
+  Lock.remove_permits db.locks td.tid;
+  (* Step 4: dependencies incoming to t_i (t_i is the master) force
+     AD/GC dependents to abort.  A group-commit dependency is symmetric
+     ("either both commit or neither"), so GC edges where t_i is the
+     *dependent* doom the master as well. *)
+  let incoming = Dep.incoming db.deps td.tid in
+  let must_abort =
+    List.filter_map
+      (fun e ->
+        match e.Dep.dtype with
+        | Dep_type.AD | Dep_type.GC -> Some e.Dep.dependent
+        | Dep_type.CD | Dep_type.BD | Dep_type.EXC -> None)
+      incoming
+    @ List.filter_map
+        (fun e -> match e.Dep.dtype with Dep_type.GC -> Some e.Dep.master | _ -> None)
+        (Dep.outgoing db.deps td.tid)
+  in
+  (* Extension: a BD dependent of an aborted master may never begin;
+     the edge is about to be dropped, so record the denial in the TD. *)
+  List.iter
+    (fun e ->
+      if e.Dep.dtype = Dep_type.BD then begin
+        match Hashtbl.find_opt db.tds e.Dep.dependent with
+        | Some dep_td -> dep_td.begin_denied <- true
+        | None -> ()
+      end)
+    incoming;
+  (* Step 5: remove remaining dependencies pertaining to t_i. *)
+  Dep.remove_involving db.deps td.tid;
+  (* Step 6: terminate. *)
+  Log.append db.log (Record.Abort td.tid) |> ignore;
+  td.status <- Status.Aborted;
+  Asset_util.Stats.Counter.incr db.aborts;
+  bump db;
+  (* Propagate: abort AD/GC dependents (the paper marks them aborting;
+     we perform the full abort eagerly, which reaches the same state
+     without relying on the dependent to take another step). *)
+  !abort_many_ref db must_abort
+
+and abort db tid =
+  let td = td db tid in
+  match td.status with
+  | Status.Committed -> false
+  | Status.Aborted -> true
+  | Status.Aborting ->
+      (* Someone is already aborting it; treat as success. *)
+      true
+  | Status.Initiated | Status.Running | Status.Completed | Status.Committing ->
+      td.status <- Status.Aborting;
+      finalize_abort db td;
+      (* If the caller is the transaction itself, unwind its body. *)
+      (match self_opt db with
+      | Some me when Tid.equal me tid -> raise (Txn_aborted tid)
+      | _ -> ());
+      true
+
+(* Abort each of [tids], deferring a self-unwind ([Txn_aborted] raised
+   when one of them is the current fiber's own transaction) until every
+   abort has completed. *)
+let abort_many db tids =
+  let self_unwind = ref None in
+  List.iter
+    (fun tid ->
+      try ignore (abort db tid) with Txn_aborted _ as e -> self_unwind := Some e)
+    tids;
+  match !self_unwind with Some e -> raise e | None -> ()
+
+let () =
+  abort_ref := abort;
+  abort_many_ref := abort_many
+
+(* ------------------------------------------------------------------ *)
+(* commit: the section 4.2 algorithm                                   *)
+
+(* One attempt at the dependency-resolution steps for [tid] (steps 2-3).
+   Returns [`Ready] when every CD/AD/EXC obligation is resolved,
+   [`Retry reason] when the paper says "blocks and retries later", and
+   [`Must_abort] when an AD master aborted or an EXC partner already
+   committed. *)
+let resolve_non_gc_deps db tid =
+  let out = Dep.outgoing db.deps tid in
+  let rec check = function
+    | [] -> `Ready
+    | e :: rest -> (
+        match e.Dep.dtype with
+        | Dep_type.GC | Dep_type.BD -> check rest
+        | Dep_type.AD -> (
+            match status db e.Dep.master with
+            | Status.Committed -> check rest
+            | Status.Aborted | Status.Aborting -> `Must_abort
+            | _ -> `Retry (Format.asprintf "AD on %a" Tid.pp e.Dep.master))
+        | Dep_type.CD -> (
+            match status db e.Dep.master with
+            | Status.Committed | Status.Aborted -> check rest
+            | _ -> `Retry (Format.asprintf "CD on %a" Tid.pp e.Dep.master))
+        | Dep_type.EXC -> (
+            match status db e.Dep.master with
+            | Status.Committed -> `Must_abort
+            | _ -> check rest))
+  in
+  match check out with
+  | `Ready ->
+      (* EXC is symmetric: a committed partner on either side excludes us. *)
+      if List.exists (fun p -> is_committed db p) (Dep.exc_partners db.deps tid) then `Must_abort
+      else `Ready
+  | r -> r
+
+(* Commit the whole [group] atomically (step 4 onward), "simultaneously
+   executed for all the transactions in the group". *)
+let commit_group db group =
+  Log.append db.log (Record.Commit group) |> ignore;
+  List.iter
+    (fun tid ->
+      let td = td db tid in
+      td.status <- Status.Committed;
+      td.updates <- [];
+      Asset_util.Stats.Counter.incr db.commits;
+      (* Step 5: drop dependency edges; step 6: release locks and
+         permissions. *)
+      Dep.remove_involving db.deps tid;
+      ignore (Lock.release_all db.locks tid);
+      Lock.remove_permits db.locks tid)
+    group;
+  if List.length group > 1 then Asset_util.Stats.Counter.incr db.group_commits;
+  (* Exclusion: committing excludes every EXC partner of each member.
+     Partners were collected before edges were dropped — but since
+     remove_involving already ran, collect first. *)
+  bump db
+
+let rec commit db tid =
+  let t = td db tid in
+  match t.status with
+  | Status.Committed -> true
+  | Status.Aborted -> false
+  | Status.Aborting ->
+      (* Step 1: "If it is aborting, perform the steps of the abort
+         algorithm."  finalize_abort is idempotent at this point
+         because abort() transitions synchronously; just report. *)
+      false
+  | Status.Initiated | Status.Running ->
+      (* commit is blocking: wait for the execution to complete. *)
+      let v = db.version in
+      wait_for_change db ~reason:(Format.asprintf "commit(%a): awaiting completion" Tid.pp tid) v;
+      commit db tid
+  | Status.Completed | Status.Committing -> attempt_commit db tid
+
+and attempt_commit db tid =
+  let t = td db tid in
+  t.status <- Status.Committing;
+  (* Mark our side of every GC edge (step 2c-i). *)
+  List.iter (fun e -> Dep.mark_gc e tid) (Dep.gc_edges db.deps tid);
+  match resolve_non_gc_deps db tid with
+  | `Must_abort ->
+      ignore (abort db tid);
+      false
+  | `Retry reason ->
+      Asset_util.Stats.Counter.incr db.commit_retries;
+      let v = db.version in
+      wait_for_change db ~reason:(Format.asprintf "commit(%a): %s" Tid.pp tid reason) v;
+      commit db tid
+  | `Ready -> (
+      let group = Dep.gc_group db.deps tid in
+      (* Check the group: every member must reach Committing with its own
+         non-GC dependencies resolved; an aborted member fails the group. *)
+      let classify m =
+        match status db m with
+        | Status.Aborted | Status.Aborting -> `Abort
+        | Status.Committed -> `Ok (* already committed via an earlier group *)
+        | Status.Committing -> ( match resolve_non_gc_deps db m with
+            | `Ready -> `Ok
+            | `Retry r -> `Wait r
+            | `Must_abort -> `Abort)
+        | Status.Completed ->
+            (* Step 2c-ii: t_j has not yet invoked commit — invoke it on
+               its behalf by entering its commit path. *)
+            `Invoke
+        | Status.Initiated | Status.Running -> `Wait (Format.asprintf "group member %a still executing" Tid.pp m)
+      in
+      let verdicts = List.map (fun m -> (m, classify m)) group in
+      if List.exists (fun (_, v) -> v = `Abort) verdicts then begin
+        (* GC: either all commit or none. *)
+        abort_many db
+          (List.filter_map
+             (fun (m, _) -> if is_aborted db m then None else Some m)
+             verdicts);
+        false
+      end
+      else
+        match List.find_opt (fun (_, v) -> v = `Invoke) verdicts with
+        | Some (m, _) ->
+            (* Entering the member's commit marks it Committing and
+               resolves its dependencies (possibly parking this fiber,
+               which is exactly the paper's behaviour: the group cannot
+               commit before m can). *)
+            ignore (attempt_commit db m);
+            commit db tid
+        | None ->
+            if List.exists (fun (_, v) -> match v with `Wait _ -> true | _ -> false) verdicts
+            then begin
+              Asset_util.Stats.Counter.incr db.commit_retries;
+              let v = db.version in
+              wait_for_change db ~reason:(Format.asprintf "commit(%a): group not ready" Tid.pp tid) v;
+              commit db tid
+            end
+            else begin
+              (* Every member is Committing and resolved: commit the
+                 group atomically. *)
+              let exc_losers =
+                List.concat_map (fun m -> Dep.exc_partners db.deps m) group
+                |> List.filter (fun p -> not (List.exists (Tid.equal p) group))
+              in
+              commit_group db group;
+              (* Committing one side of an exclusion forces the other to
+                 abort. *)
+              abort_many db
+                (List.filter (fun p -> not (is_terminated db p)) (List.sort_uniq Tid.compare exc_losers));
+              true
+            end)
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint and stats                                                *)
+
+let active_transactions db =
+  Hashtbl.fold (fun tid td acc -> if Status.active td.status then tid :: acc else acc) db.tds []
+
+let checkpoint db =
+  match active_transactions db with
+  | [] -> Ok (Asset_wal.Recovery.checkpoint db.log db.store)
+  | l -> Error l
+
+let version db = db.version
+let store db = db.store
+let log db = db.log
+let locks db = db.locks
+let deps db = db.deps
+let transaction_count db = Hashtbl.length db.tds
+
+(* Deadlock resolution hook for the scheduler: abort the youngest
+   member of a waits-for cycle.  Returns true when it made progress. *)
+let resolve_deadlock db () =
+  if not db.config.deadlock_detection then false
+  else
+    match Lock.find_cycle db.locks with
+    | Some (victim :: _ as cycle) ->
+        let youngest = List.fold_left (fun a b -> if Tid.compare a b >= 0 then a else b) victim cycle in
+        Logs.debug (fun m -> m "deadlock: aborting victim %a" Tid.pp youngest);
+        Asset_util.Stats.Counter.incr db.deadlock_victims;
+        ignore (abort db youngest);
+        true
+    | Some [] | None -> false
+
+(* Spawn an auxiliary fiber (e.g. a per-transaction committer in a
+   workload harness).  Not a transaction: [self] inside it is null. *)
+let spawn db ~label f = ignore (Sched.spawn (sched db) ~label f)
+
+(* Park the current fiber until every transaction in [tids] has
+   terminated. *)
+let await_terminated db tids =
+  Sched.wait_until ~reason:"await batch termination" (fun () ->
+      List.for_all (fun t -> Status.terminated (status db t)) tids)
+
+let attach_scheduler db s =
+  db.sched <- Some s;
+  Sched.set_on_stall s (resolve_deadlock db)
+
+let stats db =
+  [
+    ("commits", Asset_util.Stats.Counter.get db.commits);
+    ("aborts", Asset_util.Stats.Counter.get db.aborts);
+    ("group_commits", Asset_util.Stats.Counter.get db.group_commits);
+    ("lock_waits", Asset_util.Stats.Counter.get db.lock_waits);
+    ("commit_retries", Asset_util.Stats.Counter.get db.commit_retries);
+    ("deadlock_victims", Asset_util.Stats.Counter.get db.deadlock_victims);
+    ("reads", Asset_util.Stats.Counter.get db.reads);
+    ("writes", Asset_util.Stats.Counter.get db.writes);
+  ]
+  @ List.map (fun (k, v) -> ("lock." ^ k, v)) (Lock.stats db.locks)
+  @ List.map (fun (k, v) -> ("deps." ^ k, v)) (Dep.stats db.deps)
+
+let pp_stats ppf db =
+  List.iter (fun (k, v) -> Format.fprintf ppf "%-24s %d@." k v) (stats db)

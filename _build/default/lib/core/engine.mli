@@ -1,0 +1,191 @@
+(** The ASSET engine: the complete primitive set of section 2 over the
+    section-4 substrate (lock manager with permits, dependency graph,
+    before/after-image log, per-object latches, object store).
+
+    {2 Concurrency model}
+
+    Every transaction body runs in a cooperative fiber
+    ([Asset_sched.Scheduler]); a primitive that must block parks its
+    fiber and retries on the next engine state change — the literal
+    "blocks and retries later starting at step 1" of the paper's
+    algorithms.  All primitives must be called from inside
+    {!Runtime.run}: the application's main program is itself a fiber.
+
+    Unless a permit says otherwise, data operations follow strict
+    two-phase locking: locks are held until commit or abort.  Deadlocks
+    are detected on scheduler stalls and resolved by aborting the
+    youngest transaction in the waits-for cycle. *)
+
+module Tid = Asset_util.Id.Tid
+module Oid = Asset_util.Id.Oid
+module Value = Asset_storage.Value
+module Store = Asset_storage.Store
+
+exception Txn_aborted of Tid.t
+(** Raised inside a transaction body whose transaction has been aborted
+    (by itself, by dependency propagation, or as a deadlock victim);
+    unwinds the body back to the engine.  User code should normally let
+    it propagate. *)
+
+exception Not_in_transaction
+(** A data operation was invoked outside any transaction body. *)
+
+type t
+
+type config = {
+  max_transactions : int;  (** [initiate] returns the null tid beyond this. *)
+  deadlock_detection : bool;
+      (** Resolve lock deadlocks by aborting a victim; when off, a
+          deadlock surfaces as [Scheduler.Deadlock]. *)
+  use_latches : bool;  (** Latch objects around elementary operations. *)
+  dep_cycle_check : bool;
+      (** Reject commit-wait cycles in [form_dependency]. *)
+}
+
+val default_config : config
+
+val create : ?config:config -> ?log:Asset_wal.Log.t -> Store.t -> t
+(** An engine over [store]; [log] defaults to a fresh in-memory log
+    (pass a file-backed one for durability). *)
+
+(** {2 Basic primitives (section 2.1)} *)
+
+val initiate : ?parent:Tid.t -> t -> (unit -> unit) -> Tid.t
+(** Register a transaction that will execute the closure (the paper's
+    [initiate(f, args)]: arguments are captured by the closure).
+    [parent] defaults to the invoking transaction, or null at top
+    level.  Returns the null tid when [max_transactions] is reached.
+    The transaction does not start executing until {!begin_}. *)
+
+val begin_ : t -> Tid.t -> bool
+(** Start execution (spawns the body's fiber).  False when the
+    transaction is not in the initiated state or a begin-dependency
+    master aborted. *)
+
+val begin_many : t -> Tid.t list -> bool
+
+val commit : t -> Tid.t -> bool
+(** Commit, per section 4.2: blocks until the body completes, resolves
+    CD/AD/EXC dependencies (blocking as required), runs the GC
+    group-commit handshake, then atomically commits the group — commit
+    record forced, locks released, permits and dependency edges
+    dropped.  True when (already) committed; false when (already)
+    aborted. *)
+
+val wait : t -> Tid.t -> bool
+(** Block until the transaction completes; true once it has completed
+    (or committed), false if it aborted first. *)
+
+val abort : t -> Tid.t -> bool
+(** Abort, per section 4.2: undo from the log (physical before images;
+    logical deltas for increments — note that permit-based cooperating
+    updates are {e lost}, as the paper specifies), CLRs logged, locks
+    and permits dropped, AD/GC dependents aborted recursively.  True
+    unless the transaction had already committed.  Aborting the
+    invoking transaction itself raises {!Txn_aborted} to unwind its
+    body after the abort completes. *)
+
+val self : t -> Tid.t
+(** The invoking transaction's tid, or null outside a body. *)
+
+val parent : t -> Tid.t
+
+(** {2 New primitives (section 2.2)} *)
+
+val delegate : ?oids:Oid.t list -> t -> from_:Tid.t -> to_:Tid.t -> unit
+(** [delegate(t_i, t_j, ob_set)]: transfer responsibility for the
+    operations [from_] performed on [oids] (default: everything) to
+    [to_] — locks move (merging with [to_]'s), permits are re-granted
+    by [to_], logged updates are re-attributed for both abort and
+    recovery.  Both transactions must not have terminated; [to_] may
+    still be only initiated. *)
+
+val permit :
+  ?to_:Tid.t -> ?oids:Oid.t list -> ?ops:Asset_lock.Mode.Ops.t -> t -> from_:Tid.t -> unit
+(** [permit(t_i, t_j, ob_set, operations)] and its abbreviated forms:
+    omit [to_] to permit every transaction, [oids] to cover every
+    object [from_] has accessed or been permitted on, [ops] to permit
+    all operations.  Permission is transitive with operation-set
+    intersection (rule 3). *)
+
+val form_dependency : t -> Asset_deps.Dep_type.t -> Tid.t -> Tid.t -> bool
+(** [form_dependency ty t_i t_j] forms (ty, t_i, t_j); false when the
+    edge would create a commit-wait cycle. *)
+
+(** {2 Data operations} *)
+
+val lock : t -> Oid.t -> Asset_lock.Mode.t -> unit
+(** Acquire a lock (blocking) without touching the data — intent
+    declaration for layers like {!Workspace} that want to avoid later
+    upgrades. *)
+
+val read : t -> Oid.t -> Value.t option
+(** Read-lock (blocking), S-latch, read. *)
+
+val read_exn : t -> Oid.t -> Value.t
+
+val write : t -> Oid.t -> Value.t -> unit
+(** Write-lock (blocking), X-latch, log before/after images, write. *)
+
+val modify : t -> Oid.t -> (Value.t option -> Value.t) -> unit
+(** Read-modify-write (upgrades the lock). *)
+
+val increment : t -> Oid.t -> int -> unit
+(** A commuting increment (section-5 semantic concurrency): Increment
+    locks are mutually compatible, so concurrent incrementers never
+    block each other, and undo is logical — an abort preserves other
+    transactions' concurrent increments.  Creates a missing object at
+    the delta. *)
+
+(** {2 Savepoints}
+
+    Partial rollback inside a transaction, built on the same
+    before-image/CLR machinery as abort. *)
+
+type savepoint
+
+val savepoint : t -> savepoint
+(** Mark the invoking transaction's current update history.  Must be
+    called inside a transaction body. *)
+
+val rollback_to : t -> savepoint -> unit
+(** Undo (and CLR-log) every update the invoking transaction performed
+    after the savepoint; locks acquired since are retained.  Updates
+    delegated in after the savepoint but {e logged} before it are not
+    undone.  Raises [Invalid_argument] when the savepoint belongs to
+    another transaction. *)
+
+(** {2 Status queries} *)
+
+val status : t -> Tid.t -> Status.t
+val is_terminated : t -> Tid.t -> bool
+val is_aborted : t -> Tid.t -> bool
+val is_committed : t -> Tid.t -> bool
+val parent_of : t -> Tid.t -> Tid.t
+
+val failure_of : t -> Tid.t -> exn option
+(** The body exception that aborted the transaction, if any. *)
+
+(** {2 Harness support} *)
+
+val spawn : t -> label:string -> (unit -> unit) -> unit
+(** Spawn an auxiliary (non-transaction) fiber, e.g. a per-transaction
+    committer. *)
+
+val await_terminated : t -> Tid.t list -> unit
+(** Park until every listed transaction has terminated. *)
+
+val checkpoint : t -> (int, Tid.t list) result
+(** Quiescent checkpoint; [Error active] lists the transactions that
+    prevent it. *)
+
+val active_transactions : t -> Tid.t list
+val transaction_count : t -> int
+val version : t -> int
+val store : t -> Store.t
+val log : t -> Asset_wal.Log.t
+val locks : t -> Asset_lock.Lock_manager.t
+val deps : t -> Asset_deps.Dep_graph.t
+val attach_scheduler : t -> Asset_sched.Scheduler.t -> unit
+val stats : t -> (string * int) list
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+(* Transaction statuses, following the paper's vocabulary (section 2.1
+   and the TD discussion in section 4):
+
+   - a transaction that has been initiated but has not begun execution
+     is [Initiated];
+   - [Running] while executing its code;
+   - [Completed] when its code has finished but commit has not been
+     invoked (locks are retained, changes are not yet permanent);
+   - [Committing] / [Aborting] are the transient states of the section
+     4.2 commit and abort algorithms;
+   - [Committed] / [Aborted] are terminal ("terminated").
+
+   A transaction is *active* if it has begun executing and has not
+   terminated. *)
+
+type t = Initiated | Running | Completed | Committing | Committed | Aborting | Aborted
+
+let equal a b =
+  match (a, b) with
+  | Initiated, Initiated
+  | Running, Running
+  | Completed, Completed
+  | Committing, Committing
+  | Committed, Committed
+  | Aborting, Aborting
+  | Aborted, Aborted ->
+      true
+  | (Initiated | Running | Completed | Committing | Committed | Aborting | Aborted), _ -> false
+
+let terminated = function Committed | Aborted -> true | _ -> false
+let active = function Running | Completed | Committing | Aborting -> true | _ -> false
+
+let to_string = function
+  | Initiated -> "initiated"
+  | Running -> "running"
+  | Completed -> "completed"
+  | Committing -> "committing"
+  | Committed -> "committed"
+  | Aborting -> "aborting"
+  | Aborted -> "aborted"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,19 @@
+(** Transaction statuses, in the paper's vocabulary (section 2.1).
+
+    [Initiated] (registered, not begun) — [Running] — [Completed] (code
+    finished, locks retained, changes not yet permanent) —
+    [Committing]/[Aborting] (the transient states of the section-4.2
+    algorithms) — [Committed]/[Aborted] (terminated). *)
+
+type t = Initiated | Running | Completed | Committing | Committed | Aborting | Aborted
+
+val equal : t -> t -> bool
+
+val terminated : t -> bool
+(** Committed or aborted. *)
+
+val active : t -> bool
+(** Has begun executing and has not terminated. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

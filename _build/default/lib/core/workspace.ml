@@ -1,0 +1,115 @@
+(* Private workspaces: the paper's other EOS operating mode.
+
+   Section 4 opens: "We focus our discussion here on one mode of
+   operation in which the application operates directly on the objects
+   in a shared cache without first copying the object to its private
+   address space."  This module supplies the mode the paper set aside:
+   a transaction checks objects *out* into a private buffer, works on
+   the copies — no latches, no log records, no shared-cache traffic per
+   update — and checks the modified ones back *in* through the normal
+   write path (one logged update per dirty object, however many times
+   it was modified privately).
+
+   Locking is unchanged: check-out acquires the object's lock in the
+   intended mode, so two-phase locking and the permit machinery apply
+   exactly as in shared-cache mode; only the data movement differs.
+   The workspace belongs to the transaction that created it — its
+   private copies die with an abort (nothing was logged for them, so
+   there is nothing to undo beyond what check-in wrote). *)
+
+module Oid = Asset_util.Id.Oid
+module Value = Asset_storage.Value
+module Tid = Asset_util.Id.Tid
+
+type entry = { mutable value : Value.t option; mutable dirty : bool }
+
+type t = {
+  db : Engine.t;
+  owner : Tid.t;
+  copies : (Oid.t, entry) Hashtbl.t;
+}
+
+let create db =
+  let owner = Engine.self db in
+  if Tid.is_null owner then invalid_arg "Workspace.create: must be called inside a transaction";
+  { db; owner; copies = Hashtbl.create 16 }
+
+let owner t = t.owner
+
+let check_owner t =
+  if not (Tid.equal (Engine.self t.db) t.owner) then
+    invalid_arg "Workspace: used by a transaction other than its owner"
+
+(* Check an object out into the workspace, locking it in the intended
+   mode ([`Update] takes the write lock up front, avoiding a later
+   upgrade).  Re-checking-out an object is a no-op on the copy. *)
+let check_out ?(intent = `Read) t oid =
+  check_owner t;
+  if not (Hashtbl.mem t.copies oid) then begin
+    (match intent with
+    | `Read -> ()
+    | `Update -> Engine.lock t.db oid Asset_lock.Mode.Write);
+    let value = Engine.read t.db oid in
+    Hashtbl.replace t.copies oid { value; dirty = false }
+  end
+
+let checked_out t oid = Hashtbl.mem t.copies oid
+
+let get t oid =
+  check_owner t;
+  check_out t oid;
+  (Hashtbl.find t.copies oid).value
+
+let get_exn t oid =
+  match get t oid with
+  | Some v -> v
+  | None -> Fmt.invalid_arg "Workspace.get_exn: %a not found" Oid.pp oid
+
+(* Update the private copy only: no lock traffic, no log record. *)
+let set t oid value =
+  check_owner t;
+  check_out t oid;
+  let entry = Hashtbl.find t.copies oid in
+  entry.value <- Some value;
+  entry.dirty <- true
+
+let update t oid f =
+  check_owner t;
+  check_out t oid;
+  let entry = Hashtbl.find t.copies oid in
+  entry.value <- Some (f entry.value);
+  entry.dirty <- true
+
+let dirty_count t =
+  Hashtbl.fold (fun _ e acc -> if e.dirty then acc + 1 else acc) t.copies 0
+
+(* Write every dirty copy back through the engine (one logged update
+   each) and mark the workspace clean.  Clean copies are untouched. *)
+let check_in t =
+  check_owner t;
+  let written = ref 0 in
+  Hashtbl.iter
+    (fun oid entry ->
+      if entry.dirty then begin
+        (match entry.value with
+        | Some v -> Engine.write t.db oid v
+        | None -> ());
+        entry.dirty <- false;
+        incr written
+      end)
+    t.copies;
+  !written
+
+(* Drop the private copies without writing them back. *)
+let discard t =
+  check_owner t;
+  Hashtbl.reset t.copies
+
+(* Scoped form: create a workspace, run [f], check in on normal return
+   (the copies are discarded when [f] raises — the transaction is
+   presumably aborting anyway). *)
+let with_workspace db f =
+  let t = create db in
+  let result = f t in
+  ignore (check_in t);
+  result

@@ -1,0 +1,54 @@
+(** Private workspaces: the EOS operating mode the paper set aside
+    ("without first copying the object to its private address space" —
+    this module is the {e with}-copying mode).
+
+    A transaction checks objects out into a private buffer, works on
+    the copies (no latches or log records per update), and checks dirty
+    copies back in through the normal write path — one logged update
+    per object however many private modifications were made.  Locking
+    is unchanged: check-out acquires the object's lock, so 2PL and
+    permits apply exactly as in shared-cache mode.
+
+    A workspace belongs to the transaction that created it; use by any
+    other transaction raises [Invalid_argument]. *)
+
+module Oid = Asset_util.Id.Oid
+module Value = Asset_storage.Value
+
+type t
+
+val create : Engine.t -> t
+(** Must be called inside a transaction body. *)
+
+val owner : t -> Asset_util.Id.Tid.t
+
+val check_out : ?intent:[ `Read | `Update ] -> t -> Oid.t -> unit
+(** Copy the object into the workspace, locking it in the intended
+    mode ([`Update] takes the write lock up front, avoiding a later
+    upgrade).  Idempotent on the copy. *)
+
+val checked_out : t -> Oid.t -> bool
+
+val get : t -> Oid.t -> Value.t option
+(** The private copy (checking out with read intent if needed). *)
+
+val get_exn : t -> Oid.t -> Value.t
+
+val set : t -> Oid.t -> Value.t -> unit
+(** Update the private copy only; no lock traffic beyond check-out, no
+    log record until check-in. *)
+
+val update : t -> Oid.t -> (Value.t option -> Value.t) -> unit
+
+val dirty_count : t -> int
+
+val check_in : t -> int
+(** Write every dirty copy back through the engine (one logged update
+    each); returns how many. *)
+
+val discard : t -> unit
+(** Drop the private copies without writing them back. *)
+
+val with_workspace : Engine.t -> (t -> 'a) -> 'a
+(** Create, run, check in on normal return (copies are simply dropped
+    when the function raises — the transaction is aborting anyway). *)

@@ -1,0 +1,1 @@
+lib/deps/dep_graph.ml: Asset_util Dep_type Format Hashtbl List

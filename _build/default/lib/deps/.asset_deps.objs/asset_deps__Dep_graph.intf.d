@@ -1,0 +1,1 @@
+lib/deps/dep_graph.mli: Asset_util Dep_type Format

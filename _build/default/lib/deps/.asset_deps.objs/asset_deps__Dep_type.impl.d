@@ -1,0 +1,1 @@
+lib/deps/dep_type.ml: Format

@@ -1,0 +1,39 @@
+(* Dependency types.
+
+   The paper's form_dependency supports "many types of dependency" from
+   the ACTA framework and spells out the three most frequent ones:
+
+   - CD (commit dependency): if both commit, t_j cannot commit before
+     t_i commits; if t_i aborts, t_j may still commit.
+   - AD (abort dependency): if t_i aborts, t_j must abort.  AD covers
+     CD ("an abort dependency implies a commit dependency").
+   - GC (group commit): either both commit or neither does.
+
+   Two further ACTA-inspired types are provided as extensions (marked
+   so in DESIGN.md; the model library uses them where they give a
+   declarative formulation of a Section-3 construction):
+
+   - BD (begin-on-commit dependency): t_j cannot begin executing until
+     t_i commits; if t_i aborts, t_j cannot begin at all.
+   - EXC (exclusion): at most one of t_i, t_j commits — committing one
+     forces the other to abort.  Contingent transactions (section
+     3.1.3) are exclusion groups with a preference order. *)
+
+type t = CD | AD | GC | BD | EXC
+
+let equal a b =
+  match (a, b) with
+  | CD, CD | AD, AD | GC, GC | BD, BD | EXC, EXC -> true
+  | (CD | AD | GC | BD | EXC), _ -> false
+
+let is_extension = function BD | EXC -> true | CD | AD | GC -> false
+
+(* Dependency types whose resolution makes the dependent's commit wait
+   for the depended-on transaction to terminate; these edges form the
+   graph on which form_dependency's cycle check runs (a CD/AD cycle
+   would block every participant forever, whereas a GC cycle just means
+   group commit). *)
+let blocks_commit = function CD | AD -> true | GC | BD | EXC -> false
+
+let to_string = function CD -> "CD" | AD -> "AD" | GC -> "GC" | BD -> "BD" | EXC -> "EXC"
+let pp ppf t = Format.pp_print_string ppf (to_string t)

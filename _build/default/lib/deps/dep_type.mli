@@ -1,0 +1,30 @@
+(** Dependency types for [form_dependency].
+
+    The paper's three: CD (commit dependency), AD (abort dependency,
+    which covers CD), GC (group commit).  Two ACTA-inspired extensions:
+    BD (begin-on-commit) and EXC (exclusion — at most one of the pair
+    commits; contingent transactions are exclusion groups with a
+    preference order). *)
+
+type t =
+  | CD  (** If both commit, the dependent cannot commit before the
+            master; a master abort does not doom the dependent. *)
+  | AD  (** If the master aborts, the dependent must abort. *)
+  | GC  (** Either both commit or neither does. *)
+  | BD  (** Extension: the dependent cannot begin until the master
+            commits; a master abort means it never begins. *)
+  | EXC  (** Extension: committing either side force-aborts the
+             other. *)
+
+val equal : t -> t -> bool
+
+val is_extension : t -> bool
+(** True for the non-paper types (BD, EXC). *)
+
+val blocks_commit : t -> bool
+(** Whether resolution makes the dependent's commit wait for the master
+    to terminate; these edges form the subgraph on which the
+    form_dependency cycle check runs. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

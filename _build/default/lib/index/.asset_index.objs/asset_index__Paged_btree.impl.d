@@ -1,0 +1,1 @@
+lib/index/paged_btree.ml: Asset_storage Bytes Char Int32 Int64 List

@@ -1,0 +1,311 @@
+(* An in-memory B+tree: ordered int keys to ['a] values.
+
+   EOS provides indexes over its object collections; this is the
+   corresponding substrate here, used by [Asset_core.Collection] to
+   give named collections ordered, range-scannable membership.  Keys
+   live only in the leaves (classic B+tree); internal nodes hold
+   separators, and leaves are chained for range scans.
+
+   The tree is volatile — collections rebuild their index from the
+   transactional membership objects at open — so no paging or logging
+   is needed at this layer.  Invariants (checked by [validate], used in
+   tests):
+
+   - every node except the root has between [min_keys] and
+     [2 * min_keys] keys; the root has between 1 and [2 * min_keys];
+   - all leaves are at the same depth;
+   - keys are strictly increasing left to right, and each internal
+     separator is >= every key in its left subtree and < every key in
+     its right subtree. *)
+
+type 'a leaf = { mutable keys : int array; mutable values : 'a array; mutable next : 'a node option }
+and 'a internal = { mutable seps : int array; mutable children : 'a node array }
+and 'a node = Leaf of 'a leaf | Internal of 'a internal
+
+type 'a t = { mutable root : 'a node; min_keys : int; mutable size : int }
+
+let create ?(min_keys = 8) () =
+  if min_keys < 2 then invalid_arg "Btree.create: min_keys must be >= 2";
+  { root = Leaf { keys = [||]; values = [||]; next = None }; min_keys; size = 0 }
+
+let size t = t.size
+let max_keys t = 2 * t.min_keys
+
+(* Index of the child to follow for [key] in an internal node: the
+   first separator greater than [key]. *)
+let child_index keys key =
+  let n = Array.length keys in
+  let rec loop i = if i >= n || key < keys.(i) then i else loop (i + 1) in
+  loop 0
+
+(* Position of [key] in a sorted array, or the insertion point. *)
+let search keys key =
+  let n = Array.length keys in
+  let rec loop lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if keys.(mid) < key then loop (mid + 1) hi else loop lo mid
+  in
+  loop 0 n
+
+let array_insert arr i x =
+  let n = Array.length arr in
+  Array.init (n + 1) (fun j -> if j < i then arr.(j) else if j = i then x else arr.(j - 1))
+
+let array_remove arr i =
+  let n = Array.length arr in
+  Array.init (n - 1) (fun j -> if j < i then arr.(j) else arr.(j + 1))
+
+let find t key =
+  let rec go node =
+    match node with
+    | Leaf l ->
+        let i = search l.keys key in
+        if i < Array.length l.keys && l.keys.(i) = key then Some l.values.(i) else None
+    | Internal n -> go n.children.(child_index n.seps key)
+  in
+  go t.root
+
+let mem t key = find t key <> None
+
+(* Insertion: returns [Some (separator, right_sibling)] when the child
+   split and the parent must add a new entry. *)
+let rec insert_node t node key value =
+  match node with
+  | Leaf l ->
+      let i = search l.keys key in
+      if i < Array.length l.keys && l.keys.(i) = key then begin
+        l.values.(i) <- value;
+        None
+      end
+      else begin
+        l.keys <- array_insert l.keys i key;
+        l.values <- array_insert l.values i value;
+        t.size <- t.size + 1;
+        if Array.length l.keys <= max_keys t then None
+        else begin
+          (* Split the leaf in half; the separator is the first key of
+             the right half (which stays in the leaf — B+tree). *)
+          let n = Array.length l.keys in
+          let mid = n / 2 in
+          let right =
+            Leaf
+              {
+                keys = Array.sub l.keys mid (n - mid);
+                values = Array.sub l.values mid (n - mid);
+                next = l.next;
+              }
+          in
+          let sep = l.keys.(mid) in
+          l.keys <- Array.sub l.keys 0 mid;
+          l.values <- Array.sub l.values 0 mid;
+          l.next <- Some right;
+          Some (sep, right)
+        end
+      end
+  | Internal n -> (
+      let ci = child_index n.seps key in
+      match insert_node t n.children.(ci) key value with
+      | None -> None
+      | Some (sep, right) ->
+          n.seps <- array_insert n.seps ci sep;
+          n.children <- array_insert n.children (ci + 1) right;
+          if Array.length n.seps <= max_keys t then None
+          else begin
+            (* Split the internal node; the middle separator moves up. *)
+            let k = Array.length n.seps in
+            let mid = k / 2 in
+            let up = n.seps.(mid) in
+            let right =
+              Internal
+                {
+                  seps = Array.sub n.seps (mid + 1) (k - mid - 1);
+                  children = Array.sub n.children (mid + 1) (k - mid);
+                }
+            in
+            n.seps <- Array.sub n.seps 0 mid;
+            n.children <- Array.sub n.children 0 (mid + 1);
+            Some (up, right)
+          end)
+
+let insert t key value =
+  match insert_node t t.root key value with
+  | None -> ()
+  | Some (sep, right) ->
+      t.root <- Internal { seps = [| sep |]; children = [| t.root; right |] }
+
+(* Deletion with rebalancing (borrow from a sibling, else merge). *)
+let node_keys = function Leaf l -> l.keys | Internal n -> n.seps
+let underflowing t node = Array.length (node_keys node) < t.min_keys
+
+let rec delete_node t node key =
+  match node with
+  | Leaf l ->
+      let i = search l.keys key in
+      if i < Array.length l.keys && l.keys.(i) = key then begin
+        l.keys <- array_remove l.keys i;
+        l.values <- array_remove l.values i;
+        t.size <- t.size - 1;
+        true
+      end
+      else false
+  | Internal n ->
+      let ci = child_index n.seps key in
+      let removed = delete_node t n.children.(ci) key in
+      if removed && underflowing t n.children.(ci) then rebalance t n ci;
+      removed
+
+and rebalance t parent ci =
+  let child = parent.children.(ci) in
+  let left_sibling = if ci > 0 then Some (ci - 1) else None in
+  let right_sibling = if ci + 1 < Array.length parent.children then Some (ci + 1) else None in
+  let can_lend i =
+    Array.length (node_keys parent.children.(i)) > t.min_keys
+  in
+  match (left_sibling, right_sibling) with
+  | Some li, _ when can_lend li -> borrow_from_left parent li ci child
+  | _, Some ri when can_lend ri -> borrow_from_right parent ci ri child
+  | Some li, _ -> merge parent li ci
+  | _, Some ri -> merge parent ci ri
+  | None, None -> () (* root child: handled by the caller of delete *)
+
+and borrow_from_left parent li _ci child =
+  match (parent.children.(li), child) with
+  | Leaf left, Leaf right ->
+      let n = Array.length left.keys in
+      let k = left.keys.(n - 1) and v = left.values.(n - 1) in
+      left.keys <- Array.sub left.keys 0 (n - 1);
+      left.values <- Array.sub left.values 0 (n - 1);
+      right.keys <- array_insert right.keys 0 k;
+      right.values <- array_insert right.values 0 v;
+      parent.seps.(li) <- k
+  | Internal left, Internal right ->
+      let n = Array.length left.seps in
+      let sep = parent.seps.(li) in
+      parent.seps.(li) <- left.seps.(n - 1);
+      right.seps <- array_insert right.seps 0 sep;
+      right.children <- array_insert right.children 0 left.children.(n);
+      left.seps <- Array.sub left.seps 0 (n - 1);
+      left.children <- Array.sub left.children 0 n
+  | _ -> assert false (* siblings are at the same level *)
+
+and borrow_from_right parent ci ri child =
+  match (child, parent.children.(ri)) with
+  | Leaf left, Leaf right ->
+      let k = right.keys.(0) and v = right.values.(0) in
+      right.keys <- array_remove right.keys 0;
+      right.values <- array_remove right.values 0;
+      left.keys <- array_insert left.keys (Array.length left.keys) k;
+      left.values <- array_insert left.values (Array.length left.values) v;
+      parent.seps.(ci) <- right.keys.(0)
+  | Internal left, Internal right ->
+      let sep = parent.seps.(ci) in
+      parent.seps.(ci) <- right.seps.(0);
+      left.seps <- array_insert left.seps (Array.length left.seps) sep;
+      left.children <- array_insert left.children (Array.length left.children) right.children.(0);
+      right.seps <- array_remove right.seps 0;
+      right.children <- array_remove right.children 0
+  | _ -> assert false
+
+and merge parent li ri =
+  (* Merge children li and ri (adjacent, li < ri) into li. *)
+  (match (parent.children.(li), parent.children.(ri)) with
+  | Leaf left, Leaf right ->
+      left.keys <- Array.append left.keys right.keys;
+      left.values <- Array.append left.values right.values;
+      left.next <- right.next
+  | Internal left, Internal right ->
+      left.seps <- Array.concat [ left.seps; [| parent.seps.(li) |]; right.seps ];
+      left.children <- Array.append left.children right.children
+  | _ -> assert false);
+  parent.seps <- array_remove parent.seps li;
+  parent.children <- array_remove parent.children ri
+
+let delete t key =
+  let removed = delete_node t t.root key in
+  (* Collapse a root that lost all separators. *)
+  (match t.root with
+  | Internal n when Array.length n.seps = 0 -> t.root <- n.children.(0)
+  | _ -> ());
+  removed
+
+(* Leftmost leaf, for scans. *)
+let rec leftmost = function
+  | Leaf _ as l -> l
+  | Internal n -> leftmost n.children.(0)
+
+let iter t f =
+  let rec walk = function
+    | None -> ()
+    | Some (Leaf l) ->
+        Array.iteri (fun i k -> f k l.values.(i)) l.keys;
+        walk (match l.next with None -> None | Some next -> Some next)
+    | Some (Internal _) -> assert false
+  in
+  walk (Some (leftmost t.root))
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun k v -> acc := (k, v) :: !acc);
+  List.rev !acc
+
+(* Range scan over [lo, hi] inclusive. *)
+let range t ~lo ~hi f =
+  let rec find_leaf node =
+    match node with Leaf _ as l -> l | Internal n -> find_leaf n.children.(child_index n.seps lo)
+  in
+  let rec walk = function
+    | None -> ()
+    | Some (Leaf l) ->
+        let stop = ref false in
+        Array.iteri
+          (fun i k -> if k >= lo && k <= hi then f k l.values.(i) else if k > hi then stop := true)
+          l.keys;
+        if not !stop then walk (Option.map (fun n -> n) l.next)
+    | Some (Internal _) -> assert false
+  in
+  walk (Some (find_leaf t.root))
+
+let min_binding t =
+  match leftmost t.root with
+  | Leaf l when Array.length l.keys > 0 -> Some (l.keys.(0), l.values.(0))
+  | _ -> None
+
+(* Structural invariant check; returns an error description or None. *)
+let validate t =
+  let exception Bad of string in
+  let rec depth = function Leaf _ -> 0 | Internal n -> 1 + depth n.children.(0) in
+  let d = depth t.root in
+  let check_sorted keys =
+    Array.iteri (fun i k -> if i > 0 && keys.(i - 1) >= k then raise (Bad "keys not sorted")) keys
+  in
+  let rec go node ~is_root ~level ~lo ~hi =
+    let keys = node_keys node in
+    check_sorted keys;
+    Array.iter
+      (fun k ->
+        (match lo with Some l when k < l -> raise (Bad "key below bound") | _ -> ());
+        match hi with Some h when k >= h -> raise (Bad "key above bound") | _ -> ())
+      keys;
+    let nk = Array.length keys in
+    if (not is_root) && nk < t.min_keys then raise (Bad "underfull node");
+    if nk > max_keys t then raise (Bad "overfull node");
+    match node with
+    | Leaf _ -> if level <> d then raise (Bad "leaves at different depths")
+    | Internal n ->
+        if Array.length n.children <> nk + 1 then raise (Bad "children/keys mismatch");
+        Array.iteri
+          (fun i child ->
+            let lo' = if i = 0 then lo else Some keys.(i - 1) in
+            let hi' = if i = nk then hi else Some keys.(i) in
+            go child ~is_root:false ~level:(level + 1) ~lo:lo' ~hi:hi')
+          n.children
+  in
+  match go t.root ~is_root:true ~level:0 ~lo:None ~hi:None with
+  | () ->
+      (* Size consistency. *)
+      let n = ref 0 in
+      iter t (fun _ _ -> incr n);
+      if !n <> t.size then Some "size mismatch" else None
+  | exception Bad msg -> Some msg

@@ -1,0 +1,38 @@
+(** An in-memory B+tree: ordered int keys to ['a] values.
+
+    Keys live only in the leaves; internal nodes hold separators, and
+    leaves are chained for range scans.  Used by
+    [Asset_core.Collection] for ordered membership, and directly
+    testable against a map model ([validate] checks the structural
+    invariants). *)
+
+type 'a t
+
+val create : ?min_keys:int -> unit -> 'a t
+(** Every node except the root keeps between [min_keys] (default 8, at
+    least 2) and [2 * min_keys] keys. *)
+
+val size : 'a t -> int
+val find : 'a t -> int -> 'a option
+val mem : 'a t -> int -> bool
+
+val insert : 'a t -> int -> 'a -> unit
+(** Inserting an existing key overwrites its value. *)
+
+val delete : 'a t -> int -> bool
+(** False when the key was absent.  Rebalances by borrowing from or
+    merging with siblings. *)
+
+val iter : 'a t -> (int -> 'a -> unit) -> unit
+(** In ascending key order, via the leaf chain. *)
+
+val to_list : 'a t -> (int * 'a) list
+
+val range : 'a t -> lo:int -> hi:int -> (int -> 'a -> unit) -> unit
+(** Visit bindings with [lo <= key <= hi] in ascending order. *)
+
+val min_binding : 'a t -> (int * 'a) option
+
+val validate : 'a t -> string option
+(** [None] when every invariant holds; otherwise a description of the
+    violation.  Test support. *)

@@ -1,0 +1,396 @@
+(* A persistent B+tree: fixed-size pages behind the buffer pool,
+   int keys to int values.
+
+   This is the durable counterpart of [Btree] — the index structure an
+   EOS-style storage manager keeps on disk.  Layout (little-endian):
+
+   page 1 (meta):   magic "ABTREE1\000", u32 root page id, u64 entry count
+   node pages:
+     offset 0       u8   node kind (1 = leaf, 2 = internal)
+     offset 1       u16  number of keys
+     leaf:
+       offset 3     u32  next-leaf page id (0 = none)
+       offset 8     entries: key u64, value u64        (16 bytes each)
+     internal:
+       offset 8     u32  child0
+       offset 12    entries: key u64, child u32        (12 bytes each)
+
+   Splits propagate upward as in the in-memory tree.  Deletion removes
+   the key from its leaf and *defers rebalancing*: underfull (even
+   empty) nodes are tolerated and reclaimed only by [compact]-style
+   rebuilds — a common production trade-off, documented here and
+   honoured by the tests.  All access goes through the buffer pool, so
+   a [flush] makes the tree durable and [open_existing] recovers it by
+   reading the meta page. *)
+
+let magic = "ABTREE1\000"
+
+type t = {
+  pager : Asset_storage.Pager.t;
+  pool : Asset_storage.Buffer_pool.t;
+  mutable root : int; (* page id *)
+  mutable count : int;
+  meta_page : int;
+}
+
+module Pool = Asset_storage.Buffer_pool
+module Pager = Asset_storage.Pager
+
+let leaf_kind = 1
+let internal_kind = 2
+
+(* Capacities reserve one slack entry: the insert path lets a node go
+   one entry over capacity before splitting it, and that transient
+   state must still fit in the page. *)
+let leaf_capacity t = ((Pager.page_size t.pager - 8) / 16) - 1
+let internal_capacity t = ((Pager.page_size t.pager - 12) / 12) - 1
+
+(* ------------------------------------------------------------------ *)
+(* Raw node accessors (operate on pinned frame bytes)                  *)
+
+let kind b = Char.code (Bytes.get b 0)
+let set_kind b k = Bytes.set b 0 (Char.chr k)
+let nkeys b = Bytes.get_uint16_le b 1
+let set_nkeys b n = Bytes.set_uint16_le b 1 n
+
+(* Leaf accessors *)
+let leaf_next b = Int32.to_int (Bytes.get_int32_le b 3)
+let set_leaf_next b p = Bytes.set_int32_le b 3 (Int32.of_int p)
+let leaf_key b i = Int64.to_int (Bytes.get_int64_le b (8 + (i * 16)))
+let leaf_value b i = Int64.to_int (Bytes.get_int64_le b (8 + (i * 16) + 8))
+
+let set_leaf_entry b i ~key ~value =
+  Bytes.set_int64_le b (8 + (i * 16)) (Int64.of_int key);
+  Bytes.set_int64_le b (8 + (i * 16) + 8) (Int64.of_int value)
+
+(* Internal accessors: child i is left of key i; child nkeys is the
+   rightmost. *)
+let internal_child b i =
+  if i = 0 then Int32.to_int (Bytes.get_int32_le b 8)
+  else Int32.to_int (Bytes.get_int32_le b (12 + ((i - 1) * 12) + 8))
+
+let set_internal_child b i p =
+  if i = 0 then Bytes.set_int32_le b 8 (Int32.of_int p)
+  else Bytes.set_int32_le b (12 + ((i - 1) * 12) + 8) (Int32.of_int p)
+
+let internal_key b i = Int64.to_int (Bytes.get_int64_le b (12 + (i * 12)))
+let set_internal_key b i k = Bytes.set_int64_le b (12 + (i * 12)) (Int64.of_int k)
+
+(* ------------------------------------------------------------------ *)
+(* Meta page                                                           *)
+
+let write_meta t =
+  Pool.with_page t.pool t.meta_page (fun f ->
+      let b = f.Pool.bytes in
+      Bytes.blit_string magic 0 b 0 8;
+      Bytes.set_int32_le b 8 (Int32.of_int t.root);
+      Bytes.set_int64_le b 12 (Int64.of_int t.count);
+      Pool.mark_dirty f)
+
+let init_leaf t page_id ~next =
+  Pool.with_page t.pool page_id (fun f ->
+      let b = f.Pool.bytes in
+      Bytes.fill b 0 (Bytes.length b) '\000';
+      set_kind b leaf_kind;
+      set_nkeys b 0;
+      set_leaf_next b next;
+      Pool.mark_dirty f)
+
+let create ?page_size ?pool_capacity path =
+  let pager = Pager.create ?page_size path in
+  let pool = Pool.create ?capacity:pool_capacity pager in
+  let meta_page = Pager.alloc_page pager in
+  let root = Pager.alloc_page pager in
+  let t = { pager; pool; root; count = 0; meta_page } in
+  init_leaf t root ~next:0;
+  write_meta t;
+  t
+
+let open_existing ?pool_capacity path =
+  let pager = Pager.open_existing path in
+  let pool = Pool.create ?capacity:pool_capacity pager in
+  let meta_page = 1 in
+  let root, count =
+    Pool.with_page pool meta_page (fun f ->
+        let b = f.Pool.bytes in
+        if Bytes.sub_string b 0 8 <> magic then
+          invalid_arg "Paged_btree.open_existing: not a btree file";
+        (Int32.to_int (Bytes.get_int32_le b 8), Int64.to_int (Bytes.get_int64_le b 12)))
+  in
+  { pager; pool; root; count; meta_page }
+
+let size t = t.count
+let flush t = write_meta t; Pool.flush_all t.pool
+let close t = flush t; Pager.close t.pager
+
+(* ------------------------------------------------------------------ *)
+(* Search                                                              *)
+
+(* First index whose key is >= [key] (leaf) / child to follow
+   (internal). *)
+let leaf_position b key =
+  let n = nkeys b in
+  let rec loop lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if leaf_key b mid < key then loop (mid + 1) hi else loop lo mid
+  in
+  loop 0 n
+
+let internal_position b key =
+  let n = nkeys b in
+  let rec loop i = if i >= n || key < internal_key b i then i else loop (i + 1) in
+  loop 0
+
+let rec find_in t page_id key =
+  Pool.with_page t.pool page_id (fun f ->
+      let b = f.Pool.bytes in
+      if kind b = leaf_kind then begin
+        let i = leaf_position b key in
+        if i < nkeys b && leaf_key b i = key then Some (leaf_value b i) else None
+      end
+      else find_in t (internal_child b (internal_position b key)) key)
+
+let find t key = find_in t t.root key
+let mem t key = find t key <> None
+
+(* ------------------------------------------------------------------ *)
+(* Insert                                                              *)
+
+(* Shift leaf entries right from [i] to open a slot. *)
+let leaf_open_slot b i =
+  let n = nkeys b in
+  Bytes.blit b (8 + (i * 16)) b (8 + ((i + 1) * 16)) ((n - i) * 16);
+  set_nkeys b (n + 1)
+
+let internal_open_slot b i =
+  (* Opens key slot i and child slot i+1. *)
+  let n = nkeys b in
+  Bytes.blit b (12 + (i * 12)) b (12 + ((i + 1) * 12)) ((n - i) * 12);
+  set_nkeys b (n + 1)
+
+(* Returns [Some (separator, new_right_page)] when the node split. *)
+let rec insert_in t page_id key value =
+  let result =
+    Pool.with_page t.pool page_id (fun f ->
+        let b = f.Pool.bytes in
+        if kind b = leaf_kind then begin
+          let i = leaf_position b key in
+          if i < nkeys b && leaf_key b i = key then begin
+            set_leaf_entry b i ~key ~value;
+            Pool.mark_dirty f;
+            `Done
+          end
+          else begin
+            leaf_open_slot b i;
+            set_leaf_entry b i ~key ~value;
+            t.count <- t.count + 1;
+            Pool.mark_dirty f;
+            if nkeys b <= leaf_capacity t then `Done else `Split_leaf
+          end
+        end
+        else `Descend (internal_child b (internal_position b key)))
+  in
+  match result with
+  | `Done -> None
+  | `Descend child -> (
+      match insert_in t child key value with
+      | None -> None
+      | Some (sep, right_page) ->
+          (* Insert (sep, right_page) into this internal node. *)
+          let split =
+            Pool.with_page t.pool page_id (fun f ->
+                let b = f.Pool.bytes in
+                let i = internal_position b sep in
+                internal_open_slot b i;
+                set_internal_key b i sep;
+                set_internal_child b (i + 1) right_page;
+                Pool.mark_dirty f;
+                nkeys b > internal_capacity t)
+          in
+          if not split then None else Some (split_internal t page_id))
+  | `Split_leaf -> Some (split_leaf t page_id)
+
+and split_leaf t page_id =
+  let right_page = Pager.alloc_page t.pager in
+  init_leaf t right_page ~next:0;
+  Pool.with_page t.pool page_id (fun lf ->
+      Pool.with_page t.pool right_page (fun rf ->
+          let lb = lf.Pool.bytes and rb = rf.Pool.bytes in
+          let n = nkeys lb in
+          let mid = n / 2 in
+          Bytes.blit lb (8 + (mid * 16)) rb 8 ((n - mid) * 16);
+          set_nkeys rb (n - mid);
+          set_nkeys lb mid;
+          set_leaf_next rb (leaf_next lb);
+          set_leaf_next lb right_page;
+          Pool.mark_dirty lf;
+          Pool.mark_dirty rf;
+          (leaf_key rb 0, right_page)))
+
+and split_internal t page_id =
+  let right_page = Pager.alloc_page t.pager in
+  Pool.with_page t.pool page_id (fun lf ->
+      Pool.with_page t.pool right_page (fun rf ->
+          let lb = lf.Pool.bytes and rb = rf.Pool.bytes in
+          Bytes.fill rb 0 (Bytes.length rb) '\000';
+          set_kind rb internal_kind;
+          let n = nkeys lb in
+          let mid = n / 2 in
+          let up = internal_key lb mid in
+          (* Right gets keys mid+1 .. n-1 and children mid+1 .. n. *)
+          set_internal_child rb 0 (internal_child lb (mid + 1));
+          for j = mid + 1 to n - 1 do
+            let i = j - mid - 1 in
+            set_internal_key rb i (internal_key lb j);
+            set_internal_child rb (i + 1) (internal_child lb (j + 1))
+          done;
+          set_nkeys rb (n - mid - 1);
+          set_nkeys lb mid;
+          Pool.mark_dirty lf;
+          Pool.mark_dirty rf;
+          (up, right_page)))
+
+let insert t key value =
+  match insert_in t t.root key value with
+  | None -> ()
+  | Some (sep, right_page) ->
+      (* Grow a new root. *)
+      let new_root = Pager.alloc_page t.pager in
+      Pool.with_page t.pool new_root (fun f ->
+          let b = f.Pool.bytes in
+          Bytes.fill b 0 (Bytes.length b) '\000';
+          set_kind b internal_kind;
+          set_nkeys b 1;
+          set_internal_child b 0 t.root;
+          set_internal_key b 0 sep;
+          set_internal_child b 1 right_page;
+          Pool.mark_dirty f);
+      t.root <- new_root
+
+(* ------------------------------------------------------------------ *)
+(* Delete (leaf removal; rebalancing deferred, see header)             *)
+
+let rec delete_in t page_id key =
+  let result =
+    Pool.with_page t.pool page_id (fun f ->
+        let b = f.Pool.bytes in
+        if kind b = leaf_kind then begin
+          let i = leaf_position b key in
+          if i < nkeys b && leaf_key b i = key then begin
+            let n = nkeys b in
+            Bytes.blit b (8 + ((i + 1) * 16)) b (8 + (i * 16)) ((n - i - 1) * 16);
+            set_nkeys b (n - 1);
+            t.count <- t.count - 1;
+            Pool.mark_dirty f;
+            `Removed
+          end
+          else `Absent
+        end
+        else `Descend (internal_child b (internal_position b key)))
+  in
+  match result with
+  | `Removed -> true
+  | `Absent -> false
+  | `Descend child -> delete_in t child key
+
+let delete t key = delete_in t t.root key
+
+(* ------------------------------------------------------------------ *)
+(* Scans                                                               *)
+
+let rec leftmost_leaf t page_id =
+  Pool.with_page t.pool page_id (fun f ->
+      let b = f.Pool.bytes in
+      if kind b = leaf_kind then page_id else leftmost_leaf t (internal_child b 0))
+
+let rec find_leaf_for t page_id key =
+  Pool.with_page t.pool page_id (fun f ->
+      let b = f.Pool.bytes in
+      if kind b = leaf_kind then page_id
+      else find_leaf_for t (internal_child b (internal_position b key)) key)
+
+let iter t f =
+  let rec walk page_id =
+    if page_id <> 0 then begin
+      let next =
+        Pool.with_page t.pool page_id (fun fr ->
+            let b = fr.Pool.bytes in
+            for i = 0 to nkeys b - 1 do
+              f (leaf_key b i) (leaf_value b i)
+            done;
+            leaf_next b)
+      in
+      walk next
+    end
+  in
+  walk (leftmost_leaf t t.root)
+
+let range t ~lo ~hi f =
+  let rec walk page_id =
+    if page_id <> 0 then begin
+      let next, stop =
+        Pool.with_page t.pool page_id (fun fr ->
+            let b = fr.Pool.bytes in
+            let stop = ref false in
+            for i = 0 to nkeys b - 1 do
+              let k = leaf_key b i in
+              if k > hi then stop := true else if k >= lo then f k (leaf_value b i)
+            done;
+            (leaf_next b, !stop))
+      in
+      if not stop then walk next
+    end
+  in
+  walk (find_leaf_for t t.root lo)
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun k v -> acc := (k, v) :: !acc);
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Validation (tests)                                                  *)
+
+let validate t =
+  let exception Bad of string in
+  (* Keys ascend globally along the leaf chain; count matches; every
+     internal separator bounds its subtrees. *)
+  let rec check page_id ~lo ~hi =
+    Pool.with_page t.pool page_id (fun f ->
+        let b = f.Pool.bytes in
+        let n = nkeys b in
+        if kind b = leaf_kind then
+          for i = 0 to n - 1 do
+            let k = leaf_key b i in
+            if i > 0 && leaf_key b (i - 1) >= k then raise (Bad "leaf keys not sorted");
+            (match lo with Some l when k < l -> raise (Bad "leaf key below bound") | _ -> ());
+            match hi with Some h when k >= h -> raise (Bad "leaf key above bound") | _ -> ()
+          done
+        else begin
+          if n = 0 then raise (Bad "empty internal node");
+          for i = 0 to n - 1 do
+            let k = internal_key b i in
+            if i > 0 && internal_key b (i - 1) >= k then raise (Bad "separators not sorted")
+          done;
+          for i = 0 to n do
+            let lo' = if i = 0 then lo else Some (internal_key b (i - 1)) in
+            let hi' = if i = n then hi else Some (internal_key b i) in
+            check (internal_child b i) ~lo:lo' ~hi:hi'
+          done
+        end)
+  in
+  match check t.root ~lo:None ~hi:None with
+  | () ->
+      let n = ref 0 in
+      let last = ref min_int in
+      let ordered = ref true in
+      iter t (fun k _ ->
+          if k <= !last then ordered := false;
+          last := k;
+          incr n);
+      if not !ordered then Some "leaf chain out of order"
+      else if !n <> t.count then Some "count mismatch"
+      else None
+  | exception Bad msg -> Some msg

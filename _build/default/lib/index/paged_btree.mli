@@ -1,0 +1,36 @@
+(** A persistent B+tree over the pager/buffer-pool: int keys to int
+    values — the durable index an EOS-style storage manager keeps on
+    disk.
+
+    Inserts split pages upward; deletion removes the key from its leaf
+    and {e defers rebalancing} (underfull nodes are tolerated — a
+    documented production trade-off).  All access goes through the
+    buffer pool; {!flush} makes the tree durable, {!open_existing}
+    recovers it from the meta page. *)
+
+type t
+
+val create : ?page_size:int -> ?pool_capacity:int -> string -> t
+val open_existing : ?pool_capacity:int -> string -> t
+
+val size : t -> int
+val find : t -> int -> int option
+val mem : t -> int -> bool
+
+val insert : t -> int -> int -> unit
+(** Inserting an existing key overwrites its value. *)
+
+val delete : t -> int -> bool
+(** False when the key was absent. *)
+
+val iter : t -> (int -> int -> unit) -> unit
+(** Ascending key order along the leaf chain. *)
+
+val range : t -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+val to_list : t -> (int * int) list
+
+val flush : t -> unit
+val close : t -> unit
+
+val validate : t -> string option
+(** [None] when ordering/bounds/count invariants hold.  Test support. *)

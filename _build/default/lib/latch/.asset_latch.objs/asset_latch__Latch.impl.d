@@ -1,0 +1,1 @@
+lib/latch/latch.ml: Asset_util Format Printf

@@ -1,0 +1,1 @@
+lib/latch/latch.mli: Format

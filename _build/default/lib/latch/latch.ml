@@ -1,0 +1,116 @@
+(* Latches, after ASSET paper section 4.1.
+
+   "There are two modes in which an item may be latched: shared (S) and
+   exclusive (X). [...] Each latch, in addition to the value that can be
+   set or unset atomically, contains an S-counter indicating the number of
+   processes holding the latch in S mode and an X-bit indicating whether a
+   process is waiting to get the latch in X mode.  The X-bit blocks new
+   readers from setting the latch, thus preventing starvation of update
+   transactions."
+
+   In EOS the holders are OS processes spinning on a test-and-set word; in
+   this reproduction the holders are cooperative fibers, so a failed
+   acquisition calls the caller-supplied [spin] callback (typically the
+   scheduler's yield) instead of burning a CPU.  The state machine —
+   S-counter, X ownership, and the reader-blocking X-bit — is exactly the
+   paper's. *)
+
+type mode = S | X
+
+let pp_mode ppf = function S -> Format.pp_print_string ppf "S" | X -> Format.pp_print_string ppf "X"
+
+type t = {
+  name : string;
+  mutable s_count : int;  (* number of S holders *)
+  mutable x_held : bool;  (* an X holder is present *)
+  mutable x_waiting : int;  (* the "X-bit", generalized to a count of waiting writers *)
+  acquisitions : Asset_util.Stats.Counter.t;
+  spins : Asset_util.Stats.Counter.t;
+}
+
+let create ?(name = "latch") () =
+  {
+    name;
+    s_count = 0;
+    x_held = false;
+    x_waiting = 0;
+    acquisitions = Asset_util.Stats.Counter.create (name ^ ".acquisitions");
+    spins = Asset_util.Stats.Counter.create (name ^ ".spins");
+  }
+
+let name t = t.name
+
+(* A single test-and-set attempt.  Returns true when the latch was taken. *)
+let try_acquire t mode =
+  match mode with
+  | S ->
+      (* New readers are blocked while a writer holds or waits (X-bit). *)
+      if t.x_held || t.x_waiting > 0 then false
+      else begin
+        t.s_count <- t.s_count + 1;
+        Asset_util.Stats.Counter.incr t.acquisitions;
+        true
+      end
+  | X ->
+      if t.x_held || t.s_count > 0 then false
+      else begin
+        t.x_held <- true;
+        Asset_util.Stats.Counter.incr t.acquisitions;
+        true
+      end
+
+(* Acquire, spinning via [spin] until the latch is granted.  An X
+   requester registers in [x_waiting] while spinning so that the X-bit
+   starves out new readers, per the paper. *)
+let acquire ?(spin = fun () -> ()) t mode =
+  if not (try_acquire t mode) then begin
+    (match mode with X -> t.x_waiting <- t.x_waiting + 1 | S -> ());
+    let rec loop () =
+      Asset_util.Stats.Counter.incr t.spins;
+      spin ();
+      if not (try_acquire t mode) then loop ()
+    in
+    (* For a waiting writer, try_acquire must ignore its own registration:
+       temporarily decrement while attempting. *)
+    let rec x_loop () =
+      Asset_util.Stats.Counter.incr t.spins;
+      spin ();
+      if t.x_held || t.s_count > 0 then x_loop ()
+      else begin
+        t.x_waiting <- t.x_waiting - 1;
+        t.x_held <- true;
+        Asset_util.Stats.Counter.incr t.acquisitions
+      end
+    in
+    match mode with S -> loop () | X -> x_loop ()
+  end
+
+let release t mode =
+  match mode with
+  | S ->
+      if t.s_count <= 0 then invalid_arg "Latch.release: no S holder";
+      t.s_count <- t.s_count - 1
+  | X ->
+      if not t.x_held then invalid_arg "Latch.release: no X holder";
+      t.x_held <- false
+
+let with_latch ?spin t mode f =
+  acquire ?spin t mode;
+  match f () with
+  | result ->
+      release t mode;
+      result
+  | exception e ->
+      release t mode;
+      raise e
+
+let s_count t = t.s_count
+let x_held t = t.x_held
+let x_waiting t = t.x_waiting > 0
+let acquisitions t = Asset_util.Stats.Counter.get t.acquisitions
+let spin_count t = Asset_util.Stats.Counter.get t.spins
+
+let pp ppf t =
+  Format.fprintf ppf "%s{S=%d%s%s}" t.name t.s_count
+    (if t.x_held then " X" else "")
+    (if t.x_waiting > 0 then Printf.sprintf " Xwait=%d" t.x_waiting else "")

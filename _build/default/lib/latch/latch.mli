@@ -1,0 +1,42 @@
+(** Latches, after section 4.1 of the paper.
+
+    A latch protects one cached item against simultaneous access; it is
+    held only for the duration of an elementary read or write.  Two
+    modes exist: shared ([S], counted) and exclusive ([X]).  The X-bit
+    blocks new readers while a writer waits, preventing starvation of
+    update transactions.  In this reproduction the "processes spinning"
+    of EOS become cooperative fibers: a failed acquisition invokes the
+    caller-supplied [spin] callback (typically the scheduler's yield)
+    between attempts. *)
+
+type mode = S | X
+
+val pp_mode : Format.formatter -> mode -> unit
+
+type t
+
+val create : ?name:string -> unit -> t
+val name : t -> string
+
+val try_acquire : t -> mode -> bool
+(** One test-and-set attempt; true when the latch was taken.  An [S]
+    attempt fails while a writer holds or waits (the X-bit). *)
+
+val acquire : ?spin:(unit -> unit) -> t -> mode -> unit
+(** Acquire, invoking [spin] between failed attempts until granted.  A
+    waiting [X] requester raises the X-bit while it spins. *)
+
+val release : t -> mode -> unit
+(** Raises [Invalid_argument] when the latch is not held in [mode]. *)
+
+val with_latch : ?spin:(unit -> unit) -> t -> mode -> (unit -> 'a) -> 'a
+(** [acquire]/[release] bracket, exception-safe. *)
+
+(** {2 Introspection} *)
+
+val s_count : t -> int
+val x_held : t -> bool
+val x_waiting : t -> bool
+val acquisitions : t -> int
+val spin_count : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/lock/lock_manager.ml: Asset_util Format Hashtbl List Mode

@@ -1,0 +1,465 @@
+(* The lock manager: object descriptors (OD), lock request descriptors
+   (LRD) and permit descriptors (PD), implementing the read-lock /
+   write-lock algorithm of section 4.2 including permit-driven
+   suspension of conflicting granted locks.
+
+   Figure 1 of the paper shows the OD pointing at three lists — granted
+   lock requests, pending lock requests, and permissions; this module
+   maintains exactly those lists (see [pp_od], which renders the
+   figure's structure).  LRDs are linked both from their OD and from a
+   per-transaction list so that delegation and release can traverse by
+   transaction; PDs are doubly indexed by grantor and grantee tid, as
+   the paper prescribes ("doubly hashed on the tid of the two
+   transactions involved"). *)
+
+module Tid = Asset_util.Id.Tid
+module Oid = Asset_util.Id.Oid
+
+type lock_status = Granted | Suspended | Pending | Upgrading
+
+let pp_status ppf = function
+  | Granted -> Format.pp_print_string ppf "granted"
+  | Suspended -> Format.pp_print_string ppf "suspended"
+  | Pending -> Format.pp_print_string ppf "pending"
+  | Upgrading -> Format.pp_print_string ppf "upgrading"
+
+type lrd = {
+  lrd_tid : Tid.t;
+  lrd_oid : Oid.t;
+  mutable lrd_mode : Mode.t;
+  mutable lrd_status : lock_status;
+}
+
+type pd = {
+  pd_oid : Oid.t;
+  mutable pd_grantor : Tid.t; (* mutable: delegation rewrites the grantor *)
+  pd_grantee : Tid.t option; (* None = any transaction *)
+  pd_ops : Mode.Ops.t;
+}
+
+type od = {
+  od_oid : Oid.t;
+  mutable granted : lrd list; (* granted + suspended requests *)
+  mutable pending : lrd list; (* blocked + upgrading requests *)
+  mutable permits : pd list;
+}
+
+type t = {
+  objects : (Oid.t, od) Hashtbl.t;
+  by_txn : (Tid.t, lrd list ref) Hashtbl.t; (* LRD list pointed to by the TD *)
+  permits_by_grantor : (Tid.t, pd list ref) Hashtbl.t;
+  permits_by_grantee : (Tid.t, pd list ref) Hashtbl.t;
+  acquires : Asset_util.Stats.Counter.t;
+  blocks : Asset_util.Stats.Counter.t;
+  suspensions : Asset_util.Stats.Counter.t;
+  permit_grants : Asset_util.Stats.Counter.t;
+}
+
+let create () =
+  {
+    objects = Hashtbl.create 256;
+    by_txn = Hashtbl.create 64;
+    permits_by_grantor = Hashtbl.create 64;
+    permits_by_grantee = Hashtbl.create 64;
+    acquires = Asset_util.Stats.Counter.create "lock.acquires";
+    blocks = Asset_util.Stats.Counter.create "lock.blocks";
+    suspensions = Asset_util.Stats.Counter.create "lock.suspensions";
+    permit_grants = Asset_util.Stats.Counter.create "lock.permit_grants";
+  }
+
+let od t oid =
+  match Hashtbl.find_opt t.objects oid with
+  | Some od -> od
+  | None ->
+      let od = { od_oid = oid; granted = []; pending = []; permits = [] } in
+      Hashtbl.replace t.objects oid od;
+      od
+
+let txn_list t tid =
+  match Hashtbl.find_opt t.by_txn tid with
+  | Some l -> l
+  | None ->
+      let l = ref [] in
+      Hashtbl.replace t.by_txn tid l;
+      l
+
+let index_list table tid =
+  match Hashtbl.find_opt table tid with
+  | Some l -> l
+  | None ->
+      let l = ref [] in
+      Hashtbl.replace table tid l;
+      l
+
+(* ------------------------------------------------------------------ *)
+(* Permits                                                             *)
+
+(* Does [grantor] permit [grantee] to perform [op] on this object,
+   directly or transitively?  Rule 3 of the permit semantics makes
+   permission transitive with operation-set intersection:
+   permit(ti,tj,ops) and permit(tj,tk,ops') act as permit(ti,tk,
+   ops∩ops').  We search the object's PD list for a chain from grantor
+   to grantee every link of which (and hence the intersection) includes
+   [op].  A PD with [pd_grantee = None] reaches any transaction. *)
+let permits_op od ~grantor ~grantee op =
+  let rec reachable visited current =
+    if Tid.equal current grantee then true
+    else if List.exists (Tid.equal current) visited then false
+    else
+      List.exists
+        (fun pd ->
+          Tid.equal pd.pd_grantor current
+          && Mode.Ops.mem op pd.pd_ops
+          &&
+          match pd.pd_grantee with
+          | None -> true (* open permission reaches everyone, incl. grantee *)
+          | Some next -> reachable (current :: visited) next)
+        od.permits
+  in
+  (* An open permission from the grantor short-circuits. *)
+  List.exists
+    (fun pd ->
+      Tid.equal pd.pd_grantor grantor && pd.pd_grantee = None && Mode.Ops.mem op pd.pd_ops)
+    od.permits
+  || reachable [] grantor
+
+let add_permit t ~grantor ~grantee ~oid ~ops =
+  if Mode.Ops.is_empty ops then ()
+  else begin
+    let obj = od t oid in
+    let pd = { pd_oid = oid; pd_grantor = grantor; pd_grantee = grantee; pd_ops = ops } in
+    obj.permits <- pd :: obj.permits;
+    let gl = index_list t.permits_by_grantor grantor in
+    gl := pd :: !gl;
+    (match grantee with
+    | Some g ->
+        let el = index_list t.permits_by_grantee g in
+        el := pd :: !el
+    | None -> ());
+    Asset_util.Stats.Counter.incr t.permit_grants
+  end
+
+(* Objects a transaction has accessed (holds an LRD on) or has been
+   permitted to access — the traversal used by permit(ti, tj, op). *)
+let accessible_objects t tid =
+  let locked = List.map (fun lrd -> lrd.lrd_oid) !(txn_list t tid) in
+  let permitted =
+    match Hashtbl.find_opt t.permits_by_grantee tid with
+    | None -> []
+    | Some pds -> List.map (fun pd -> pd.pd_oid) !pds
+  in
+  List.sort_uniq Oid.compare (locked @ permitted)
+
+(* ------------------------------------------------------------------ *)
+(* Acquisition: the section 4.2 read-lock / write-lock algorithm        *)
+
+type outcome = Acquired | Blocked_on of Tid.t list
+
+let find_lrd od tid = List.find_opt (fun l -> Tid.equal l.lrd_tid tid) od.granted
+let find_pending od tid = List.find_opt (fun l -> Tid.equal l.lrd_tid tid) od.pending
+
+let remove_pending od tid =
+  od.pending <- List.filter (fun l -> not (Tid.equal l.lrd_tid tid)) od.pending
+
+(* Step 1b: for every conflicting lock gl in the granted list (granted
+   or suspended — a suspended lock still guards its holder's
+   uncommitted operations against third parties), check the permit
+   list; permitted conflicts suspend gl, unpermitted ones block.
+   Returns the blockers, or [] if the way is clear (after
+   suspensions). *)
+let check_conflicts t obj tid mode =
+  let op = Mode.as_op mode in
+  let blockers = ref [] in
+  let to_suspend = ref [] in
+  List.iter
+    (fun gl ->
+      if (not (Tid.equal gl.lrd_tid tid))
+         && (gl.lrd_status = Granted || gl.lrd_status = Suspended)
+         && Mode.conflicts gl.lrd_mode mode
+      then
+        if permits_op obj ~grantor:gl.lrd_tid ~grantee:tid op then begin
+          if gl.lrd_status = Granted then to_suspend := gl :: !to_suspend
+        end
+        else blockers := gl.lrd_tid :: !blockers)
+    obj.granted;
+  if !blockers = [] then begin
+    List.iter
+      (fun gl ->
+        gl.lrd_status <- Suspended;
+        Asset_util.Stats.Counter.incr t.suspensions)
+      !to_suspend;
+    []
+  end
+  else List.sort_uniq Tid.compare !blockers
+
+let acquire t tid oid mode =
+  let obj = od t oid in
+  match find_lrd obj tid with
+  | Some gl when gl.lrd_status <> Suspended && Mode.covers ~held:gl.lrd_mode ~requested:mode ->
+      (* Step 1a: an unsuspended covering lock of our own. *)
+      Acquired
+  | existing -> (
+      match check_conflicts t obj tid mode with
+      | [] -> (
+          (* Step 2: t_i can now lock ob. *)
+          remove_pending obj tid;
+          match existing with
+          | Some gl ->
+              (* 2b: change the lock mode / remove suspension. *)
+              if not (Mode.covers ~held:gl.lrd_mode ~requested:mode) then gl.lrd_mode <- mode;
+              gl.lrd_status <- Granted;
+              Asset_util.Stats.Counter.incr t.acquires;
+              Acquired
+          | None ->
+              (* 2a: create an LRD and link it from the OD and the TD. *)
+              let lrd = { lrd_tid = tid; lrd_oid = oid; lrd_mode = mode; lrd_status = Granted } in
+              obj.granted <- lrd :: obj.granted;
+              let l = txn_list t tid in
+              l := lrd :: !l;
+              Asset_util.Stats.Counter.incr t.acquires;
+              Acquired)
+      | blockers ->
+          (* Register a pending request (status upgrading when we already
+             hold a weaker lock), so the OD shows the Figure-1 pending
+             list and waits-for extraction sees the edge. *)
+          (match find_pending obj tid with
+          | Some p -> p.lrd_mode <- mode
+          | None ->
+              let status = if existing <> None then Upgrading else Pending in
+              let p = { lrd_tid = tid; lrd_oid = oid; lrd_mode = mode; lrd_status = status } in
+              obj.pending <- p :: obj.pending);
+          Asset_util.Stats.Counter.incr t.blocks;
+          Blocked_on blockers)
+
+(* Give up a pending request (e.g. the requester aborted while waiting). *)
+let cancel_pending t tid oid =
+  match Hashtbl.find_opt t.objects oid with None -> () | Some obj -> remove_pending obj tid
+
+(* Drop every pending request of [tid]; used when a waiting transaction
+   is aborted (e.g. as a deadlock victim). *)
+let cancel_pending_all t tid = Hashtbl.iter (fun _ obj -> remove_pending obj tid) t.objects
+
+(* A suspended lock resumes when no granted lock conflicts with it any
+   more (section 4.2 step 2b "remove suspension status" happens through
+   re-acquisition; release-time resumption keeps cooperating
+   transactions live without forcing a retry loop). *)
+let resume_suspended obj =
+  List.iter
+    (fun sl ->
+      if sl.lrd_status = Suspended then begin
+        let conflicting =
+          List.exists
+            (fun gl ->
+              (not (Tid.equal gl.lrd_tid sl.lrd_tid))
+              && gl.lrd_status = Granted
+              && Mode.conflicts gl.lrd_mode sl.lrd_mode)
+            obj.granted
+        in
+        if not conflicting then sl.lrd_status <- Granted
+      end)
+    obj.granted
+
+(* ------------------------------------------------------------------ *)
+(* Release, delegation, cleanup                                        *)
+
+let drop_lrd t lrd =
+  (match Hashtbl.find_opt t.objects lrd.lrd_oid with
+  | Some obj ->
+      obj.granted <- List.filter (fun l -> l != lrd) obj.granted;
+      resume_suspended obj
+  | None -> ());
+  match Hashtbl.find_opt t.by_txn lrd.lrd_tid with
+  | Some l -> l := List.filter (fun x -> x != lrd) !l
+  | None -> ()
+
+(* Release all locks held by a transaction; returns the object ids that
+   were locked (the engine uses them to wake waiters). *)
+let release_all t tid =
+  let lrds = !(txn_list t tid) in
+  List.iter (drop_lrd t) lrds;
+  Hashtbl.remove t.by_txn tid;
+  List.map (fun l -> l.lrd_oid) lrds
+
+(* Remove permissions given by and given to [tid] (commit step 6 /
+   abort cleanup). *)
+let remove_permits t tid =
+  let involves pd =
+    Tid.equal pd.pd_grantor tid || match pd.pd_grantee with Some g -> Tid.equal g tid | None -> false
+  in
+  let affected =
+    (match Hashtbl.find_opt t.permits_by_grantor tid with Some l -> !l | None -> [])
+    @ (match Hashtbl.find_opt t.permits_by_grantee tid with Some l -> !l | None -> [])
+  in
+  let oids = List.sort_uniq Oid.compare (List.map (fun pd -> pd.pd_oid) affected) in
+  List.iter
+    (fun oid ->
+      match Hashtbl.find_opt t.objects oid with
+      | Some obj -> obj.permits <- List.filter (fun pd -> not (involves pd)) obj.permits
+      | None -> ())
+    oids;
+  Hashtbl.remove t.permits_by_grantor tid;
+  Hashtbl.remove t.permits_by_grantee tid;
+  (* The grantee index may still hold entries granted *by* tid (and vice
+     versa); purge them lazily. *)
+  Hashtbl.iter (fun _ l -> l := List.filter (fun pd -> not (involves pd)) !l) t.permits_by_grantor;
+  Hashtbl.iter (fun _ l -> l := List.filter (fun pd -> not (involves pd)) !l) t.permits_by_grantee
+
+(* delegate(ti, tj, ob_set): move the LRDs on the named objects from ti
+   to tj and rewrite PDs granted by ti on them to be granted by tj.
+   When tj already holds a lock on the same object the two requests
+   merge, keeping the stronger mode. *)
+let delegate t ~from_ ~to_ oids =
+  let from_list = txn_list t from_ in
+  let covers oid = match oids with None -> true | Some l -> List.exists (Oid.equal oid) l in
+  let moving, staying = List.partition (fun lrd -> covers lrd.lrd_oid) !from_list in
+  from_list := staying;
+  let to_list = txn_list t to_ in
+  List.iter
+    (fun lrd ->
+      match List.find_opt (fun l -> Oid.equal l.lrd_oid lrd.lrd_oid) !to_list with
+      | Some existing ->
+          (* Merge into tj's existing request. *)
+          if Mode.conflicts existing.lrd_mode lrd.lrd_mode || lrd.lrd_mode = Mode.Write then
+            existing.lrd_mode <- Mode.Write;
+          (match Hashtbl.find_opt t.objects lrd.lrd_oid with
+          | Some obj ->
+              obj.granted <- List.filter (fun l -> l != lrd) obj.granted;
+              resume_suspended obj
+          | None -> ())
+      | None ->
+          let lrd = { lrd with lrd_tid = to_ } in
+          (* Replace the OD's entry with the re-owned LRD. *)
+          (match Hashtbl.find_opt t.objects lrd.lrd_oid with
+          | Some obj ->
+              obj.granted <-
+                lrd :: List.filter (fun l -> not (Tid.equal l.lrd_tid from_ && Oid.equal l.lrd_oid lrd.lrd_oid)) obj.granted
+          | None -> ());
+          to_list := lrd :: !to_list)
+    moving;
+  (* Rewrite PDs (ti, tk, op) to (tj, tk, op) for the delegated objects. *)
+  (match Hashtbl.find_opt t.permits_by_grantor from_ with
+  | Some l ->
+      let moving_pds, staying_pds = List.partition (fun pd -> covers pd.pd_oid) !l in
+      l := staying_pds;
+      List.iter (fun pd -> pd.pd_grantor <- to_) moving_pds;
+      if moving_pds <> [] then begin
+        let tl = index_list t.permits_by_grantor to_ in
+        tl := moving_pds @ !tl
+      end
+  | None -> ());
+  List.map (fun lrd -> lrd.lrd_oid) moving
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+
+let holds t tid oid =
+  match Hashtbl.find_opt t.objects oid with
+  | None -> None
+  | Some obj -> (
+      match find_lrd obj tid with
+      | Some lrd when lrd.lrd_status = Granted || lrd.lrd_status = Suspended ->
+          Some (lrd.lrd_mode, lrd.lrd_status)
+      | _ -> None)
+
+let locked_objects t tid = List.map (fun l -> l.lrd_oid) !(txn_list t tid)
+
+let lock_count t tid = List.length !(txn_list t tid)
+
+(* Waits-for edges from the pending lists: requester -> each granted
+   holder whose lock conflicts (and is not excused by a permit). *)
+let waits_for t =
+  Hashtbl.fold
+    (fun _ obj acc ->
+      List.fold_left
+        (fun acc p ->
+          let op = Mode.as_op p.lrd_mode in
+          List.fold_left
+            (fun acc gl ->
+              if (not (Tid.equal gl.lrd_tid p.lrd_tid))
+                 && (gl.lrd_status = Granted || gl.lrd_status = Suspended)
+                 && Mode.conflicts gl.lrd_mode p.lrd_mode
+                 && not (permits_op obj ~grantor:gl.lrd_tid ~grantee:p.lrd_tid op)
+              then (p.lrd_tid, gl.lrd_tid) :: acc
+              else acc)
+            acc obj.granted)
+        acc obj.pending)
+    t.objects []
+
+(* Find a cycle in the waits-for graph, if any; used for deadlock
+   victim selection. *)
+let find_cycle t =
+  let edges = waits_for t in
+  let adj = Hashtbl.create 16 in
+  List.iter
+    (fun (a, b) ->
+      let l = try Hashtbl.find adj a with Not_found -> [] in
+      Hashtbl.replace adj a (b :: l))
+    edges;
+  let exception Found of Tid.t list in
+  let visited = Hashtbl.create 16 in
+  (* [path] holds the current DFS stack, most recent first; on revisiting
+     a node already on the stack, the stack prefix down to that node is
+     the cycle. *)
+  let rec dfs path node =
+    if List.exists (Tid.equal node) path then begin
+      let rec take acc = function
+        | [] -> acc
+        | x :: rest -> if Tid.equal x node then x :: acc else take (x :: acc) rest
+      in
+      raise (Found (take [] path))
+    end
+    else if not (Hashtbl.mem visited node) then begin
+      Hashtbl.replace visited node ();
+      let succs = match Hashtbl.find_opt adj node with Some l -> l | None -> [] in
+      List.iter (dfs (node :: path)) succs
+    end
+  in
+  match Hashtbl.iter (fun node _ -> dfs [] node) adj with
+  | () -> None
+  | exception Found cycle -> Some cycle
+
+let stats t =
+  [
+    ("acquires", Asset_util.Stats.Counter.get t.acquires);
+    ("blocks", Asset_util.Stats.Counter.get t.blocks);
+    ("suspensions", Asset_util.Stats.Counter.get t.suspensions);
+    ("permit_grants", Asset_util.Stats.Counter.get t.permit_grants);
+  ]
+
+(* Render an object descriptor in the shape of the paper's Figure 1:
+   the object id with its granted-lock list, pending-request list and
+   permission list. *)
+let pp_od t ppf oid =
+  match Hashtbl.find_opt t.objects oid with
+  | None -> Format.fprintf ppf "OD(%a): <no descriptor>" Oid.pp oid
+  | Some obj ->
+      let pp_lrd ppf l =
+        Format.fprintf ppf "(%a,%a,%a)" Tid.pp l.lrd_tid Mode.pp l.lrd_mode pp_status l.lrd_status
+      in
+      let pp_pd ppf pd =
+        Format.fprintf ppf "(%a,%s,%a)" Tid.pp pd.pd_grantor
+          (match pd.pd_grantee with Some g -> Format.asprintf "%a" Tid.pp g | None -> "*")
+          Mode.Ops.pp pd.pd_ops
+      in
+      Format.fprintf ppf "OD(%a)@.  granted: %a@.  pending: %a@.  permits: %a" Oid.pp oid
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_lrd)
+        obj.granted
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_lrd)
+        obj.pending
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_pd)
+        obj.permits
+
+let granted_of t oid =
+  match Hashtbl.find_opt t.objects oid with
+  | None -> []
+  | Some obj -> List.map (fun l -> (l.lrd_tid, l.lrd_mode, l.lrd_status)) obj.granted
+
+let pending_of t oid =
+  match Hashtbl.find_opt t.objects oid with
+  | None -> []
+  | Some obj -> List.map (fun l -> (l.lrd_tid, l.lrd_mode, l.lrd_status)) obj.pending
+
+let permits_of t oid =
+  match Hashtbl.find_opt t.objects oid with
+  | None -> []
+  | Some obj -> List.map (fun pd -> (pd.pd_grantor, pd.pd_grantee, pd.pd_ops)) obj.permits

@@ -1,0 +1,72 @@
+(* Lock modes and operation sets.
+
+   The paper's lock request descriptor carries "the lock mode of the
+   request (read, write, none)"; permits name the *operations* a grantee
+   may perform.  The elementary operations here are read and write,
+   plus — implementing the paper's section-5 plan to "exploit the
+   concurrency semantics inherent in objects" — a commuting [Increment]
+   operation: increments by different transactions commute, so
+   Increment locks are compatible with each other while still
+   conflicting with reads and writes (the multi-level-transaction
+   treatment the paper cites from Weikum). *)
+
+type t = Read | Write | Increment
+
+let equal a b =
+  match (a, b) with
+  | Read, Read | Write, Write | Increment, Increment -> true
+  | (Read | Write | Increment), _ -> false
+
+let pp ppf = function
+  | Read -> Format.pp_print_string ppf "R"
+  | Write -> Format.pp_print_string ppf "W"
+  | Increment -> Format.pp_print_string ppf "I"
+
+(* Conflict matrix: R/R compatible; I/I compatible (increments
+   commute); everything else conflicts. *)
+let conflicts a b =
+  match (a, b) with Read, Read -> false | Increment, Increment -> false | _ -> true
+
+(* "gl covers the requested lock": a Write lock allows any operation. *)
+let covers ~held ~requested =
+  match (held, requested) with
+  | Write, _ -> true
+  | Read, Read -> true
+  | Increment, Increment -> true
+  | (Read | Increment), _ -> false
+
+(* The operation enabled by holding a lock in a mode, used when checking
+   whether a permit's operation set excuses a conflict. *)
+let as_op = function Read -> Read | Write -> Write | Increment -> Increment
+
+module Ops = struct
+  type nonrec t = { read : bool; write : bool; incr : bool }
+
+  let all = { read = true; write = true; incr = true }
+  let none = { read = false; write = false; incr = false }
+  let read_only = { read = true; write = false; incr = false }
+  let write_only = { read = false; write = true; incr = false }
+  let incr_only = { read = false; write = false; incr = true }
+
+  let of_list ops =
+    List.fold_left
+      (fun acc op ->
+        match op with
+        | Read -> { acc with read = true }
+        | Write -> { acc with write = true }
+        | Increment -> { acc with incr = true })
+      none ops
+
+  let mem op t = match op with Read -> t.read | Write -> t.write | Increment -> t.incr
+  let inter a b = { read = a.read && b.read; write = a.write && b.write; incr = a.incr && b.incr }
+  let is_empty t = (not t.read) && (not t.write) && not t.incr
+  let equal a b = a.read = b.read && a.write = b.write && a.incr = b.incr
+
+  let pp ppf t =
+    if is_empty t then Format.pp_print_string ppf "-"
+    else begin
+      if t.read then Format.pp_print_string ppf "R";
+      if t.write then Format.pp_print_string ppf "W";
+      if t.incr then Format.pp_print_string ppf "I"
+    end
+end

@@ -1,0 +1,41 @@
+(** Lock modes and operation sets.
+
+    Read and write are the paper's elementary operations; [Increment]
+    implements its section-5 plan to exploit operation semantics —
+    increments commute, so Increment locks are mutually compatible
+    while still conflicting with reads and writes. *)
+
+type t = Read | Write | Increment
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val conflicts : t -> t -> bool
+(** Conflict matrix: R/R and I/I are compatible; everything else
+    conflicts. *)
+
+val covers : held:t -> requested:t -> bool
+(** Whether a lock held in [held] already satisfies a request for
+    [requested] (a Write lock covers everything). *)
+
+val as_op : t -> t
+(** The operation a lock mode enables, for permit checks. *)
+
+(** Sets of operations, closed under the intersection required by the
+    transitive-permit rule. *)
+module Ops : sig
+  type mode := t
+  type t
+
+  val all : t
+  val none : t
+  val read_only : t
+  val write_only : t
+  val incr_only : t
+  val of_list : mode list -> t
+  val mem : mode -> t -> bool
+  val inter : t -> t -> t
+  val is_empty : t -> bool
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,1 @@
+lib/models/atomic.ml: Asset_core Asset_util

@@ -1,0 +1,1 @@
+lib/models/atomic.mli: Asset_core

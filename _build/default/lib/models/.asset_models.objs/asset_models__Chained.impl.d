@@ -1,0 +1,1 @@
+lib/models/chained.ml: Asset_core Asset_util

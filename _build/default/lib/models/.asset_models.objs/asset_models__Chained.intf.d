@@ -1,0 +1,1 @@
+lib/models/chained.mli: Asset_core Asset_util

@@ -1,0 +1,1 @@
+lib/models/contingent.ml: Asset_core Asset_deps Asset_util Atomic List

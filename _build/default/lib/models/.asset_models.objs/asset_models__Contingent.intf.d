@@ -1,0 +1,1 @@
+lib/models/contingent.mli: Asset_core

@@ -1,0 +1,1 @@
+lib/models/coop.ml: Asset_core Asset_deps Asset_lock

@@ -1,0 +1,1 @@
+lib/models/coop.mli: Asset_core Asset_lock Asset_util

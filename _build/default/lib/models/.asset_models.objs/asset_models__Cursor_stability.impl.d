@@ -1,0 +1,1 @@
+lib/models/cursor_stability.ml: Asset_core Asset_lock List

@@ -1,0 +1,1 @@
+lib/models/cursor_stability.mli: Asset_core Asset_storage Asset_util

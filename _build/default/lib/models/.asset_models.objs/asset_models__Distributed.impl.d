@@ -1,0 +1,1 @@
+lib/models/distributed.ml: Asset_core Asset_deps Asset_util List

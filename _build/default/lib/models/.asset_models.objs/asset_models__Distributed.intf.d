@@ -1,0 +1,1 @@
+lib/models/distributed.mli: Asset_core

@@ -1,0 +1,1 @@
+lib/models/nested.ml: Asset_core Asset_util Atomic

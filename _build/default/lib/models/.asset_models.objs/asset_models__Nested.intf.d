@@ -1,0 +1,1 @@
+lib/models/nested.mli: Asset_core Atomic

@@ -1,0 +1,1 @@
+lib/models/saga.ml: Array Asset_core Atomic List

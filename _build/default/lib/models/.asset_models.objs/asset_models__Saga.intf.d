@@ -1,0 +1,1 @@
+lib/models/saga.mli: Asset_core

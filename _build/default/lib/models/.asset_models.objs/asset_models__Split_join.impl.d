@@ -1,0 +1,1 @@
+lib/models/split_join.ml: Asset_core Asset_util

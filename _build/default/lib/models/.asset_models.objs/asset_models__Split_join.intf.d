@@ -1,0 +1,1 @@
+lib/models/split_join.mli: Asset_core Asset_util

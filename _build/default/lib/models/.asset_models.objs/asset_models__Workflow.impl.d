@@ -1,0 +1,1 @@
+lib/models/workflow.ml: Asset_core Asset_sched Asset_util Atomic Distributed Format List

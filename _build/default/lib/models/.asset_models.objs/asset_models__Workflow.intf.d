@@ -1,0 +1,1 @@
+lib/models/workflow.mli: Asset_core Format

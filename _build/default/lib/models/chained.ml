@@ -1,0 +1,81 @@
+(* Chained transactions.
+
+   One of the classical extended models surveyed in the paper's
+   reference [12] (Elmagarmid, "Database Transaction Models for
+   Advanced Applications"): a long activity is cut into a chain of
+   transactions where each link commits — releasing the locks it no
+   longer needs — but passes a designated working set to its successor
+   *without* exposing it to other transactions in between.
+
+   The ASSET primitives express this directly, which is exactly the
+   paper's thesis.  For each link:
+
+     1. the successor is initiated (but not begun);
+     2. the link delegates the carried objects to the successor —
+        delegation to an initiated transaction is legal ("this
+        separation allows us to delegate to or permit sharing with an
+        initiated transaction before this transaction begins");
+     3. the link commits: everything *except* the carried objects
+        becomes permanent and visible, while the carried objects'
+        locks (and undo responsibility) now belong to the successor,
+        so no other transaction can slip in between links;
+     4. the successor begins.
+
+   If a link aborts, only the work since the last commit boundary is
+   lost — plus the carried state, which has been handed forward from
+   link to link and dies with the aborting link. *)
+
+module E = Asset_core.Engine
+module Tid = Asset_util.Id.Tid
+module Oid = Asset_util.Id.Oid
+
+type result =
+  | Committed
+  | Broken of { failed_link : int }
+      (** The chain stopped at the 0-based [failed_link]; earlier
+          links' non-carried effects remain committed, the carried
+          state was rolled back with the failing link. *)
+
+(* Run [links] as a chain; [carry db] names the objects handed from
+   each link to the next (evaluated at each boundary, so it can track
+   objects created along the way). *)
+let run db ~carry links : result =
+  let rec go i current_tid = function
+    | [] ->
+        (* No more links: commit the last one outright. *)
+        if E.commit db current_tid then Committed else Broken { failed_link = i }
+    | next_body :: rest ->
+        if not (E.wait db current_tid) then Broken { failed_link = i }
+        else begin
+          let succ = E.initiate db next_body in
+          if Tid.is_null succ then begin
+            ignore (E.abort db current_tid);
+            Broken { failed_link = i }
+          end
+          else begin
+            let carried = carry db in
+            if carried <> [] then E.delegate db ~oids:carried ~from_:current_tid ~to_:succ;
+            if not (E.commit db current_tid) then begin
+              (* The link failed after delegation: the successor holds
+                 the carried objects and must be put down too. *)
+              ignore (E.abort db succ);
+              Broken { failed_link = i }
+            end
+            else begin
+              ignore (E.begin_ db succ);
+              go (i + 1) succ rest
+            end
+          end
+        end
+  in
+  match links with
+  | [] -> Committed
+  | first :: rest ->
+      let t = E.initiate db first in
+      if Tid.is_null t then Broken { failed_link = 0 }
+      else begin
+        ignore (E.begin_ db t);
+        go 0 t rest
+      end
+
+let committed = function Committed -> true | Broken _ -> false

@@ -1,0 +1,21 @@
+(** Chained transactions (from the survey the paper builds on): a long
+    activity cut into links, each committing — releasing what it no
+    longer needs — while a designated working set is handed to the
+    successor through delegation, never becoming visible between
+    links. *)
+
+module E = Asset_core.Engine
+
+type result =
+  | Committed
+  | Broken of { failed_link : int }
+      (** Earlier links' non-carried effects remain committed; the
+          carried state died with the failing link. *)
+
+val run :
+  E.t -> carry:(E.t -> Asset_util.Id.Oid.t list) -> (unit -> unit) list -> result
+(** Run the links in order.  [carry db] is evaluated at each link
+    boundary and names the objects whose locks and undo responsibility
+    are handed to the next link. *)
+
+val committed : result -> bool

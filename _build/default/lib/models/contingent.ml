@@ -1,0 +1,49 @@
+(* Contingent transactions (section 3.1.3).
+
+   "At most one of the component transactions of a contingent
+   transaction commits; the component transactions are executed in the
+   order specified."  The paper's translation tries each alternative in
+   turn and stops at the first commit; [run] reproduces it and reports
+   which alternative (0-based) won.
+
+   [run_declarative] is the extension variant: it forms pairwise EXC
+   (exclusion) dependencies between the alternatives before running
+   them, so that the at-most-one property is enforced by the dependency
+   graph rather than by control flow — the committing alternative
+   force-aborts the others.  Used by the E11 ablation. *)
+
+module E = Asset_core.Engine
+module Dep_type = Asset_deps.Dep_type
+
+type result = [ `Committed of int | `All_aborted | `Initiate_failed ]
+
+let run db bodies : result =
+  let rec try_next i = function
+    | [] -> `All_aborted
+    | body :: rest -> (
+        match Atomic.run db body with
+        | `Committed -> `Committed i
+        | `Aborted -> try_next (i + 1) rest
+        | `Initiate_failed -> `Initiate_failed)
+  in
+  try_next 0 bodies
+
+let run_declarative db bodies : result =
+  let tids = List.map (fun body -> E.initiate db body) bodies in
+  if List.exists Asset_util.Id.Tid.is_null tids then `Initiate_failed
+  else begin
+    (* Pairwise exclusion between all alternatives. *)
+    let rec pairs = function
+      | [] -> ()
+      | a :: rest ->
+          List.iter (fun b -> ignore (E.form_dependency db Dep_type.EXC a b)) rest;
+          pairs rest
+    in
+    pairs tids;
+    let rec try_next i = function
+      | [] -> `All_aborted
+      | t :: rest ->
+          if E.begin_ db t && E.commit db t then `Committed i else try_next (i + 1) rest
+    in
+    try_next 0 tids
+  end

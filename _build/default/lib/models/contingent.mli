@@ -1,0 +1,17 @@
+(** Contingent transactions (section 3.1.3): alternatives tried in
+    order, at most one commits. *)
+
+module E = Asset_core.Engine
+
+type result = [ `Committed of int | `All_aborted | `Initiate_failed ]
+(** [`Committed i]: the 0-based alternative that won. *)
+
+val run : E.t -> (unit -> unit) list -> result
+(** The paper's translation: run each alternative as an atomic
+    transaction, stopping at the first commit. *)
+
+val run_declarative : E.t -> (unit -> unit) list -> result
+(** Extension variant: pairwise EXC (exclusion) dependencies make the
+    at-most-one property a declared invariant rather than control
+    flow — the committing alternative force-aborts the others.  Used by
+    the E11 ablation. *)

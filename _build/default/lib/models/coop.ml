@@ -1,0 +1,45 @@
+(* Cooperating transactions (section 3.2.1).
+
+   Two transactions work on the same object(s) concurrently by
+   "ping-ponging" permits, with commit/abort coupling chosen by the
+   application:
+
+       form_dependency(CD, t_i, t_j);   // t_j waits for t_i
+       permit(t_i, t_j, ob, op);        // t_j may conflict with t_i
+       ...
+       permit(t_j, t_i, ob, op);        // and vice versa
+
+   "once t_i permits t_j to perform conflicting operations, another CD
+   could be established ... if we desire that the two cooperating
+   transactions must both commit or neither" — that is the [`Group]
+   coupling below. *)
+
+module E = Asset_core.Engine
+module Dep_type = Asset_deps.Dep_type
+module Ops = Asset_lock.Mode.Ops
+
+type coupling =
+  [ `None  (** permits only; commits are independent *)
+  | `Commit_ordered  (** CD: t_j cannot commit before t_i terminates *)
+  | `Group  (** GC: both commit or neither *) ]
+
+(* Allow [tj] to perform [ops] on [objs] concurrently with [ti], with
+   the chosen commit coupling. *)
+let allow ?(ops = Ops.all) ?(coupling = `Commit_ordered) db ~ti ~tj ~objs =
+  (match (coupling : coupling) with
+  | `None -> ()
+  | `Commit_ordered -> ignore (E.form_dependency db Dep_type.CD ti tj)
+  | `Group -> ignore (E.form_dependency db Dep_type.GC ti tj));
+  E.permit db ~from_:ti ~to_:tj ~oids:objs ~ops
+
+(* Symmetric cooperation on a shared object set: both directions
+   permitted, coupling applied both ways (for [`Commit_ordered] this
+   would create a CD cycle, so group coupling is the useful symmetric
+   choice). *)
+let pair ?(ops = Ops.all) ?(coupling = `Group) db ~ti ~tj ~objs =
+  E.permit db ~from_:ti ~to_:tj ~oids:objs ~ops;
+  E.permit db ~from_:tj ~to_:ti ~oids:objs ~ops;
+  match (coupling : coupling) with
+  | `None -> ()
+  | `Commit_ordered -> ignore (E.form_dependency db Dep_type.CD ti tj)
+  | `Group -> ignore (E.form_dependency db Dep_type.GC ti tj)

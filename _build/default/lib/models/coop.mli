@@ -1,0 +1,34 @@
+(** Cooperating transactions (section 3.2.1): concurrent work on shared
+    objects through permits, with commit/abort coupling chosen by the
+    application. *)
+
+module E = Asset_core.Engine
+module Ops = Asset_lock.Mode.Ops
+
+type coupling =
+  [ `None  (** permits only; commits are independent *)
+  | `Commit_ordered  (** CD: [tj] cannot commit before [ti] terminates *)
+  | `Group  (** GC: both commit or neither *) ]
+
+val allow :
+  ?ops:Ops.t ->
+  ?coupling:coupling ->
+  E.t ->
+  ti:Asset_util.Id.Tid.t ->
+  tj:Asset_util.Id.Tid.t ->
+  objs:Asset_util.Id.Oid.t list ->
+  unit
+(** One-directional: [tj] may perform [ops] on [objs] concurrently with
+    [ti] (default coupling [`Commit_ordered]). *)
+
+val pair :
+  ?ops:Ops.t ->
+  ?coupling:coupling ->
+  E.t ->
+  ti:Asset_util.Id.Tid.t ->
+  tj:Asset_util.Id.Tid.t ->
+  objs:Asset_util.Id.Oid.t list ->
+  unit
+(** Symmetric cooperation: permits in both directions (the "ping-pong")
+    with the chosen coupling (default [`Group], the both-or-neither
+    design-environment behaviour). *)

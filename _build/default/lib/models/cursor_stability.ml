@@ -1,0 +1,33 @@
+(* Cursor stability (section 3.2.2).
+
+   "Before moving the cursor from one record to the next within a
+   relation, the reading transaction t_i executes
+
+       permit(t_i, record, write)
+
+   This permission allows any transaction to write the specified record
+   without waiting for t_i to commit.  No dependencies are formed, so
+   that t_i and t_j may commit in any order."
+
+   [scan] reads each record in turn under the caller's transaction and
+   releases writers behind the cursor with exactly that open permit —
+   trading repeatable reads for writer latency (experiment E8 measures
+   the trade). *)
+
+module E = Asset_core.Engine
+module Ops = Asset_lock.Mode.Ops
+
+(* Scan [oids] under the current transaction, applying [f] to each
+   record; after processing a record, any transaction may write it. *)
+let scan db oids ~f =
+  List.iter
+    (fun oid ->
+      (match E.read db oid with Some v -> f oid v | None -> ());
+      (* Move the cursor: open write permission on the record just
+         read, to every transaction. *)
+      E.permit db ~from_:(E.self db) ~oids:[ oid ] ~ops:Ops.write_only)
+    oids
+
+(* The strict-2PL control for the experiment: same scan, no permits. *)
+let scan_repeatable db oids ~f =
+  List.iter (fun oid -> match E.read db oid with Some v -> f oid v | None -> ()) oids

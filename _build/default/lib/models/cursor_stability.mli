@@ -1,0 +1,14 @@
+(** Cursor stability (section 3.2.2): as the cursor leaves a record,
+    the scanner grants an open write permit on it, trading repeatable
+    reads for writer latency. *)
+
+module E = Asset_core.Engine
+
+val scan :
+  E.t -> Asset_util.Id.Oid.t list -> f:(Asset_util.Id.Oid.t -> Asset_storage.Value.t -> unit) -> unit
+(** Read each record under the invoking transaction; after processing
+    a record, any transaction may write it without waiting. *)
+
+val scan_repeatable :
+  E.t -> Asset_util.Id.Oid.t list -> f:(Asset_util.Id.Oid.t -> Asset_storage.Value.t -> unit) -> unit
+(** The strict-2PL control: same scan, no permits. *)

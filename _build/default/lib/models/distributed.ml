@@ -1,0 +1,39 @@
+(* Distributed transactions (section 3.1.2).
+
+   Component transactions execute in parallel and "can only commit as a
+   group".  The translation forms pairwise group-commit dependencies
+   before any component begins, begins them all, and commits the first
+   — which, through the GC resolution of the commit algorithm, commits
+   the whole group (or aborts it).  The remaining commit calls merely
+   report the outcome, as in the paper. *)
+
+module E = Asset_core.Engine
+module Dep_type = Asset_deps.Dep_type
+
+type result = [ `Committed | `Aborted | `Initiate_failed ]
+
+let run db bodies : result =
+  let tids = List.map (fun body -> E.initiate db body) bodies in
+  if List.exists Asset_util.Id.Tid.is_null tids then `Initiate_failed
+  else begin
+    (* form_dependency(GC, t1, t2), ..., pairwise along the chain is
+       enough: GC group membership is the transitive closure. *)
+    let rec chain = function
+      | a :: (b :: _ as rest) ->
+          ignore (E.form_dependency db Dep_type.GC a b);
+          chain rest
+      | [ _ ] | [] -> ()
+    in
+    chain tids;
+    if not (E.begin_many db tids) then `Initiate_failed
+    else begin
+      match tids with
+      | [] -> `Committed
+      | first :: rest ->
+          let ok = E.commit db first in
+          (* "the remaining commit invocations simply return 1 ... /
+             later commit invocations simply return 0" — verify. *)
+          List.iter (fun t -> assert (E.commit db t = ok)) rest;
+          if ok then `Committed else `Aborted
+    end
+  end

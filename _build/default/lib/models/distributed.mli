@@ -1,0 +1,11 @@
+(** Distributed transactions (section 3.1.2): components execute in
+    parallel and commit only as a group, via pairwise group-commit
+    dependencies formed before any component begins. *)
+
+module E = Asset_core.Engine
+
+type result = [ `Committed | `Aborted | `Initiate_failed ]
+
+val run : E.t -> (unit -> unit) list -> result
+(** Run the component bodies as one distributed transaction: all commit
+    or all abort. *)

@@ -1,0 +1,53 @@
+(* Nested transactions (section 3.1.4).
+
+   A subtransaction may access any object currently accessed by an
+   ancestor without forming a conflict (permit from the parent), runs
+   failure-atomically with respect to the parent (it can abort without
+   aborting the parent), and on success its effects are delegated to
+   the parent, becoming permanent only when the top-level transaction
+   commits.
+
+   The paper's trip() translation, for each subtransaction:
+
+       t1 = initiate(f);  permit(self(), t1);  begin(t1);
+       if (!wait(t1)) abort(self());
+       delegate(t1, self());  commit(t1);
+
+   [sub] is that sequence with the abort-the-parent policy made a
+   parameter: [`Abort_parent] reproduces trip() exactly, [`Report]
+   returns false and lets the parent continue with its siblings — the
+   standard nested-transaction reading ("they can abort without causing
+   the whole transaction to abort"). *)
+
+module E = Asset_core.Engine
+module Tid = Asset_util.Id.Tid
+
+let sub ?(on_failure = `Report) db body =
+  let parent = E.self db in
+  if Tid.is_null parent then invalid_arg "Nested.sub: must be called inside a transaction";
+  let t = E.initiate db body in
+  if Tid.is_null t then false
+  else begin
+    (* The child may see everything the parent currently holds. *)
+    E.permit db ~from_:parent ~to_:t;
+    ignore (E.begin_ db t);
+    if not (E.wait db t) then begin
+      match on_failure with
+      | `Abort_parent -> ignore (E.abort db parent); false
+      | `Report -> false
+    end
+    else begin
+      E.delegate db ~from_:t ~to_:parent;
+      (* "it does not actually matter whether this transaction is
+         committed or aborted subsequent to the delegation" — we commit,
+         as the paper's translation does. *)
+      ignore (E.commit db t);
+      true
+    end
+  end
+
+let sub_exn db body = ignore (sub ~on_failure:`Abort_parent db body)
+
+(* A top-level nested transaction: run [body] (which uses [sub] for its
+   children) as the root.  Effects become permanent only here. *)
+let root db body = Atomic.run db body

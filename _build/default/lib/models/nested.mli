@@ -1,0 +1,23 @@
+(** Nested transactions (section 3.1.4).
+
+    A subtransaction may access objects its parent currently holds
+    (the parent's permit), aborts without necessarily aborting the
+    parent, and on success delegates its effects to the parent — they
+    become permanent only when the top-level transaction commits. *)
+
+module E = Asset_core.Engine
+
+val sub : ?on_failure:[ `Report | `Abort_parent ] -> E.t -> (unit -> unit) -> bool
+(** Run [body] as a subtransaction of the invoking transaction: the
+    paper's permit/begin/wait/delegate/commit sequence.  On child
+    failure, [`Report] (default) returns false and the parent
+    continues; [`Abort_parent] reproduces the trip() translation
+    exactly (the parent unwinds with [Engine.Txn_aborted]).  Must be
+    called inside a transaction body. *)
+
+val sub_exn : E.t -> (unit -> unit) -> unit
+(** [sub ~on_failure:`Abort_parent], ignoring the result. *)
+
+val root : E.t -> (unit -> unit) -> Atomic.result
+(** A top-level nested transaction (its body uses {!sub} for
+    children). *)

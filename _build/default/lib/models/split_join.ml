@@ -1,0 +1,42 @@
+(* Split and join transactions (section 3.1.5).
+
+   split: a running transaction t_a splits off t_b, delegating to it
+   the responsibility for the operations performed so far on a set of
+   objects; afterwards the two "can commit or abort independently".
+
+       s = initiate(f);  delegate(parent(s), s, X);  begin(s);
+
+   join: s merges back into t by delegating everything it is
+   responsible for:
+
+       wait(s);  delegate(s, t);
+
+   The splitter calls [split] from inside its own body; [join] can be
+   invoked by whoever coordinates the two transactions. *)
+
+module E = Asset_core.Engine
+module Tid = Asset_util.Id.Tid
+
+let split ?objs db body =
+  let splitter = E.self db in
+  if Tid.is_null splitter then invalid_arg "Split_join.split: must be called inside a transaction";
+  let s = E.initiate db body in
+  if Tid.is_null s then None
+  else begin
+    (* parent(s) is the splitting transaction: initiate records the
+       invoker as the parent. *)
+    E.delegate ?oids:objs db ~from_:(E.parent_of db s) ~to_:s;
+    ignore (E.begin_ db s);
+    Some s
+  end
+
+(* Split without running any new work: the split transaction exists
+   only to carry the delegated objects to an independent commit/abort
+   decision. *)
+let split_idle ?objs db = split ?objs db (fun () -> ())
+
+let join db s t =
+  ignore (E.wait db s);
+  E.delegate db ~from_:s ~to_:t;
+  (* After delegation s holds nothing; terminate it. *)
+  ignore (E.commit db s)

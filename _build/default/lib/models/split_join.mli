@@ -1,0 +1,20 @@
+(** Split and join transactions (section 3.1.5): a running transaction
+    splits off responsibility for part of its work to a new
+    transaction, which commits or aborts independently — or later joins
+    back. *)
+
+module E = Asset_core.Engine
+module Tid = Asset_util.Id.Tid
+
+val split : ?objs:Asset_util.Id.Oid.t list -> E.t -> (unit -> unit) -> Tid.t option
+(** From inside a transaction: initiate a new transaction running
+    [body], delegate the operations on [objs] (default: all) to it, and
+    begin it.  [None] on resource exhaustion. *)
+
+val split_idle : ?objs:Asset_util.Id.Oid.t list -> E.t -> Tid.t option
+(** A split carrying only the delegated objects (no new work) to an
+    independent commit/abort decision. *)
+
+val join : E.t -> Tid.t -> Tid.t -> unit
+(** [join s t]: wait for [s] to complete, delegate everything it is
+    responsible for to [t], and terminate [s]. *)

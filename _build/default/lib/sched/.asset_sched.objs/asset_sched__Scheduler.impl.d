@@ -1,0 +1,1 @@
+lib/sched/scheduler.ml: Asset_util Effect List Printf

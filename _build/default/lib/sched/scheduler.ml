@@ -1,0 +1,178 @@
+(* Deterministic cooperative scheduler over OCaml 5 effect handlers.
+
+   EOS runs transactions as OS processes that block by spinning; the
+   section 4.2 algorithms are phrased as "t_i blocks and retries later
+   starting at step 1".  Here every transaction (and the application's
+   main program) is a *fiber*; a blocking primitive performs the
+   [Wait_until] effect, which parks the fiber under a wake condition,
+   and the engine re-evaluates conditions whenever its state changes.
+   This preserves exactly the block-and-retry structure while making
+   every schedule reproducible: given the same policy (FIFO, or seeded
+   random) the interleaving is identical run to run.
+
+   Deadlock becomes observable rather than a hang: when no fiber is
+   runnable and no parked condition is true, the scheduler calls the
+   [on_stall] hook (the engine uses it to pick and abort a deadlock
+   victim); if the hook makes no progress, [Deadlock] is raised with the
+   parked fibers' reasons. *)
+
+type policy = Fifo | Random_seeded of int
+
+type fiber = {
+  fid : int;
+  label : string;
+  mutable resume : unit -> unit;
+}
+
+type parked = { fiber : fiber; cond : unit -> bool; reason : string }
+
+exception Deadlock of string list
+exception Fiber_failed of string * exn
+
+type t = {
+  mutable runnable : fiber list; (* newest first; FIFO takes from the tail *)
+  mutable parked : parked list;
+  mutable next_fid : int;
+  mutable current : fiber option;
+  mutable steps : int;
+  max_steps : int;
+  rng : Asset_util.Rng.t option;
+  mutable on_stall : unit -> bool;
+  mutable trace : (int * string) list; (* (fid, event), newest first *)
+  record_trace : bool;
+}
+
+type _ Effect.t += Yield : unit Effect.t | Wait_until : ((unit -> bool) * string) -> unit Effect.t
+
+let create ?(policy = Fifo) ?(max_steps = 10_000_000) ?(record_trace = false) () =
+  {
+    runnable = [];
+    parked = [];
+    next_fid = 0;
+    current = None;
+    steps = 0;
+    max_steps;
+    rng = (match policy with Fifo -> None | Random_seeded seed -> Some (Asset_util.Rng.create seed));
+    on_stall = (fun () -> false);
+    trace = [];
+    record_trace;
+  }
+
+let set_on_stall t f = t.on_stall <- f
+
+let log_event t fid event = if t.record_trace then t.trace <- (fid, event) :: t.trace
+let trace t = List.rev t.trace
+
+let enqueue t fiber = t.runnable <- fiber :: t.runnable
+
+(* Pop the next fiber according to the policy.  FIFO takes the oldest
+   (tail of the newest-first list); random takes a uniformly random
+   element. *)
+let pop_runnable t =
+  match t.runnable with
+  | [] -> None
+  | fibers -> (
+      match t.rng with
+      | None ->
+          let rec split acc = function
+            | [ last ] -> (last, List.rev acc)
+            | x :: rest -> split (x :: acc) rest
+            | [] -> assert false
+          in
+          let fiber, rest = split [] fibers in
+          t.runnable <- rest;
+          Some fiber
+      | Some rng ->
+          let n = List.length fibers in
+          let i = Asset_util.Rng.int rng n in
+          let fiber = List.nth fibers i in
+          t.runnable <- List.filteri (fun j _ -> j <> i) fibers;
+          Some fiber)
+
+let current_fid t = match t.current with Some f -> f.fid | None -> -1
+
+let handler t fiber =
+  {
+    Effect.Deep.retc = (fun () -> log_event t fiber.fid "finished");
+    exnc = (fun e -> raise (Fiber_failed (fiber.label, e)));
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Yield ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                fiber.resume <- (fun () -> Effect.Deep.continue k ());
+                log_event t fiber.fid "yield";
+                enqueue t fiber)
+        | Wait_until (cond, reason) ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                fiber.resume <- (fun () -> Effect.Deep.continue k ());
+                log_event t fiber.fid ("park: " ^ reason);
+                t.parked <- { fiber; cond; reason } :: t.parked)
+        | _ -> None);
+  }
+
+let spawn t ~label body =
+  let fid = t.next_fid in
+  t.next_fid <- fid + 1;
+  let fiber = { fid; label; resume = (fun () -> ()) } in
+  fiber.resume <- (fun () -> Effect.Deep.match_with body () (handler t fiber));
+  log_event t fid ("spawn: " ^ label);
+  enqueue t fiber;
+  fid
+
+(* Primitives available inside fibers. *)
+let yield () = Effect.perform Yield
+let wait_until ?(reason = "condition") cond = if not (cond ()) then Effect.perform (Wait_until (cond, reason))
+
+(* Wake every parked fiber whose condition now holds.  Returns true if
+   anything woke. *)
+let wake_ready t =
+  let ready, still = List.partition (fun p -> p.cond ()) t.parked in
+  t.parked <- still;
+  List.iter
+    (fun p ->
+      log_event t p.fiber.fid "wake";
+      enqueue t p.fiber)
+    (List.rev ready);
+  ready <> []
+
+let run t =
+  let rec loop () =
+    t.steps <- t.steps + 1;
+    if t.steps > t.max_steps then failwith "Scheduler.run: step budget exhausted (livelock?)";
+    match pop_runnable t with
+    | Some fiber ->
+        t.current <- Some fiber;
+        log_event t fiber.fid "run";
+        let resume = fiber.resume in
+        fiber.resume <- (fun () -> invalid_arg "fiber resumed twice");
+        resume ();
+        t.current <- None;
+        ignore (wake_ready t);
+        loop ()
+    | None ->
+        if t.parked = [] then () (* all fibers done *)
+        else if wake_ready t then loop ()
+        else if t.on_stall () then begin
+          ignore (wake_ready t);
+          if t.runnable = [] && not (wake_ready t) then
+            raise (Deadlock (List.map (fun p -> Printf.sprintf "%s: %s" p.fiber.label p.reason) t.parked))
+          else loop ()
+        end
+        else raise (Deadlock (List.map (fun p -> Printf.sprintf "%s: %s" p.fiber.label p.reason) t.parked))
+  in
+  loop ()
+
+(* Convenience: build a scheduler, spawn [main], run to completion. *)
+let run_main ?policy ?max_steps ?record_trace main =
+  let t = create ?policy ?max_steps ?record_trace () in
+  ignore (spawn t ~label:"main" main);
+  run t;
+  t
+
+let steps t = t.steps
+let runnable_count t = List.length t.runnable
+let parked_count t = List.length t.parked
+let parked_reasons t = List.map (fun p -> p.reason) t.parked

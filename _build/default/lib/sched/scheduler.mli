@@ -1,0 +1,61 @@
+(** Deterministic cooperative scheduler over OCaml 5 effect handlers.
+
+    Every transaction (and the application's main program) runs in a
+    fiber; a blocking primitive parks its fiber under a wake condition
+    and the engine re-evaluates conditions on every state change —
+    preserving the section-4.2 "blocks and retries" structure while
+    making every schedule reproducible (FIFO, or seeded random).
+
+    Deadlock is observable rather than a hang: when no fiber is
+    runnable and no parked condition holds, the [on_stall] hook runs
+    (the engine uses it to abort a deadlock victim); if it makes no
+    progress, {!Deadlock} is raised with the parked fibers' reasons. *)
+
+type policy = Fifo | Random_seeded of int
+
+type t
+
+exception Deadlock of string list
+exception Fiber_failed of string * exn
+
+val create : ?policy:policy -> ?max_steps:int -> ?record_trace:bool -> unit -> t
+(** [max_steps] (default 10M) bounds total scheduling steps, turning
+    livelocks into failures. *)
+
+val set_on_stall : t -> (unit -> bool) -> unit
+(** The hook must return true iff it made progress (e.g. aborted a
+    victim and bumped a version counter). *)
+
+val spawn : t -> label:string -> (unit -> unit) -> int
+(** Enqueue a fiber; returns its id.  Callable from inside or outside
+    fibers. *)
+
+val run : t -> unit
+(** Drive all fibers to completion.  Raises {!Deadlock} or
+    {!Fiber_failed} (an uncaught exception in a fiber, which indicates
+    a bug — engine-level aborts never escape). *)
+
+val run_main :
+  ?policy:policy -> ?max_steps:int -> ?record_trace:bool -> (unit -> unit) -> t
+(** Create, spawn [main], run. *)
+
+(** {2 Inside fibers} *)
+
+val yield : unit -> unit
+
+val wait_until : ?reason:string -> (unit -> bool) -> unit
+(** Park until the condition holds (checked immediately first). *)
+
+(** {2 Introspection} *)
+
+val current_fid : t -> int
+(** The running fiber's id, or -1 outside any fiber. *)
+
+val steps : t -> int
+val runnable_count : t -> int
+val parked_count : t -> int
+val parked_reasons : t -> string list
+
+val trace : t -> (int * string) list
+(** The recorded event trace (oldest first) when [record_trace] was
+    set. *)

@@ -1,0 +1,1 @@
+lib/storage/heap_store.ml: Asset_util Hashtbl Store Value

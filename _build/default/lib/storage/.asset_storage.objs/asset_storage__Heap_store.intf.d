@@ -1,0 +1,1 @@
+lib/storage/heap_store.mli: Asset_util Store Value

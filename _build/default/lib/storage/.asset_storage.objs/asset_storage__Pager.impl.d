@@ -1,0 +1,1 @@
+lib/storage/pager.ml: Asset_util Bytes Fmt Int32 String Unix

@@ -1,0 +1,1 @@
+lib/storage/persistent_store.ml: Asset_util Buffer_pool Hashtbl List Pager Slotted_page Store String Value

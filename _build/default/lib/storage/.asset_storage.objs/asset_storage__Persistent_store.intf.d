@@ -1,0 +1,1 @@
+lib/storage/persistent_store.mli: Asset_util Store Value

@@ -1,0 +1,1 @@
+lib/storage/slotted_page.ml: Asset_util Bytes Int64 List String

@@ -1,0 +1,1 @@
+lib/storage/slotted_page.mli: Asset_util Bytes

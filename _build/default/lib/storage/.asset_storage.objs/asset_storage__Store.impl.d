@@ -1,0 +1,1 @@
+lib/storage/store.ml: Asset_util Fmt List Value

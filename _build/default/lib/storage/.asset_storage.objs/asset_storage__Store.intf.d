@@ -1,0 +1,1 @@
+lib/storage/store.mli: Asset_util Value

@@ -1,0 +1,1 @@
+lib/storage/value.ml: Bytes Format Int64 List String

@@ -1,0 +1,115 @@
+(* Buffer pool: a bounded cache of pages over the pager, with pinning,
+   dirty tracking and LRU eviction among unpinned frames.
+
+   The shared-cache operating mode described in the paper ("the
+   application operates directly on the objects in a shared cache
+   without first copying the object to its private address space") maps
+   to handing out the frame's bytes directly; callers mutate them in
+   place and mark the frame dirty. *)
+
+type frame = {
+  page_id : int;
+  bytes : Bytes.t;
+  mutable pins : int;
+  mutable dirty : bool;
+  mutable last_use : int;
+}
+
+type t = {
+  pager : Pager.t;
+  capacity : int;
+  frames : (int, frame) Hashtbl.t;
+  mutable clock : int;
+  hits : Asset_util.Stats.Counter.t;
+  misses : Asset_util.Stats.Counter.t;
+  evictions : Asset_util.Stats.Counter.t;
+}
+
+let create ?(capacity = 64) pager =
+  if capacity < 1 then invalid_arg "Buffer_pool.create: capacity must be >= 1";
+  {
+    pager;
+    capacity;
+    frames = Hashtbl.create capacity;
+    clock = 0;
+    hits = Asset_util.Stats.Counter.create "pool.hits";
+    misses = Asset_util.Stats.Counter.create "pool.misses";
+    evictions = Asset_util.Stats.Counter.create "pool.evictions";
+  }
+
+let flush_frame t frame =
+  if frame.dirty then begin
+    Pager.write_page t.pager frame.page_id frame.bytes;
+    frame.dirty <- false
+  end
+
+(* Evict the least-recently-used unpinned frame.  Raises if every frame
+   is pinned — a genuine resource-exhaustion condition the caller must
+   avoid by unpinning. *)
+let evict_one t =
+  let victim =
+    Hashtbl.fold
+      (fun _ frame best ->
+        if frame.pins > 0 then best
+        else
+          match best with
+          | Some b when b.last_use <= frame.last_use -> best
+          | _ -> Some frame)
+      t.frames None
+  in
+  match victim with
+  | None -> failwith "Buffer_pool: all frames pinned"
+  | Some frame ->
+      flush_frame t frame;
+      Hashtbl.remove t.frames frame.page_id;
+      Asset_util.Stats.Counter.incr t.evictions
+
+let touch t frame =
+  t.clock <- t.clock + 1;
+  frame.last_use <- t.clock
+
+(* Pin a page and return its frame bytes.  The caller must [unpin]. *)
+let pin t page_id =
+  match Hashtbl.find_opt t.frames page_id with
+  | Some frame ->
+      Asset_util.Stats.Counter.incr t.hits;
+      frame.pins <- frame.pins + 1;
+      touch t frame;
+      frame
+  | None ->
+      Asset_util.Stats.Counter.incr t.misses;
+      if Hashtbl.length t.frames >= t.capacity then evict_one t;
+      let bytes = Pager.read_page t.pager page_id in
+      let frame = { page_id; bytes; pins = 1; dirty = false; last_use = 0 } in
+      touch t frame;
+      Hashtbl.replace t.frames page_id frame;
+      frame
+
+let unpin _t frame =
+  if frame.pins <= 0 then invalid_arg "Buffer_pool.unpin: frame not pinned";
+  frame.pins <- frame.pins - 1
+
+let mark_dirty frame = frame.dirty <- true
+
+let with_page t page_id f =
+  let frame = pin t page_id in
+  match f frame with
+  | result ->
+      unpin t frame;
+      result
+  | exception e ->
+      unpin t frame;
+      raise e
+
+let flush_all t =
+  Hashtbl.iter (fun _ frame -> flush_frame t frame) t.frames;
+  Pager.sync t.pager
+
+(* Drop all cached frames without writing them back: used by the
+   recovery tests to simulate a crash that loses the volatile cache. *)
+let crash t = Hashtbl.reset t.frames
+
+let hit_count t = Asset_util.Stats.Counter.get t.hits
+let miss_count t = Asset_util.Stats.Counter.get t.misses
+let eviction_count t = Asset_util.Stats.Counter.get t.evictions
+let cached_pages t = Hashtbl.length t.frames

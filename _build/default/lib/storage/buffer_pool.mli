@@ -1,0 +1,41 @@
+(** Buffer pool: a bounded page cache over the pager with pinning,
+    dirty tracking and LRU eviction among unpinned frames.
+
+    The paper's shared-cache operating mode ("the application operates
+    directly on the objects in a shared cache") corresponds to handing
+    out frame bytes directly: callers mutate them in place and mark the
+    frame dirty. *)
+
+type frame = {
+  page_id : int;
+  bytes : Bytes.t;
+  mutable pins : int;
+  mutable dirty : bool;
+  mutable last_use : int;
+}
+
+type t
+
+val create : ?capacity:int -> Pager.t -> t
+
+val pin : t -> int -> frame
+(** Fetch (possibly evicting) and pin a page.  Raises [Failure] when
+    every frame is pinned. *)
+
+val unpin : t -> frame -> unit
+val mark_dirty : frame -> unit
+
+val with_page : t -> int -> (frame -> 'a) -> 'a
+(** Pin/unpin bracket, exception-safe. *)
+
+val flush_all : t -> unit
+(** Write back every dirty frame and sync the pager. *)
+
+val crash : t -> unit
+(** Drop all cached frames {e without} writing them back — simulates
+    losing the volatile cache. *)
+
+val hit_count : t -> int
+val miss_count : t -> int
+val eviction_count : t -> int
+val cached_pages : t -> int

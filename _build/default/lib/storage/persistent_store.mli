@@ -1,0 +1,35 @@
+(** Persistent object store: slotted pages behind a buffer pool.
+
+    The object table (oid to page/slot) and free-space hints are
+    volatile and rebuilt by scanning pages at open; crash consistency
+    of object {e contents} is the write-ahead log's job
+    ([Asset_wal]). *)
+
+module Oid = Asset_util.Id.Oid
+
+type t
+
+val create : ?page_size:int -> ?pool_capacity:int -> string -> t
+val open_existing : ?pool_capacity:int -> string -> t
+
+val read : t -> Oid.t -> Value.t option
+val write : t -> Oid.t -> Value.t -> unit
+(** In place when the new value fits; otherwise the record moves
+    (possibly to another page).  Raises [Invalid_argument] for objects
+    over 64 KiB (large objects unsupported; see DESIGN.md). *)
+
+val delete : t -> Oid.t -> unit
+val exists : t -> Oid.t -> bool
+val iter : t -> (Oid.t -> Value.t -> unit) -> unit
+val size : t -> int
+
+val flush : t -> unit
+(** Write back the cache and sync. *)
+
+val close : t -> unit
+
+val crash_and_reopen : t -> unit
+(** Simulate a crash: drop the volatile cache and object table, then
+    rebuild from what reached the disk.  Used by recovery tests. *)
+
+val to_store : ?name:string -> t -> Store.t

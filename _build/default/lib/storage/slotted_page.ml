@@ -1,0 +1,171 @@
+(* Slotted pages.
+
+   Classic slotted-page organization as used by EOS-style storage
+   managers: a slot directory grows forward from the page header while
+   record bodies grow backward from the end of the page.  Each record
+   carries the oid of the object it stores so that the object table can
+   be rebuilt by scanning pages at open time.
+
+   Layout (little-endian):
+     offset 0   : u16  number of slots (including deleted ones)
+     offset 2   : u16  free_end — offset one past the usable free space,
+                       i.e. the lowest record start so far
+     offset 4.. : slot directory, 4 bytes per slot:
+                    u16 record offset (0 when the slot is free)
+                    u16 record length (body bytes, excluding oid header)
+     ...
+     records    : each record is an 8-byte oid followed by the body,
+                  allocated downward from the page end.
+
+   Records must fit in a single page; EOS's large-object forest is out of
+   scope for this reproduction (documented in DESIGN.md). *)
+
+module Oid = Asset_util.Id.Oid
+
+let header_size = 4
+let slot_size = 4
+let record_header = 8 (* oid *)
+
+type t = { page : Bytes.t }
+
+exception Page_full
+
+let page_size t = Bytes.length t.page
+
+let nslots t = Bytes.get_uint16_le t.page 0
+let set_nslots t n = Bytes.set_uint16_le t.page 0 n
+let free_end t = Bytes.get_uint16_le t.page 2
+let set_free_end t v = Bytes.set_uint16_le t.page 2 v
+
+let slot_offset t i = Bytes.get_uint16_le t.page (header_size + (i * slot_size))
+let slot_length t i = Bytes.get_uint16_le t.page (header_size + (i * slot_size) + 2)
+
+let set_slot t i ~offset ~length =
+  Bytes.set_uint16_le t.page (header_size + (i * slot_size)) offset;
+  Bytes.set_uint16_le t.page (header_size + (i * slot_size) + 2) length
+
+let init page =
+  let t = { page } in
+  set_nslots t 0;
+  set_free_end t (Bytes.length page);
+  t
+
+let of_bytes page = { page }
+let bytes t = t.page
+
+let slot_in_use t i = i >= 0 && i < nslots t && slot_offset t i <> 0
+
+(* Contiguous free space between the end of the slot directory and the
+   lowest record. *)
+let contiguous_free t = free_end t - (header_size + (nslots t * slot_size))
+
+let max_body t = page_size t - header_size - slot_size - record_header
+
+(* Find a free (deleted) slot to reuse, if any. *)
+let find_free_slot t =
+  let n = nslots t in
+  let rec loop i = if i >= n then None else if slot_offset t i = 0 then Some i else loop (i + 1) in
+  loop 0
+
+let insert t oid body =
+  let body_len = String.length body in
+  let record_len = record_header + body_len in
+  let need_new_slot = find_free_slot t = None in
+  let need = record_len + if need_new_slot then slot_size else 0 in
+  if contiguous_free t < need then raise Page_full;
+  let slot =
+    match find_free_slot t with
+    | Some i -> i
+    | None ->
+        let i = nslots t in
+        set_nslots t (i + 1);
+        i
+  in
+  let offset = free_end t - record_len in
+  set_free_end t offset;
+  Bytes.set_int64_le t.page offset (Int64.of_int (Oid.to_int oid));
+  Bytes.blit_string body 0 t.page (offset + record_header) body_len;
+  set_slot t slot ~offset ~length:body_len;
+  slot
+
+let read t slot =
+  if not (slot_in_use t slot) then None
+  else
+    let offset = slot_offset t slot in
+    let length = slot_length t slot in
+    let oid = Oid.of_int (Int64.to_int (Bytes.get_int64_le t.page offset)) in
+    Some (oid, Bytes.sub_string t.page (offset + record_header) length)
+
+let read_exn t slot =
+  match read t slot with
+  | Some r -> r
+  | None -> invalid_arg "Slotted_page.read_exn: slot not in use"
+
+let delete t slot =
+  if slot_in_use t slot then set_slot t slot ~offset:0 ~length:0
+
+(* In-place update when the new body is no larger than the old one;
+   returns false when the caller must delete + reinsert. *)
+let update_in_place t slot body =
+  if not (slot_in_use t slot) then invalid_arg "Slotted_page.update_in_place: free slot";
+  let old_len = slot_length t slot in
+  let new_len = String.length body in
+  if new_len > old_len then false
+  else begin
+    let offset = slot_offset t slot in
+    Bytes.blit_string body 0 t.page (offset + record_header) new_len;
+    set_slot t slot ~offset ~length:new_len;
+    true
+  end
+
+(* Compaction: slide all live records to the end of the page to merge
+   fragmentation into one contiguous free region.  Slot numbers are
+   stable (they are external references). *)
+let compact t =
+  let n = nslots t in
+  let live = ref [] in
+  for i = 0 to n - 1 do
+    if slot_in_use t i then begin
+      let offset = slot_offset t i in
+      let total = record_header + slot_length t i in
+      live := (i, Bytes.sub t.page offset total) :: !live
+    end
+  done;
+  (* Rewrite records from the page end downward, in descending original
+     offset order so content is only moved, never clobbered mid-copy
+     (we copied to fresh buffers above, so order is actually free). *)
+  let free = ref (page_size t) in
+  List.iter
+    (fun (i, record) ->
+      let total = Bytes.length record in
+      free := !free - total;
+      Bytes.blit record 0 t.page !free total;
+      set_slot t i ~offset:!free ~length:(total - record_header))
+    !live;
+  set_free_end t !free
+
+(* Total reclaimable space: contiguous free plus dead-record bytes. *)
+let total_free t =
+  let n = nslots t in
+  let live = ref 0 in
+  for i = 0 to n - 1 do
+    if slot_in_use t i then live := !live + record_header + slot_length t i
+  done;
+  page_size t - header_size - (n * slot_size) - !live
+
+let insert_with_compaction t oid body =
+  match insert t oid body with
+  | slot -> slot
+  | exception Page_full ->
+      let record_len = record_header + String.length body in
+      let slot_cost = if find_free_slot t = None then slot_size else 0 in
+      if total_free t < record_len + slot_cost then raise Page_full
+      else begin
+        compact t;
+        insert t oid body
+      end
+
+let iter t f =
+  for i = 0 to nslots t - 1 do
+    match read t i with Some (oid, body) -> f i oid body | None -> ()
+  done

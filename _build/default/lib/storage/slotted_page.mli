@@ -1,0 +1,58 @@
+(** Slotted pages: the on-page record organization of the persistent
+    store.
+
+    A slot directory grows forward from the header while record bodies
+    grow backward from the page end; every record carries its oid so
+    the object table can be rebuilt by scanning pages at open time.
+    Slot numbers are stable across compaction (they are external
+    references).  Records must fit in one page — EOS's large-object
+    forest is out of scope (see DESIGN.md). *)
+
+module Oid = Asset_util.Id.Oid
+
+type t
+
+exception Page_full
+
+val header_size : int
+val slot_size : int
+
+val record_header : int
+(** Bytes of per-record overhead (the embedded oid). *)
+
+val init : Bytes.t -> t
+(** Format a buffer as an empty page. *)
+
+val of_bytes : Bytes.t -> t
+(** View an already-formatted page. *)
+
+val bytes : t -> Bytes.t
+val page_size : t -> int
+val nslots : t -> int
+val slot_in_use : t -> int -> bool
+
+val insert : t -> Oid.t -> string -> int
+(** Insert a record, reusing a free slot if any; returns the slot.
+    Raises {!Page_full} when the contiguous free region is too small
+    (try {!insert_with_compaction}). *)
+
+val insert_with_compaction : t -> Oid.t -> string -> int
+(** Like {!insert}, but compacts the page first when fragmentation is
+    the only obstacle. *)
+
+val read : t -> int -> (Oid.t * string) option
+val read_exn : t -> int -> Oid.t * string
+val delete : t -> int -> unit
+
+val update_in_place : t -> int -> string -> bool
+(** Overwrite a record body without moving it; false when the new body
+    is larger than the old one (caller must delete and reinsert). *)
+
+val compact : t -> unit
+(** Slide live records together, merging free space; slots keep their
+    numbers. *)
+
+val contiguous_free : t -> int
+val total_free : t -> int
+val max_body : t -> int
+val iter : t -> (int -> Oid.t -> string -> unit) -> unit

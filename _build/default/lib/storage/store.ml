@@ -1,0 +1,47 @@
+(* The object-store interface the transaction engine runs against.
+
+   Two implementations exist: [Heap_store] (in-memory, used by benchmarks
+   and most tests) and [Persistent_store] (paged, buffer-pooled, used by
+   the recovery experiments).  The engine only needs this small surface;
+   recovery-time concerns (flush, close) are handled by whoever owns the
+   store. *)
+
+module Oid = Asset_util.Id.Oid
+
+type t = {
+  name : string;
+  read : Oid.t -> Value.t option;
+  write : Oid.t -> Value.t -> unit;
+  delete : Oid.t -> unit;
+  exists : Oid.t -> bool;
+  iter : (Oid.t -> Value.t -> unit) -> unit;
+  size : unit -> int;
+  flush : unit -> unit;
+}
+
+let name t = t.name
+let read t oid = t.read oid
+
+let read_exn t oid =
+  match t.read oid with
+  | Some v -> v
+  | None -> Fmt.invalid_arg "Store.read_exn: %a not found" Oid.pp oid
+
+let write t oid v = t.write oid v
+let delete t oid = t.delete oid
+let exists t oid = t.exists oid
+let iter t f = t.iter f
+let size t = t.size ()
+let flush t = t.flush ()
+
+(* Snapshot as a sorted association list; used by tests to compare the
+   outcome of a concurrent schedule against a serial reference run. *)
+let snapshot t =
+  let acc = ref [] in
+  t.iter (fun oid v -> acc := (oid, v) :: !acc);
+  List.sort (fun (a, _) (b, _) -> Oid.compare a b) !acc
+
+let equal_content a b =
+  let sa = snapshot a and sb = snapshot b in
+  List.length sa = List.length sb
+  && List.for_all2 (fun (o1, v1) (o2, v2) -> Oid.equal o1 o2 && Value.equal v1 v2) sa sb

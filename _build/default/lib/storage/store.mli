@@ -1,0 +1,38 @@
+(** The object-store interface the transaction engine runs against.
+
+    Implementations: {!Heap_store} (in-memory) and {!Persistent_store}
+    (paged, buffer-pooled, durable via [flush]). *)
+
+module Oid = Asset_util.Id.Oid
+
+type t = {
+  name : string;
+  read : Oid.t -> Value.t option;
+  write : Oid.t -> Value.t -> unit;
+  delete : Oid.t -> unit;
+  exists : Oid.t -> bool;
+  iter : (Oid.t -> Value.t -> unit) -> unit;
+  size : unit -> int;
+  flush : unit -> unit;
+}
+
+val name : t -> string
+val read : t -> Oid.t -> Value.t option
+
+val read_exn : t -> Oid.t -> Value.t
+(** Raises [Invalid_argument] when the object does not exist. *)
+
+val write : t -> Oid.t -> Value.t -> unit
+val delete : t -> Oid.t -> unit
+val exists : t -> Oid.t -> bool
+val iter : t -> (Oid.t -> Value.t -> unit) -> unit
+val size : t -> int
+
+val flush : t -> unit
+(** Make the current contents durable (no-op for the heap store). *)
+
+val snapshot : t -> (Oid.t * Value.t) list
+(** Contents as an oid-sorted association list; used by tests to
+    compare outcomes. *)
+
+val equal_content : t -> t -> bool

@@ -1,0 +1,67 @@
+(* Object values.
+
+   EOS stores untyped byte sequences; objects acquire structure only
+   through the operations invoked on them.  We keep the same stance: a
+   value is an immutable byte string, with a few codecs for the payloads
+   the tests, examples and benchmarks use (integers, counters, small
+   records). *)
+
+type t = string
+
+let of_string s = s
+let to_string v = v
+let length = String.length
+let equal = String.equal
+let empty = ""
+
+let pp ppf v =
+  if String.length v <= 32 && String.for_all (fun c -> c >= ' ' && c <= '~') v then
+    Format.fprintf ppf "%S" v
+  else Format.fprintf ppf "<%d bytes>" (String.length v)
+
+(* Fixed-width integer codec, used heavily by tests (counter objects)
+   and by the workload generator (account balances). *)
+
+let of_int i =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int i);
+  Bytes.unsafe_to_string b
+
+let to_int v =
+  if String.length v <> 8 then invalid_arg "Value.to_int: not an 8-byte integer value";
+  Int64.to_int (String.get_int64_le v 0)
+
+let incr_int v delta = of_int (to_int v + delta)
+
+(* Association-list codec for small record-like objects, e.g. the
+   reservation objects in the travel-workflow example:
+   "field=value;field=value".  Fields and values must not contain '=' or
+   ';'. *)
+
+let of_fields fields =
+  List.iter
+    (fun (k, v) ->
+      if String.exists (fun c -> c = '=' || c = ';') (k ^ v) then
+        invalid_arg "Value.of_fields: field contains reserved character")
+    fields;
+  String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ v) fields)
+
+let to_fields v =
+  if String.length v = 0 then []
+  else
+    String.split_on_char ';' v
+    |> List.map (fun kv ->
+           match String.index_opt kv '=' with
+           | Some i -> (String.sub kv 0 i, String.sub kv (i + 1) (String.length kv - i - 1))
+           | None -> (kv, ""))
+
+let field v key = List.assoc_opt key (to_fields v)
+
+let set_field v key value =
+  let fields = to_fields v in
+  let fields =
+    if List.mem_assoc key fields then
+      List.map (fun (k, old) -> if String.equal k key then (k, value) else (k, old)) fields
+    else fields @ [ (key, value) ]
+  in
+  of_fields fields

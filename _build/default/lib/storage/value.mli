@@ -1,0 +1,37 @@
+(** Object values: immutable byte strings, as in EOS.
+
+    Objects acquire structure only through the operations invoked on
+    them; this module also provides the codecs used by tests, examples
+    and workloads (fixed-width integers, field lists). *)
+
+type t
+
+val of_string : string -> t
+val to_string : t -> string
+val length : t -> int
+val equal : t -> t -> bool
+val empty : t
+val pp : Format.formatter -> t -> unit
+
+(** {2 Integer codec} *)
+
+val of_int : int -> t
+(** An 8-byte little-endian integer value. *)
+
+val to_int : t -> int
+(** Raises [Invalid_argument] when the value is not 8 bytes. *)
+
+val incr_int : t -> int -> t
+(** [incr_int v d] is [of_int (to_int v + d)]. *)
+
+(** {2 Field-list codec}
+
+    Small record-like objects as ["k=v;k=v"].  Keys and values must not
+    contain ['='] or [';']. *)
+
+val of_fields : (string * string) list -> t
+val to_fields : t -> (string * string) list
+val field : t -> string -> string option
+
+val set_field : t -> string -> string -> t
+(** Replace or append one field, preserving the order of the others. *)

@@ -1,0 +1,50 @@
+(** Identifier types shared across the system.
+
+    Transaction identifiers ([Tid]) are the opaque handles returned by
+    [initiate]; object identifiers ([Oid]) name persistent objects in
+    the store.  Both are private integers with a null value, cheap
+    equality/hashing, and monotonic generators — the module types keep
+    them from being mixed up. *)
+
+module type S = sig
+  type t
+
+  val null : t
+  (** The null identifier.  [initiate] returns it when resources are
+      exhausted; [parent] returns it for top-level transactions. *)
+
+  val is_null : t -> bool
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+
+  val to_int : t -> int
+  (** The raw integer behind the identifier (for encoding in logs and
+      values). *)
+
+  val of_int : int -> t
+  (** Rebuild an identifier from its raw integer (log decoding). *)
+
+  val pp : Format.formatter -> t -> unit
+
+  type gen
+  (** A monotonic generator of fresh identifiers. *)
+
+  val generator : unit -> gen
+
+  val fresh : gen -> t
+  (** A fresh, never-null identifier; successive calls are strictly
+      increasing. *)
+end
+
+module Make (_ : sig
+  val prefix : string
+end) : S
+(** Build a fresh identifier type whose printed form starts with
+    [prefix]. *)
+
+module Tid : S
+(** Transaction identifiers (printed [t1], [t2], ...). *)
+
+module Oid : S
+(** Object identifiers (printed [ob1], [ob2], ...). *)

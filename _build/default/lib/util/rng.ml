@@ -1,0 +1,53 @@
+(* SplitMix64: a small, fast, deterministic PRNG.
+
+   All randomized components in the repository (scheduling policies,
+   workload generators, property tests that need their own stream) draw
+   from this generator so that every run is reproducible from a seed.
+   Reference: Steele, Lea & Flood, "Fast splittable pseudorandom number
+   generators", OOPSLA 2014. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+(* 62 non-negative bits *)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  bits t mod bound
+
+let float t =
+  (* Uniform in [0, 1): use the top 53 bits. *)
+  let u = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  u /. 9007199254740992.0
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let split t =
+  let seed = Int64.to_int (next_int64 t) in
+  { state = Int64.of_int seed }
+
+let shuffle_in_place t arr =
+  let n = Array.length arr in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))

@@ -1,0 +1,40 @@
+(** SplitMix64: a small, fast, deterministic PRNG.
+
+    Every randomized component in the repository (scheduling policies,
+    workload generators) draws from this generator so that runs are
+    reproducible from a seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator; equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** A generator that continues identically to the original. *)
+
+val next_int64 : t -> int64
+(** The next raw 64-bit output. *)
+
+val bits : t -> int
+(** 62 uniformly random non-negative bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  Raises
+    [Invalid_argument] when [bound <= 0]. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+
+val split : t -> t
+(** A child generator statistically independent of the parent's
+    subsequent output. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher-Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** A uniformly random element.  Raises [Invalid_argument] on an empty
+    array. *)

@@ -1,0 +1,93 @@
+(* Lightweight counters and summary statistics used by the engine, the
+   lock manager and the benchmark harness.  Everything is in-memory and
+   allocation-light so that enabling statistics does not distort the
+   benchmarks that read them. *)
+
+module Counter = struct
+  type t = { name : string; mutable value : int }
+
+  let create name = { name; value = 0 }
+  let incr t = t.value <- t.value + 1
+  let add t n = t.value <- t.value + n
+  let get t = t.value
+  let reset t = t.value <- 0
+  let name t = t.name
+  let pp ppf t = Format.fprintf ppf "%s=%d" t.name t.value
+end
+
+module Summary = struct
+  (* Streaming summary: count, sum, min, max and sum of squares, enough
+     for mean and standard deviation without retaining samples. *)
+  type t = {
+    name : string;
+    mutable count : int;
+    mutable sum : float;
+    mutable sum_sq : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create name =
+    { name; count = 0; sum = 0.0; sum_sq = 0.0; min = infinity; max = neg_infinity }
+
+  let observe t x =
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. x;
+    t.sum_sq <- t.sum_sq +. (x *. x);
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.count
+  let sum t = t.sum
+  let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+  let min t = if t.count = 0 then 0.0 else t.min
+  let max t = if t.count = 0 then 0.0 else t.max
+
+  let stddev t =
+    if t.count < 2 then 0.0
+    else
+      let n = float_of_int t.count in
+      let variance = (t.sum_sq /. n) -. ((t.sum /. n) ** 2.0) in
+      sqrt (Float.max 0.0 variance)
+
+  let reset t =
+    t.count <- 0;
+    t.sum <- 0.0;
+    t.sum_sq <- 0.0;
+    t.min <- infinity;
+    t.max <- neg_infinity
+
+  let pp ppf t =
+    Format.fprintf ppf "%s: n=%d mean=%.3f min=%.3f max=%.3f sd=%.3f" t.name t.count
+      (mean t) (min t) (max t) (stddev t)
+end
+
+module Histogram = struct
+  (* Fixed-bucket histogram for integer observations (e.g. retry counts,
+     lock-queue lengths).  The last bucket is an overflow bucket. *)
+  type t = { name : string; bounds : int array; buckets : int array }
+
+  let create name ~bounds =
+    let sorted = Array.copy bounds in
+    Array.sort Int.compare sorted;
+    { name; bounds = sorted; buckets = Array.make (Array.length sorted + 1) 0 }
+
+  let observe t x =
+    let n = Array.length t.bounds in
+    let rec find i = if i >= n then n else if x <= t.bounds.(i) then i else find (i + 1) in
+    let i = find 0 in
+    t.buckets.(i) <- t.buckets.(i) + 1
+
+  let buckets t = Array.copy t.buckets
+
+  let total t = Array.fold_left ( + ) 0 t.buckets
+
+  let pp ppf t =
+    Format.fprintf ppf "%s:" t.name;
+    Array.iteri
+      (fun i count ->
+        if i < Array.length t.bounds then
+          Format.fprintf ppf " <=%d:%d" t.bounds.(i) count
+        else Format.fprintf ppf " >:%d" count)
+      t.buckets
+end

@@ -1,0 +1,39 @@
+(* Plain-text table rendering for the benchmark harness and the demo CLI.
+   Columns are sized to their widest cell; numbers are expected to arrive
+   preformatted as strings so the caller controls precision. *)
+
+type t = { title : string; header : string list; mutable rows : string list list }
+
+let create ~title ~header = { title; header; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.header then
+    invalid_arg "Table.add_row: row width does not match header";
+  t.rows <- row :: t.rows
+
+let widths t =
+  let all = t.header :: List.rev t.rows in
+  let ncols = List.length t.header in
+  let w = Array.make ncols 0 in
+  List.iter
+    (fun row -> List.iteri (fun i cell -> w.(i) <- Stdlib.max w.(i) (String.length cell)) row)
+    all;
+  w
+
+let pp ppf t =
+  let w = widths t in
+  let pad i cell = cell ^ String.make (w.(i) - String.length cell) ' ' in
+  let rule =
+    String.concat "-+-" (Array.to_list (Array.map (fun n -> String.make n '-') w))
+  in
+  Format.fprintf ppf "@.== %s ==@." t.title;
+  Format.fprintf ppf "%s@." (String.concat " | " (List.mapi pad t.header));
+  Format.fprintf ppf "%s@." rule;
+  List.iter
+    (fun row -> Format.fprintf ppf "%s@." (String.concat " | " (List.mapi pad row)))
+    (List.rev t.rows)
+
+let print t = Format.printf "%a@." pp t
+
+let fmt_f ?(digits = 2) x = Printf.sprintf "%.*f" digits x
+let fmt_i = string_of_int

@@ -1,0 +1,21 @@
+(** Plain-text table rendering for the benchmark harness and CLI. *)
+
+type t
+
+val create : title:string -> header:string list -> t
+
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] when the row width does not match the
+    header. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders title, header, a rule, and rows in insertion order, with
+    columns padded to their widest cell. *)
+
+val print : t -> unit
+(** [pp] to standard output. *)
+
+val fmt_f : ?digits:int -> float -> string
+(** Fixed-point formatting helper (default 2 digits). *)
+
+val fmt_i : int -> string

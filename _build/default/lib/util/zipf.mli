@@ -1,0 +1,15 @@
+(** Zipfian sampler over [\[0, n)] with skew exponent [theta].
+
+    [theta = 0] is uniform; values around 1 produce the hot-spot access
+    patterns of the lock-manager benchmarks.  Construction is O(n),
+    sampling O(log n). *)
+
+type t
+
+val create : n:int -> theta:float -> rng:Rng.t -> t
+(** Raises [Invalid_argument] when [n <= 0] or [theta < 0]. *)
+
+val sample : t -> int
+(** The next sampled rank, in [\[0, n)]; rank 0 is the hottest. *)
+
+val n : t -> int

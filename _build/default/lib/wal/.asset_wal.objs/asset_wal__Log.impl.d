@@ -1,0 +1,1 @@
+lib/wal/log.ml: Array Bytes Format Int32 List Record String

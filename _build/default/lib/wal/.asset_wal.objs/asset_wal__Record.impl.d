@@ -1,0 +1,1 @@
+lib/wal/record.ml: Asset_storage Asset_util Buffer Bytes Char Format Int64 List Printf String

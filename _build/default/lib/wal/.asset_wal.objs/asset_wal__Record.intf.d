@@ -1,0 +1,1 @@
+lib/wal/record.mli: Asset_storage Asset_util Format

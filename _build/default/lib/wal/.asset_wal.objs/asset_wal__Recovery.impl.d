@@ -1,0 +1,1 @@
+lib/wal/recovery.ml: Asset_storage Asset_util Format Hashtbl List Log Record

@@ -1,0 +1,1 @@
+lib/wal/recovery.mli: Asset_storage Asset_util Format Log

@@ -1,0 +1,109 @@
+(* The log: an append-only sequence of records, addressed by LSN.
+
+   Records always live in memory (a growable array) so that the engine's
+   abort path can walk them without I/O; when the log is opened with a
+   backing file, every append is also written to the file in a framed
+   binary format (u32 length + body) and [force] makes the file durable.
+   Commit records are forced automatically — the WAL rule. *)
+
+type sink = { channel : out_channel; path : string }
+
+type t = {
+  mutable records : Record.t array;
+  mutable len : int;
+  sink : sink option;
+  mutable forced_lsn : int; (* highest LSN known durable *)
+}
+
+let in_memory () = { records = Array.make 64 Record.Checkpoint; len = 0; sink = None; forced_lsn = -1 }
+
+let create_file path =
+  let channel = open_out_bin path in
+  {
+    records = Array.make 64 Record.Checkpoint;
+    len = 0;
+    sink = Some { channel; path };
+    forced_lsn = -1;
+  }
+
+let grow t =
+  let bigger = Array.make (2 * Array.length t.records) Record.Checkpoint in
+  Array.blit t.records 0 bigger 0 t.len;
+  t.records <- bigger
+
+let write_framed channel body =
+  let len = String.length body in
+  let frame = Bytes.create 4 in
+  Bytes.set_int32_le frame 0 (Int32.of_int len);
+  output_bytes channel frame;
+  output_string channel body
+
+let force t =
+  match t.sink with
+  | None -> t.forced_lsn <- t.len - 1
+  | Some { channel; _ } ->
+      flush channel;
+      t.forced_lsn <- t.len - 1
+
+let append t record =
+  if t.len = Array.length t.records then grow t;
+  t.records.(t.len) <- record;
+  let lsn = t.len in
+  t.len <- t.len + 1;
+  (match t.sink with
+  | None -> ()
+  | Some { channel; _ } -> write_framed channel (Record.encode record));
+  (* The WAL rule: a commit record must be durable before the commit is
+     acknowledged. *)
+  (match record with Record.Commit _ -> force t | _ -> ());
+  lsn
+
+let length t = t.len
+let get t lsn = if lsn < 0 || lsn >= t.len then invalid_arg "Log.get: bad LSN" else t.records.(lsn)
+let forced_lsn t = t.forced_lsn
+
+let iter ?(from = 0) t f =
+  for lsn = from to t.len - 1 do
+    f lsn t.records.(lsn)
+  done
+
+let iter_rev ?until t f =
+  let until = match until with None -> 0 | Some u -> u in
+  for lsn = t.len - 1 downto until do
+    f lsn t.records.(lsn)
+  done
+
+let fold ?(from = 0) t ~init ~f =
+  let acc = ref init in
+  iter ~from t (fun lsn r -> acc := f !acc lsn r);
+  !acc
+
+let to_list t = List.init t.len (fun i -> t.records.(i))
+
+let close t = match t.sink with None -> () | Some { channel; _ } -> close_out channel
+
+(* Load a file-backed log for recovery.  Stops cleanly at a torn tail
+   (partial final record), mirroring what a real recovery scan does. *)
+let load path =
+  let ic = open_in_bin path in
+  let t = in_memory () in
+  let frame = Bytes.create 4 in
+  let rec loop () =
+    match really_input ic frame 0 4 with
+    | () ->
+        let len = Int32.to_int (Bytes.get_int32_le frame 0) in
+        let body = Bytes.create len in
+        (match really_input ic body 0 len with
+        | () ->
+            ignore (append t (Record.decode (Bytes.unsafe_to_string body)));
+            loop ()
+        | exception End_of_file -> ())
+    | exception End_of_file -> ()
+  in
+  loop ();
+  close_in ic;
+  t.forced_lsn <- t.len - 1;
+  t
+
+let pp ppf t =
+  iter t (fun lsn r -> Format.fprintf ppf "%4d %a@." lsn Record.pp r)

@@ -1,0 +1,37 @@
+(** The log: an append-only record sequence addressed by LSN.
+
+    Records always stay in memory (the engine's abort path walks them
+    without I/O); with a backing file every append is also written in a
+    framed binary format and {!force} makes the file durable.  Commit
+    records are forced automatically — the WAL rule. *)
+
+type t
+
+val in_memory : unit -> t
+val create_file : string -> t
+
+val load : string -> t
+(** Read a file-backed log back for recovery, stopping cleanly at a
+    torn tail (partial final record). *)
+
+val append : t -> Record.t -> int
+(** Append and return the record's LSN.  Appending a [Commit] record
+    forces the log. *)
+
+val force : t -> unit
+(** Make everything appended so far durable. *)
+
+val forced_lsn : t -> int
+(** Highest LSN known durable; -1 when nothing is. *)
+
+val length : t -> int
+
+val get : t -> int -> Record.t
+(** Raises [Invalid_argument] on an out-of-range LSN. *)
+
+val iter : ?from:int -> t -> (int -> Record.t -> unit) -> unit
+val iter_rev : ?until:int -> t -> (int -> Record.t -> unit) -> unit
+val fold : ?from:int -> t -> init:'a -> f:('a -> int -> Record.t -> 'a) -> 'a
+val to_list : t -> Record.t list
+val close : t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,202 @@
+(* Write-ahead-log records.
+
+   The paper's write algorithm (section 4.2) logs the before image and
+   the after image of every update; commit places a commit record; abort
+   installs before images from the log.  Two ASSET-specific twists show
+   up here:
+
+   - [Commit] carries a *list* of tids because a resolved group-commit
+     dependency commits a whole set of transactions atomically ("the
+     steps below are simultaneously executed for all the transactions in
+     the group").
+
+   - [Delegate] records responsibility transfers.  Recovery must know
+     who finally became responsible for each logged update: an update
+     performed by t_i but delegated to t_j is a winner update iff t_j
+     committed.  Without logging delegation, recovery could not decide
+     this. *)
+
+module Tid = Asset_util.Id.Tid
+module Oid = Asset_util.Id.Oid
+module Value = Asset_storage.Value
+
+type t =
+  | Begin of Tid.t
+  | Update of { tid : Tid.t; oid : Oid.t; before : Value.t option; after : Value.t }
+  | Commit of Tid.t list
+  | Abort of Tid.t
+  | Delegate of { from_ : Tid.t; to_ : Tid.t; oids : Oid.t list option }
+      (* [oids = None] delegates everything t_i is responsible for. *)
+  | Increment of { tid : Tid.t; oid : Oid.t; delta : int; after : Value.t }
+      (* A commuting increment (section-5 semantic concurrency).  The
+         [after] image supports physical repeat-history redo; [delta]
+         supports *logical* undo — concurrent uncommitted increments by
+         other transactions must survive this one's abort, so undo
+         subtracts rather than installing a before image. *)
+  | Clr of { tid : Tid.t; oid : Oid.t; image : Value.t option }
+      (* Compensation record: the abort algorithm installed [image]
+         (None = the object is deleted) while undoing [tid].  Redo-only,
+         ARIES-style: recovery replays CLRs but never undoes them, and a
+         loser whose Abort record made it to the log is not re-undone —
+         its CLRs already carry the undo. *)
+  | Checkpoint
+
+let pp ppf = function
+  | Begin tid -> Format.fprintf ppf "BEGIN %a" Tid.pp tid
+  | Update { tid; oid; before; after } ->
+      Format.fprintf ppf "UPDATE %a %a before=%a after=%a" Tid.pp tid Oid.pp oid
+        (Format.pp_print_option Value.pp)
+        before Value.pp after
+  | Commit tids ->
+      Format.fprintf ppf "COMMIT [%a]" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",") Tid.pp) tids
+  | Abort tid -> Format.fprintf ppf "ABORT %a" Tid.pp tid
+  | Delegate { from_; to_; oids } ->
+      Format.fprintf ppf "DELEGATE %a->%a %s" Tid.pp from_ Tid.pp to_
+        (match oids with
+        | None -> "all"
+        | Some l -> Printf.sprintf "%d objects" (List.length l))
+  | Increment { tid; oid; delta; after } ->
+      Format.fprintf ppf "INCR %a %a delta=%d after=%a" Tid.pp tid Oid.pp oid delta Value.pp
+        after
+  | Clr { tid; oid; image } ->
+      Format.fprintf ppf "CLR %a %a image=%a" Tid.pp tid Oid.pp oid
+        (Format.pp_print_option Value.pp)
+        image
+  | Checkpoint -> Format.fprintf ppf "CHECKPOINT"
+
+(* Binary codec.  Framing (record length) is the log's concern; this
+   codec produces and parses the record body.  All integers are
+   little-endian. *)
+
+let tag = function
+  | Begin _ -> 1
+  | Update _ -> 2
+  | Commit _ -> 3
+  | Abort _ -> 4
+  | Delegate _ -> 5
+  | Checkpoint -> 6
+  | Clr _ -> 7
+  | Increment _ -> 8
+
+let put_int buf i =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int i);
+  Buffer.add_bytes buf b
+
+let put_string buf s =
+  put_int buf (String.length s);
+  Buffer.add_string buf s
+
+let put_tid buf tid = put_int buf (Tid.to_int tid)
+let put_oid buf oid = put_int buf (Oid.to_int oid)
+
+let encode t =
+  let buf = Buffer.create 64 in
+  Buffer.add_char buf (Char.chr (tag t));
+  (match t with
+  | Begin tid -> put_tid buf tid
+  | Update { tid; oid; before; after } ->
+      put_tid buf tid;
+      put_oid buf oid;
+      (match before with
+      | None -> put_int buf 0
+      | Some v ->
+          put_int buf 1;
+          put_string buf (Value.to_string v));
+      put_string buf (Value.to_string after)
+  | Commit tids ->
+      put_int buf (List.length tids);
+      List.iter (put_tid buf) tids
+  | Abort tid -> put_tid buf tid
+  | Delegate { from_; to_; oids } ->
+      put_tid buf from_;
+      put_tid buf to_;
+      (match oids with
+      | None -> put_int buf (-1)
+      | Some l ->
+          put_int buf (List.length l);
+          List.iter (put_oid buf) l)
+  | Clr { tid; oid; image } -> (
+      put_tid buf tid;
+      put_oid buf oid;
+      match image with
+      | None -> put_int buf 0
+      | Some v ->
+          put_int buf 1;
+          put_string buf (Value.to_string v))
+  | Increment { tid; oid; delta; after } ->
+      put_tid buf tid;
+      put_oid buf oid;
+      put_int buf delta;
+      put_string buf (Value.to_string after)
+  | Checkpoint -> ());
+  Buffer.contents buf
+
+exception Corrupt of string
+
+type cursor = { data : string; mutable pos : int }
+
+let get_int c =
+  if c.pos + 8 > String.length c.data then raise (Corrupt "truncated int");
+  let i = Int64.to_int (String.get_int64_le c.data c.pos) in
+  c.pos <- c.pos + 8;
+  i
+
+let get_string c =
+  let len = get_int c in
+  (* Compare against the remaining bytes by subtraction: [c.pos + len]
+     can overflow for adversarial lengths. *)
+  if len < 0 || len > String.length c.data - c.pos then raise (Corrupt "truncated string");
+  let s = String.sub c.data c.pos len in
+  c.pos <- c.pos + len;
+  s
+
+(* A decoded element count: each element needs at least 8 bytes, so a
+   count beyond the remaining payload is corruption (this also rejects
+   negative and absurdly large counts before any allocation). *)
+let get_count c =
+  let n = get_int c in
+  if n < 0 || n > (String.length c.data - c.pos) / 8 then raise (Corrupt "bad element count");
+  n
+
+let get_tid c = Tid.of_int (get_int c)
+let get_oid c = Oid.of_int (get_int c)
+
+let decode data =
+  if String.length data < 1 then raise (Corrupt "empty record");
+  let c = { data; pos = 1 } in
+  match Char.code data.[0] with
+  | 1 -> Begin (get_tid c)
+  | 2 ->
+      let tid = get_tid c in
+      let oid = get_oid c in
+      let before = if get_int c = 1 then Some (Value.of_string (get_string c)) else None in
+      let after = Value.of_string (get_string c) in
+      Update { tid; oid; before; after }
+  | 3 ->
+      let n = get_count c in
+      Commit (List.init n (fun _ -> get_tid c))
+  | 4 -> Abort (get_tid c)
+  | 5 ->
+      let from_ = get_tid c in
+      let to_ = get_tid c in
+      let n = get_int c in
+      let oids =
+        if n < 0 then None
+        else if n > (String.length c.data - c.pos) / 8 then raise (Corrupt "bad oid count")
+        else Some (List.init n (fun _ -> get_oid c))
+      in
+      Delegate { from_; to_; oids }
+  | 6 -> Checkpoint
+  | 7 ->
+      let tid = get_tid c in
+      let oid = get_oid c in
+      let image = if get_int c = 1 then Some (Value.of_string (get_string c)) else None in
+      Clr { tid; oid; image }
+  | 8 ->
+      let tid = get_tid c in
+      let oid = get_oid c in
+      let delta = get_int c in
+      let after = Value.of_string (get_string c) in
+      Increment { tid; oid; delta; after }
+  | n -> raise (Corrupt (Printf.sprintf "unknown record tag %d" n))

@@ -1,0 +1,48 @@
+(** Write-ahead-log records.
+
+    The section-4.2 write algorithm logs before and after images of
+    every update; commit and abort place their own records.  Three
+    ASSET-specific records extend the classical set:
+
+    - [Commit] carries a {e list} of tids, because a resolved
+      group-commit dependency commits a whole set of transactions
+      atomically;
+    - [Delegate] records responsibility transfers so recovery can
+      attribute each update to the transaction {e finally} responsible
+      for it;
+    - [Increment] records commuting updates whose undo is logical
+      (subtract the delta) rather than physical. *)
+
+module Tid = Asset_util.Id.Tid
+module Oid = Asset_util.Id.Oid
+module Value = Asset_storage.Value
+
+type t =
+  | Begin of Tid.t
+  | Update of { tid : Tid.t; oid : Oid.t; before : Value.t option; after : Value.t }
+      (** [before = None] means the object was created by this write. *)
+  | Commit of Tid.t list
+  | Abort of Tid.t
+  | Delegate of { from_ : Tid.t; to_ : Tid.t; oids : Oid.t list option }
+      (** [oids = None] delegates everything [from_] is responsible
+          for. *)
+  | Increment of { tid : Tid.t; oid : Oid.t; delta : int; after : Value.t }
+      (** A commuting increment: [after] supports physical
+          repeat-history redo, [delta] supports logical undo. *)
+  | Clr of { tid : Tid.t; oid : Oid.t; image : Value.t option }
+      (** Compensation record written by the abort algorithm for each
+          installed undo image ([None] = deletion).  Redo-only. *)
+  | Checkpoint
+
+val pp : Format.formatter -> t -> unit
+
+(** {2 Binary codec}
+
+    Framing (record length) is the log's concern; these functions
+    handle the record body. *)
+
+exception Corrupt of string
+
+val encode : t -> string
+val decode : string -> t
+(** Raises {!Corrupt} on malformed input. *)

@@ -1,0 +1,149 @@
+(* Crash recovery from the log.
+
+   Physical before/after-image logging admits a simple, idempotent
+   "repeat history, then undo losers" scheme:
+
+   analysis —  walk the log forward, collecting every update together
+               with the transaction *finally responsible* for it.
+               Delegation records re-attribute earlier updates: an
+               update performed by t_i and then delegated to t_j belongs
+               to t_j ("it will be as if t_j, not t_i, has performed the
+               operations", section 2.2).  Winners are the transactions
+               named in commit records (a group-commit record names the
+               whole group).
+
+   redo     —  reinstall every after image *and every CLR image* in log
+               order, regardless of outcome, repeating history so the
+               cache state matches the log tail whatever subset of
+               writes reached the disk.
+
+   undo     —  walk the loser updates in reverse LSN order installing
+               before images (a missing before image means the object
+               was created by the loser and is deleted).  A loser whose
+               Abort record is in the log is *not* re-undone: the abort
+               algorithm already logged a CLR for each installed before
+               image, and blindly undoing it again could clobber a
+               later winner's committed write to the same object.
+
+   A quiescent checkpoint (store flushed, no active transactions) lets
+   the scan start at the last Checkpoint record. *)
+
+module Tid = Asset_util.Id.Tid
+module Oid = Asset_util.Id.Oid
+module Store = Asset_storage.Store
+module Value = Asset_storage.Value
+
+(* How an update is undone: physical installs the before image;
+   logical (increments) subtracts the delta from the *current* value so
+   that commuting updates by other transactions survive. *)
+type undo_kind = Physical of Value.t option | Logical_delta of int
+
+type update = {
+  lsn : int;
+  oid : Oid.t;
+  undo : undo_kind;
+  after : Value.t;
+  mutable responsible : Tid.t;
+}
+
+type report = {
+  winners : Tid.t list;
+  losers : Tid.t list;
+  updates_redone : int;
+  updates_undone : int;
+  scanned_from : int;
+}
+
+let last_checkpoint log =
+  let result = ref 0 in
+  Log.iter log (fun lsn r -> match r with Record.Checkpoint -> result := lsn | _ -> ());
+  !result
+
+type redo_action = Install of Oid.t * Value.t | Remove of Oid.t
+
+let analyze ?(from = 0) log =
+  let updates = ref [] in
+  let redo = ref [] in
+  let winners = Hashtbl.create 16 in
+  let aborted = Hashtbl.create 16 in
+  let seen = Hashtbl.create 16 in
+  Log.iter ~from log (fun lsn record ->
+      match record with
+      | Record.Begin tid -> Hashtbl.replace seen tid ()
+      | Record.Update { tid; oid; before; after } ->
+          Hashtbl.replace seen tid ();
+          updates := { lsn; oid; undo = Physical before; after; responsible = tid } :: !updates;
+          redo := Install (oid, after) :: !redo
+      | Record.Increment { tid; oid; delta; after } ->
+          Hashtbl.replace seen tid ();
+          updates := { lsn; oid; undo = Logical_delta delta; after; responsible = tid } :: !updates;
+          redo := Install (oid, after) :: !redo
+      | Record.Clr { oid; image; _ } ->
+          redo :=
+            (match image with Some v -> Install (oid, v) | None -> Remove oid) :: !redo
+      | Record.Delegate { from_; to_; oids } ->
+          Hashtbl.replace seen to_ ();
+          let covers oid =
+            match oids with None -> true | Some l -> List.exists (Oid.equal oid) l
+          in
+          List.iter
+            (fun u -> if Tid.equal u.responsible from_ && covers u.oid then u.responsible <- to_)
+            !updates
+      | Record.Commit tids -> List.iter (fun tid -> Hashtbl.replace winners tid ()) tids
+      | Record.Abort tid -> Hashtbl.replace aborted tid ()
+      | Record.Checkpoint -> ());
+  let updates = List.rev !updates in
+  let redo = List.rev !redo in
+  let winner tid = Hashtbl.mem winners tid in
+  let losers =
+    Hashtbl.fold (fun tid () acc -> if winner tid then acc else tid :: acc) seen []
+  in
+  let winners = Hashtbl.fold (fun tid () acc -> tid :: acc) winners [] in
+  let resolved tid = Hashtbl.mem aborted tid in
+  (updates, redo, List.sort Tid.compare winners, List.sort Tid.compare losers, resolved)
+
+let recover ?(from_checkpoint = true) log store =
+  let from = if from_checkpoint then last_checkpoint log else 0 in
+  let updates, redo, winners, losers, resolved = analyze ~from log in
+  let winner tid = List.exists (Tid.equal tid) winners in
+  (* Redo: repeat history, including the undo writes (CLRs) of aborts
+     that ran before the crash. *)
+  List.iter
+    (fun action ->
+      match action with
+      | Install (oid, v) -> Store.write store oid v
+      | Remove oid -> Store.delete store oid)
+    redo;
+  let redone = List.length redo in
+  (* Undo unresolved losers (in-flight at the crash) in reverse order.
+     Resolved losers' undos were replayed as CLRs above. *)
+  let loser_updates =
+    List.filter (fun u -> (not (winner u.responsible)) && not (resolved u.responsible)) updates
+  in
+  let undone = List.length loser_updates in
+  List.iter
+    (fun u ->
+      match u.undo with
+      | Physical (Some v) -> Store.write store u.oid v
+      | Physical None -> Store.delete store u.oid
+      | Logical_delta delta -> (
+          match Store.read store u.oid with
+          | Some v -> Store.write store u.oid (Value.incr_int v (-delta))
+          | None -> ()))
+    (List.rev loser_updates);
+  Store.flush store;
+  { winners; losers; updates_redone = redone; updates_undone = undone; scanned_from = from }
+
+(* A quiescent checkpoint: everything committed so far is already in the
+   store; flush it and mark the log.  The caller must guarantee no
+   transaction is active (the engine's checkpoint wrapper enforces it). *)
+let checkpoint log store =
+  Store.flush store;
+  let lsn = Log.append log Record.Checkpoint in
+  Log.force log;
+  lsn
+
+let pp_report ppf r =
+  Format.fprintf ppf "recovery: %d winners, %d losers, %d redone, %d undone (from lsn %d)"
+    (List.length r.winners) (List.length r.losers) r.updates_redone r.updates_undone
+    r.scanned_from

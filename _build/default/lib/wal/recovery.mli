@@ -1,0 +1,32 @@
+(** Crash recovery: repeat history, then undo losers.
+
+    Analysis attributes each logged update to the transaction finally
+    responsible for it (delegation records re-attribute earlier
+    updates); redo reinstalls every after image {e and} every CLR image
+    in log order; undo walks unresolved losers' updates in reverse,
+    installing before images (physical) or subtracting deltas
+    (logical, for increments).  A loser whose Abort record reached the
+    log is not re-undone — its CLRs already carry the undo. *)
+
+module Tid = Asset_util.Id.Tid
+module Store = Asset_storage.Store
+
+type report = {
+  winners : Tid.t list;
+  losers : Tid.t list;
+  updates_redone : int;
+  updates_undone : int;
+  scanned_from : int;  (** LSN the scan started at (the last checkpoint). *)
+}
+
+val recover : ?from_checkpoint:bool -> Log.t -> Store.t -> report
+(** Recover [store] from [log] and flush it.  Idempotent: recovering
+    twice leaves the same state.  [from_checkpoint] (default true)
+    starts the scan at the last Checkpoint record. *)
+
+val checkpoint : Log.t -> Store.t -> int
+(** Quiescent checkpoint: flush the store, append and force a
+    Checkpoint record, return its LSN.  The caller must ensure no
+    transaction is active ([Asset_core.Engine.checkpoint] does). *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/workload/bank.ml: Asset_core Asset_sched Asset_storage Asset_util List Option Workload

@@ -1,0 +1,1 @@
+lib/workload/bank.mli: Asset_core Asset_storage Asset_util

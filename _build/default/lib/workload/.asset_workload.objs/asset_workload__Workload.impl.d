@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Asset_core Asset_sched Asset_storage Asset_util Format List Option Unix

@@ -1,0 +1,1 @@
+lib/workload/workload.mli: Asset_core Asset_util Format

@@ -1,0 +1,49 @@
+(* A bank-transfer workload: the classic serializability check.
+
+   N accounts, each seeded with the same balance; every transaction
+   moves a random amount between two random accounts.  Whatever the
+   interleaving, strict two-phase locking must preserve the total —
+   tests and the quickstart example both rely on [total]. *)
+
+module E = Asset_core.Engine
+module Oid = Asset_util.Id.Oid
+module Value = Asset_storage.Value
+module Rng = Asset_util.Rng
+
+let account i = Oid.of_int i
+
+let setup store ~accounts ~balance =
+  Asset_storage.Heap_store.populate store ~n:accounts ~value:(fun _ -> Value.of_int balance)
+
+(* A transfer body: subtract from one account, add to the other.  The
+   [yield] between the two writes exposes the window a non-atomic
+   implementation would corrupt. *)
+let transfer ?(yield = true) db ~from_ ~to_ ~amount () =
+  let debit v = Value.incr_int (Option.value v ~default:(Value.of_int 0)) (-amount) in
+  let credit v = Value.incr_int (Option.value v ~default:(Value.of_int 0)) amount in
+  E.modify db (account from_) debit;
+  if yield then Asset_sched.Scheduler.yield ();
+  E.modify db (account to_) credit
+
+let random_transfer ?yield db ~accounts ~rng () =
+  let from_ = 1 + Rng.int rng accounts in
+  let to_ = 1 + Rng.int rng accounts in
+  let amount = 1 + Rng.int rng 100 in
+  transfer ?yield db ~from_ ~to_ ~amount ()
+
+let total db ~accounts =
+  let store = E.store db in
+  let sum = ref 0 in
+  for i = 1 to accounts do
+    match Asset_storage.Store.read store (account i) with
+    | Some v -> sum := !sum + Value.to_int v
+    | None -> ()
+  done;
+  !sum
+
+(* Run [n_txns] concurrent random transfers; returns (committed,
+   aborted).  Aborts come from deadlock-victim selection. *)
+let run_transfers ?(seed = 7) db ~accounts ~n_txns =
+  let rng = Rng.create seed in
+  let bodies = List.init n_txns (fun _ -> random_transfer db ~accounts ~rng) in
+  Workload.run_bodies db bodies

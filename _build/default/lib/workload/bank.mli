@@ -1,0 +1,22 @@
+(** The bank-transfer workload: the classic serializability check.
+    Random transfers between accounts; whatever the interleaving,
+    strict two-phase locking must preserve {!total}. *)
+
+module E = Asset_core.Engine
+
+val account : int -> Asset_util.Id.Oid.t
+
+val setup : Asset_storage.Store.t -> accounts:int -> balance:int -> unit
+
+val transfer : ?yield:bool -> E.t -> from_:int -> to_:int -> amount:int -> unit -> unit
+(** A transfer body; the yield between the debit and the credit exposes
+    the window a non-atomic implementation would corrupt. *)
+
+val random_transfer : ?yield:bool -> E.t -> accounts:int -> rng:Asset_util.Rng.t -> unit -> unit
+
+val run_transfers : ?seed:int -> E.t -> accounts:int -> n_txns:int -> int * int
+(** Run concurrent random transfers; returns (committed,
+    deadlock-victims).  Must run inside a runtime fiber. *)
+
+val total : E.t -> accounts:int -> int
+(** Sum of balances, read directly from the store. *)

@@ -1,0 +1,52 @@
+(** Synthetic workload generation and a run harness.
+
+    A workload is a batch of read/write transactions over a keyspace
+    with optional Zipfian skew; bodies yield between operations so the
+    batch actually interleaves under the cooperative scheduler. *)
+
+module E = Asset_core.Engine
+module Oid = Asset_util.Id.Oid
+
+type op = Read of Oid.t | Write of Oid.t
+
+type spec = {
+  n_objects : int;
+  n_txns : int;
+  ops_per_txn : int;
+  write_ratio : float;  (** 0.0 .. 1.0 *)
+  theta : float;  (** Zipf skew; 0 = uniform *)
+  seed : int;
+  yield_between_ops : bool;
+  read_modify_write : bool;
+      (** Writes read first (lock upgrades — the classic
+          upgrade-deadlock pattern) instead of writing blindly. *)
+}
+
+val default_spec : spec
+
+val generate : spec -> op list list
+(** The batch's operation lists, deterministic in [seed]. *)
+
+val body_of_ops : E.t -> yield:bool -> rmw:bool -> op list -> unit -> unit
+
+val run_bodies : E.t -> (unit -> unit) list -> int * int
+(** Begin every body in its own fiber with its own committer fiber,
+    await termination; returns (committed, aborted).  Must run inside a
+    runtime fiber. *)
+
+val run_batch : E.t -> yield:bool -> ?rmw:bool -> op list list -> int * int
+
+type metrics = {
+  committed : int;
+  aborted : int;
+  duration_s : float;
+  lock_waits : int;
+  commit_retries : int;
+  deadlock_victims : int;
+  throughput : float;  (** committed transactions per second *)
+}
+
+val pp_metrics : Format.formatter -> metrics -> unit
+
+val run : spec -> metrics
+(** Full experiment: fresh store and engine, run the batch, report. *)

@@ -1,0 +1,1 @@
+test/test_deps.ml: Alcotest Asset_deps Asset_util Format Hashtbl Int List QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Asset_core Asset_deps Asset_lock Asset_models Asset_sched Asset_storage Asset_util Asset_wal List Option Printf

@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Asset_core Asset_index Asset_models Asset_sched Asset_storage Asset_util Filename Hashtbl List Option Printf QCheck2 QCheck_alcotest String Sys Unix

@@ -1,0 +1,1 @@
+test/test_latch.ml: Alcotest Asset_latch Format List QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_lock.ml: Alcotest Asset_lock Asset_util Format Int List QCheck2 QCheck_alcotest String

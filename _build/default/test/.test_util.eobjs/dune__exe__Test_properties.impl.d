@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Asset_core Asset_models Asset_sched Asset_storage Asset_util Asset_workload List Option Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Asset_core Asset_deps Asset_models Asset_storage Asset_util Asset_wal Filename List Printf Sys Unix

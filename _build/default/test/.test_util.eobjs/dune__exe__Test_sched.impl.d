@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Asset_sched List Printexc QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Asset_storage Asset_util Bytes Filename Hashtbl List Option Printf QCheck2 QCheck_alcotest String Sys Unix

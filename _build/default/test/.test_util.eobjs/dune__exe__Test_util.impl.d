@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Asset_util Format Fun Int List QCheck2 QCheck_alcotest String

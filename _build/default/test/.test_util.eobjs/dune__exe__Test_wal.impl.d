@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Asset_storage Asset_util Asset_wal Bytes Char Filename Format Hashtbl List Option Printf QCheck2 QCheck_alcotest Sys Unix

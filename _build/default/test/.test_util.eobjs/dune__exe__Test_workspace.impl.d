@@ -1,0 +1,1 @@
+test/test_workspace.ml: Alcotest Asset_core Asset_models Asset_sched Asset_storage Asset_util Asset_wal List Option Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,511 @@
+(* Tests for the B+tree index and the transactional collections built
+   on it. *)
+
+module Btree = Asset_index.Btree
+module E = Asset_core.Engine
+module R = Asset_core.Runtime
+module Collection = Asset_core.Collection
+module Sched = Asset_sched.Scheduler
+module Oid = Asset_util.Id.Oid
+module Value = Asset_storage.Value
+module Store = Asset_storage.Store
+
+let oid = Oid.of_int
+let vi = Value.of_int
+
+let check_valid t =
+  match Btree.validate t with
+  | None -> ()
+  | Some msg -> Alcotest.failf "invariant violated: %s" msg
+
+(* ------------------------------------------------------------------ *)
+(* B+tree                                                              *)
+
+let test_btree_empty () =
+  let t = Btree.create () in
+  Alcotest.(check int) "size" 0 (Btree.size t);
+  Alcotest.(check bool) "find" true (Btree.find t 5 = None);
+  Alcotest.(check bool) "min" true (Btree.min_binding t = None);
+  check_valid t
+
+let test_btree_insert_find () =
+  let t = Btree.create ~min_keys:2 () in
+  List.iter (fun k -> Btree.insert t k (k * 10)) [ 5; 1; 9; 3; 7 ];
+  Alcotest.(check int) "size" 5 (Btree.size t);
+  List.iter
+    (fun k -> Alcotest.(check (option int)) "find" (Some (k * 10)) (Btree.find t k))
+    [ 1; 3; 5; 7; 9 ];
+  Alcotest.(check (option int)) "missing" None (Btree.find t 4);
+  check_valid t
+
+let test_btree_overwrite () =
+  let t = Btree.create () in
+  Btree.insert t 1 "a";
+  Btree.insert t 1 "b";
+  Alcotest.(check int) "size unchanged" 1 (Btree.size t);
+  Alcotest.(check (option string)) "overwritten" (Some "b") (Btree.find t 1)
+
+let test_btree_splits () =
+  let t = Btree.create ~min_keys:2 () in
+  for k = 1 to 100 do
+    Btree.insert t k k;
+    check_valid t
+  done;
+  Alcotest.(check int) "size" 100 (Btree.size t);
+  Alcotest.(check (list (pair int int))) "sorted iteration"
+    (List.init 100 (fun i -> (i + 1, i + 1)))
+    (Btree.to_list t)
+
+let test_btree_descending_inserts () =
+  let t = Btree.create ~min_keys:2 () in
+  for k = 100 downto 1 do
+    Btree.insert t k k
+  done;
+  check_valid t;
+  Alcotest.(check int) "size" 100 (Btree.size t);
+  Alcotest.(check (option (pair int int))) "min" (Some (1, 1)) (Btree.min_binding t)
+
+let test_btree_delete_rebalance () =
+  let t = Btree.create ~min_keys:2 () in
+  for k = 1 to 60 do
+    Btree.insert t k k
+  done;
+  (* Delete every other key, validating invariants throughout. *)
+  for k = 1 to 60 do
+    if k mod 2 = 0 then begin
+      Alcotest.(check bool) "deleted" true (Btree.delete t k);
+      check_valid t
+    end
+  done;
+  Alcotest.(check int) "half left" 30 (Btree.size t);
+  for k = 1 to 60 do
+    Alcotest.(check bool) "membership" (k mod 2 = 1) (Btree.mem t k)
+  done
+
+let test_btree_delete_all () =
+  let t = Btree.create ~min_keys:2 () in
+  for k = 1 to 40 do
+    Btree.insert t k k
+  done;
+  for k = 1 to 40 do
+    ignore (Btree.delete t k);
+    check_valid t
+  done;
+  Alcotest.(check int) "empty" 0 (Btree.size t);
+  Alcotest.(check bool) "delete absent" false (Btree.delete t 1)
+
+let test_btree_range () =
+  let t = Btree.create ~min_keys:2 () in
+  List.iter (fun k -> Btree.insert t k ()) (List.init 50 (fun i -> (i + 1) * 2));
+  (* keys 2,4,...,100 *)
+  let acc = ref [] in
+  Btree.range t ~lo:11 ~hi:21 (fun k () -> acc := k :: !acc);
+  Alcotest.(check (list int)) "range [11,21]" [ 12; 14; 16; 18; 20 ] (List.rev !acc);
+  let acc = ref [] in
+  Btree.range t ~lo:0 ~hi:5 (fun k () -> acc := k :: !acc);
+  Alcotest.(check (list int)) "range from below" [ 2; 4 ] (List.rev !acc);
+  let acc = ref [] in
+  Btree.range t ~lo:99 ~hi:500 (fun k () -> acc := k :: !acc);
+  Alcotest.(check (list int)) "range past end" [ 100 ] (List.rev !acc)
+
+(* Model-based property: a B+tree under random insert/delete behaves
+   like a Map and keeps its invariants. *)
+let prop_btree_model =
+  QCheck2.Test.make ~name:"btree matches map model" ~count:200
+    QCheck2.Gen.(
+      pair (int_range 2 4)
+        (list_size (int_range 0 200)
+           (oneof
+              [
+                map (fun k -> `Insert k) (int_range 0 100);
+                map (fun k -> `Delete k) (int_range 0 100);
+              ])))
+    (fun (min_keys, ops) ->
+      let t = Btree.create ~min_keys () in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun op ->
+          match op with
+          | `Insert k ->
+              Btree.insert t k (k * 3);
+              Hashtbl.replace model k (k * 3)
+          | `Delete k ->
+              let removed = Btree.delete t k in
+              let expected = Hashtbl.mem model k in
+              Hashtbl.remove model k;
+              assert (removed = expected))
+        ops;
+      Btree.validate t = None
+      && Btree.size t = Hashtbl.length model
+      && Hashtbl.fold (fun k v ok -> ok && Btree.find t k = Some v) model true
+      && Btree.to_list t = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) model []))
+
+(* ------------------------------------------------------------------ *)
+(* Paged B+tree                                                        *)
+
+module Pbt = Asset_index.Paged_btree
+
+let tmp_btree =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "asset_pbt_%d_%d.btree" (Unix.getpid ()) !n)
+
+let check_pvalid t =
+  match Pbt.validate t with
+  | None -> ()
+  | Some msg -> Alcotest.failf "paged btree invariant: %s" msg
+
+let test_pbt_basic () =
+  let path = tmp_btree () in
+  let t = Pbt.create ~page_size:256 path in
+  Alcotest.(check int) "empty" 0 (Pbt.size t);
+  Pbt.insert t 5 50;
+  Pbt.insert t 1 10;
+  Pbt.insert t 9 90;
+  Alcotest.(check (option int)) "find" (Some 50) (Pbt.find t 5);
+  Alcotest.(check (option int)) "missing" None (Pbt.find t 4);
+  Pbt.insert t 5 55;
+  Alcotest.(check (option int)) "overwrite" (Some 55) (Pbt.find t 5);
+  Alcotest.(check int) "size counts distinct keys" 3 (Pbt.size t);
+  check_pvalid t;
+  Pbt.close t;
+  Sys.remove path
+
+let test_pbt_many_splits () =
+  let path = tmp_btree () in
+  (* Small pages force deep trees quickly. *)
+  let t = Pbt.create ~page_size:128 path in
+  for k = 1 to 500 do
+    Pbt.insert t k (k * 2)
+  done;
+  Alcotest.(check int) "size" 500 (Pbt.size t);
+  check_pvalid t;
+  Alcotest.(check (list (pair int int))) "sorted"
+    (List.init 500 (fun i -> (i + 1, (i + 1) * 2)))
+    (Pbt.to_list t);
+  Pbt.close t;
+  Sys.remove path
+
+let test_pbt_descending_and_random_inserts () =
+  let path = tmp_btree () in
+  let t = Pbt.create ~page_size:128 path in
+  for k = 300 downto 1 do
+    Pbt.insert t (k * 7 mod 301) k
+  done;
+  check_pvalid t;
+  Pbt.close t;
+  Sys.remove path
+
+let test_pbt_range () =
+  let path = tmp_btree () in
+  let t = Pbt.create ~page_size:128 path in
+  for k = 1 to 100 do
+    Pbt.insert t (k * 2) k
+  done;
+  let acc = ref [] in
+  Pbt.range t ~lo:11 ~hi:21 (fun k _ -> acc := k :: !acc);
+  Alcotest.(check (list int)) "range" [ 12; 14; 16; 18; 20 ] (List.rev !acc);
+  Pbt.close t;
+  Sys.remove path
+
+let test_pbt_delete () =
+  let path = tmp_btree () in
+  let t = Pbt.create ~page_size:128 path in
+  for k = 1 to 200 do
+    Pbt.insert t k k
+  done;
+  for k = 1 to 200 do
+    if k mod 2 = 0 then Alcotest.(check bool) "deleted" true (Pbt.delete t k)
+  done;
+  Alcotest.(check bool) "absent delete" false (Pbt.delete t 2);
+  Alcotest.(check int) "half left" 100 (Pbt.size t);
+  check_pvalid t;
+  for k = 1 to 200 do
+    Alcotest.(check bool) "membership" (k mod 2 = 1) (Pbt.mem t k)
+  done;
+  Pbt.close t;
+  Sys.remove path
+
+let test_pbt_persistence () =
+  let path = tmp_btree () in
+  let t = Pbt.create ~page_size:256 path in
+  for k = 1 to 150 do
+    Pbt.insert t k (k * 3)
+  done;
+  ignore (Pbt.delete t 75);
+  Pbt.close t;
+  let t2 = Pbt.open_existing path in
+  Alcotest.(check int) "size survives reopen" 149 (Pbt.size t2);
+  Alcotest.(check (option int)) "value survives" (Some 300) (Pbt.find t2 100);
+  Alcotest.(check (option int)) "deletion survives" None (Pbt.find t2 75);
+  check_pvalid t2;
+  Pbt.close t2;
+  Sys.remove path
+
+let test_pbt_rejects_garbage_file () =
+  let path = tmp_btree () in
+  let oc = open_out path in
+  output_string oc (String.make 4096 'x');
+  close_out oc;
+  (match Pbt.open_existing path with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected magic check");
+  Sys.remove path
+
+let prop_pbt_model =
+  QCheck2.Test.make ~name:"paged btree matches map model" ~count:60
+    QCheck2.Gen.(
+      list_size (int_range 0 300)
+        (oneof
+           [
+             map (fun (k, v) -> `Insert (k, v)) (pair (int_range 0 150) (int_range 0 1000));
+             map (fun k -> `Delete k) (int_range 0 150);
+           ]))
+    (fun ops ->
+      let path = tmp_btree () in
+      let t = Pbt.create ~page_size:128 path in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun op ->
+          match op with
+          | `Insert (k, v) ->
+              Pbt.insert t k v;
+              Hashtbl.replace model k v
+          | `Delete k ->
+              let removed = Pbt.delete t k in
+              let expected = Hashtbl.mem model k in
+              Hashtbl.remove model k;
+              assert (removed = expected))
+        ops;
+      let ok =
+        Pbt.validate t = None
+        && Pbt.size t = Hashtbl.length model
+        && Pbt.to_list t
+           = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) model [])
+      in
+      Pbt.close t;
+      Sys.remove path;
+      ok)
+
+(* ------------------------------------------------------------------ *)
+(* Collections                                                         *)
+
+let with_db program = R.with_fresh_db ~objects:0 program
+
+let test_collection_create_and_find () =
+  ignore
+    (with_db (fun db ->
+         ignore
+           (Asset_models.Atomic.run db (fun () ->
+                let c = Collection.create db ~name:"parts" () in
+                Alcotest.(check string) "name" "parts" c.Collection.name));
+         ignore
+           (Asset_models.Atomic.run db (fun () ->
+                (match Collection.find db ~name:"parts" () with
+                | Some _ -> ()
+                | None -> Alcotest.fail "collection not found");
+                Alcotest.(check bool) "absent name" true
+                  (Collection.find db ~name:"nope" () = None)))))
+
+let test_collection_duplicate_name_rejected () =
+  ignore
+    (with_db (fun db ->
+         ignore
+           (Asset_models.Atomic.run db (fun () ->
+                ignore (Collection.create db ~name:"dup" ());
+                match Collection.create db ~name:"dup" () with
+                | exception Invalid_argument _ -> ()
+                | _ -> Alcotest.fail "expected duplicate rejection"))))
+
+let test_collection_membership () =
+  ignore
+    (with_db (fun db ->
+         ignore
+           (Asset_models.Atomic.run db (fun () ->
+                let c = Collection.create db ~name:"c" ~chunk_capacity:4 () in
+                (* Insert enough members to span several chunks. *)
+                List.iter
+                  (fun i ->
+                    E.write db (oid i) (vi (i * 2));
+                    Alcotest.(check bool) "added" true (Collection.add db c (oid i)))
+                  (List.init 20 (fun i -> 20 - i));
+                Alcotest.(check bool) "duplicate add" false (Collection.add db c (oid 5));
+                Alcotest.(check int) "cardinal" 20 (Collection.cardinal db c);
+                Alcotest.(check bool) "mem" true (Collection.mem db c (oid 7));
+                Alcotest.(check bool) "not mem" false (Collection.mem db c (oid 21));
+                (* members come back sorted regardless of insert order *)
+                Alcotest.(check (list int)) "sorted members"
+                  (List.init 20 (fun i -> i + 1))
+                  (List.map Oid.to_int (Collection.members db c));
+                Alcotest.(check (list int)) "range"
+                  [ 5; 6; 7 ]
+                  (List.map Oid.to_int (Collection.range db c ~lo:(oid 5) ~hi:(oid 7)));
+                Alcotest.(check bool) "remove" true (Collection.remove db c (oid 7));
+                Alcotest.(check bool) "remove absent" false (Collection.remove db c (oid 7));
+                Alcotest.(check int) "cardinal after remove" 19 (Collection.cardinal db c)))))
+
+let test_collection_abort_rolls_back_membership () =
+  let db =
+    with_db (fun db ->
+        ignore
+          (Asset_models.Atomic.run db (fun () ->
+               let c = Collection.create db ~name:"c" () in
+               ignore (Collection.add db c (oid 1))));
+        (* A transaction adds members then aborts. *)
+        ignore
+          (Asset_models.Atomic.run db (fun () ->
+               let c = Option.get (Collection.find db ~name:"c" ()) in
+               ignore (Collection.add db c (oid 2));
+               ignore (Collection.add db c (oid 3));
+               failwith "abort"));
+        ignore
+          (Asset_models.Atomic.run db (fun () ->
+               let c = Option.get (Collection.find db ~name:"c" ()) in
+               Alcotest.(check (list int)) "only the committed member" [ 1 ]
+                 (List.map Oid.to_int (Collection.members db c)))))
+  in
+  ignore db
+
+let test_collection_scan_cursor_stability () =
+  (* A scan with cursor stability lets a writer update records behind
+     the cursor before the scanner commits. *)
+  let writer_ran_early = ref false in
+  ignore
+    (with_db (fun db ->
+         ignore
+           (Asset_models.Atomic.run db (fun () ->
+                let c = Collection.create db ~name:"rel" () in
+                List.iter
+                  (fun i ->
+                    E.write db (oid i) (vi 0);
+                    ignore (Collection.add db c (oid i)))
+                  [ 1; 2; 3; 4 ]));
+         let scanner =
+           E.initiate db (fun () ->
+               let c = Option.get (Collection.find db ~name:"rel" ()) in
+               Collection.scan ~stability:`Cursor db c ~f:(fun _ _ -> Sched.yield ()))
+         in
+         let writer =
+           E.initiate db (fun () ->
+               E.write db (oid 1) (vi 99);
+               writer_ran_early := not (E.is_terminated db scanner))
+         in
+         ignore (E.begin_ db scanner);
+         Sched.yield ();
+         ignore (E.begin_ db writer);
+         ignore (E.commit db writer);
+         ignore (E.commit db scanner)));
+  Alcotest.(check bool) "writer proceeded during scan" true !writer_ran_early
+
+let test_collection_concurrent_adders_serialize () =
+  (* Two transactions adding to the same collection contend on the
+     chunk objects; both must commit (possibly after waiting) and both
+     members must be present. *)
+  ignore
+    (with_db (fun db ->
+         ignore
+           (Asset_models.Atomic.run db (fun () ->
+                ignore (Collection.create db ~name:"c" ())));
+         let adder n =
+           E.initiate db (fun () ->
+               let c = Option.get (Collection.find db ~name:"c" ()) in
+               E.write db (oid n) (vi n);
+               ignore (Collection.add db c (oid n)))
+         in
+         let t1 = adder 1 and t2 = adder 2 in
+         ignore (E.begin_ db t1);
+         ignore (E.begin_ db t2);
+         E.spawn db ~label:"c1" (fun () -> ignore (E.commit db t1));
+         E.spawn db ~label:"c2" (fun () -> ignore (E.commit db t2));
+         E.await_terminated db [ t1; t2 ];
+         let committed = List.filter (fun t -> E.is_committed db t) [ t1; t2 ] in
+         (* Under 2PL both serialize; a deadlock victim is possible but
+            at least one commits. *)
+         Alcotest.(check bool) "at least one committed" true (List.length committed >= 1);
+         ignore
+           (Asset_models.Atomic.run db (fun () ->
+                let c = Option.get (Collection.find db ~name:"c" ()) in
+                Alcotest.(check int) "cardinal matches commits" (List.length committed)
+                  (Collection.cardinal db c)))))
+
+let prop_collection_matches_set_model =
+  QCheck2.Test.make ~name:"collection matches set model" ~count:60
+    QCheck2.Gen.(
+      pair (int_range 1 8)
+        (list_size (int_range 0 60)
+           (oneof
+              [
+                map (fun k -> `Add k) (int_range 1 30);
+                map (fun k -> `Remove k) (int_range 1 30);
+              ])))
+    (fun (chunk_capacity, ops) ->
+      let result = ref true in
+      ignore
+        (with_db (fun db ->
+             ignore
+               (Asset_models.Atomic.run db (fun () ->
+                    let c = Collection.create db ~name:"m" ~chunk_capacity () in
+                    let model = Hashtbl.create 16 in
+                    List.iter
+                      (fun op ->
+                        match op with
+                        | `Add k ->
+                            let added = Collection.add db c (oid k) in
+                            let expected = not (Hashtbl.mem model k) in
+                            Hashtbl.replace model k ();
+                            if added <> expected then result := false
+                        | `Remove k ->
+                            let removed = Collection.remove db c (oid k) in
+                            let expected = Hashtbl.mem model k in
+                            Hashtbl.remove model k;
+                            if removed <> expected then result := false)
+                      ops;
+                    let expected_members =
+                      Hashtbl.fold (fun k () acc -> k :: acc) model [] |> List.sort compare
+                    in
+                    if List.map Oid.to_int (Collection.members db c) <> expected_members then
+                      result := false;
+                    if Collection.cardinal db c <> List.length expected_members then
+                      result := false))));
+      !result)
+
+let () =
+  Alcotest.run "asset_index"
+    [
+      ( "btree",
+        [
+          Alcotest.test_case "empty" `Quick test_btree_empty;
+          Alcotest.test_case "insert/find" `Quick test_btree_insert_find;
+          Alcotest.test_case "overwrite" `Quick test_btree_overwrite;
+          Alcotest.test_case "splits" `Quick test_btree_splits;
+          Alcotest.test_case "descending inserts" `Quick test_btree_descending_inserts;
+          Alcotest.test_case "delete rebalance" `Quick test_btree_delete_rebalance;
+          Alcotest.test_case "delete all" `Quick test_btree_delete_all;
+          Alcotest.test_case "range" `Quick test_btree_range;
+          QCheck_alcotest.to_alcotest prop_btree_model;
+        ] );
+      ( "paged_btree",
+        [
+          Alcotest.test_case "basic" `Quick test_pbt_basic;
+          Alcotest.test_case "many splits" `Quick test_pbt_many_splits;
+          Alcotest.test_case "descending/random inserts" `Quick
+            test_pbt_descending_and_random_inserts;
+          Alcotest.test_case "range" `Quick test_pbt_range;
+          Alcotest.test_case "delete" `Quick test_pbt_delete;
+          Alcotest.test_case "persistence" `Quick test_pbt_persistence;
+          Alcotest.test_case "rejects garbage file" `Quick test_pbt_rejects_garbage_file;
+          QCheck_alcotest.to_alcotest prop_pbt_model;
+        ] );
+      ( "collection",
+        [
+          Alcotest.test_case "create and find" `Quick test_collection_create_and_find;
+          Alcotest.test_case "duplicate name" `Quick test_collection_duplicate_name_rejected;
+          Alcotest.test_case "membership" `Quick test_collection_membership;
+          Alcotest.test_case "abort rolls back" `Quick test_collection_abort_rolls_back_membership;
+          Alcotest.test_case "cursor-stability scan" `Quick test_collection_scan_cursor_stability;
+          Alcotest.test_case "concurrent adders" `Quick test_collection_concurrent_adders_serialize;
+          QCheck_alcotest.to_alcotest prop_collection_matches_set_model;
+        ] );
+    ]

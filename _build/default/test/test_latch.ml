@@ -1,0 +1,116 @@
+(* Tests for the section-4.1 latch: S/X modes, the S-counter, and the
+   X-bit that blocks new readers while a writer waits. *)
+
+module Latch = Asset_latch.Latch
+
+let test_s_sharing () =
+  let l = Latch.create () in
+  Alcotest.(check bool) "first S" true (Latch.try_acquire l Latch.S);
+  Alcotest.(check bool) "second S" true (Latch.try_acquire l Latch.S);
+  Alcotest.(check int) "s_count" 2 (Latch.s_count l);
+  Latch.release l Latch.S;
+  Latch.release l Latch.S;
+  Alcotest.(check int) "released" 0 (Latch.s_count l)
+
+let test_x_exclusive () =
+  let l = Latch.create () in
+  Alcotest.(check bool) "X" true (Latch.try_acquire l Latch.X);
+  Alcotest.(check bool) "second X refused" false (Latch.try_acquire l Latch.X);
+  Alcotest.(check bool) "S refused under X" false (Latch.try_acquire l Latch.S);
+  Latch.release l Latch.X;
+  Alcotest.(check bool) "X after release" true (Latch.try_acquire l Latch.X)
+
+let test_x_blocked_by_s () =
+  let l = Latch.create () in
+  Alcotest.(check bool) "S" true (Latch.try_acquire l Latch.S);
+  Alcotest.(check bool) "X refused under S" false (Latch.try_acquire l Latch.X);
+  Latch.release l Latch.S;
+  Alcotest.(check bool) "X after S released" true (Latch.try_acquire l Latch.X)
+
+(* "The X-bit blocks new readers from setting the latch, thus
+   preventing starvation of update transactions."  A spinning writer
+   must starve out *new* readers even while current readers hold the
+   latch. *)
+let test_x_bit_blocks_new_readers () =
+  let l = Latch.create () in
+  assert (Latch.try_acquire l Latch.S);
+  (* A writer arrives and spins; after one spin round the reader
+     releases, letting the writer in.  New readers are refused while
+     the writer waits. *)
+  let reader_refused = ref false in
+  let rounds = ref 0 in
+  Latch.acquire l Latch.X ~spin:(fun () ->
+      incr rounds;
+      if Latch.x_waiting l && not (Latch.try_acquire l Latch.S) then reader_refused := true;
+      if !rounds >= 1 then Latch.release l Latch.S);
+  Alcotest.(check bool) "reader refused while X waits" true !reader_refused;
+  Alcotest.(check bool) "writer finally holds" true (Latch.x_held l);
+  Alcotest.(check bool) "x_waiting cleared" false (Latch.x_waiting l)
+
+let test_acquire_spins_until_granted () =
+  let l = Latch.create () in
+  assert (Latch.try_acquire l Latch.X);
+  let spins = ref 0 in
+  Latch.acquire l Latch.S ~spin:(fun () ->
+      incr spins;
+      if !spins = 3 then Latch.release l Latch.X);
+  Alcotest.(check int) "spun three times" 3 !spins;
+  Alcotest.(check int) "S held" 1 (Latch.s_count l);
+  Alcotest.(check bool) "spin counter" true (Latch.spin_count l >= 3)
+
+let test_with_latch_releases_on_exception () =
+  let l = Latch.create () in
+  (try Latch.with_latch l Latch.X (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check bool) "released after exception" false (Latch.x_held l);
+  Latch.with_latch l Latch.S (fun () ->
+      Alcotest.(check int) "reacquirable" 1 (Latch.s_count l));
+  Alcotest.(check int) "released after return" 0 (Latch.s_count l)
+
+let test_release_underflow_rejected () =
+  let l = Latch.create () in
+  Alcotest.check_raises "S underflow" (Invalid_argument "Latch.release: no S holder") (fun () ->
+      Latch.release l Latch.S);
+  Alcotest.check_raises "X underflow" (Invalid_argument "Latch.release: no X holder") (fun () ->
+      Latch.release l Latch.X)
+
+let test_stats_and_pp () =
+  let l = Latch.create ~name:"obj1" () in
+  ignore (Latch.try_acquire l Latch.S);
+  Alcotest.(check int) "acquisitions" 1 (Latch.acquisitions l);
+  Alcotest.(check string) "name" "obj1" (Latch.name l);
+  let s = Format.asprintf "%a" Latch.pp l in
+  Alcotest.(check bool) "pp shows S count" true (String.length s > 0)
+
+let prop_try_acquire_never_coexists =
+  (* Random interleavings of try-acquire/release never leave the latch
+     with both an X holder and S holders. *)
+  QCheck2.Test.make ~name:"no S+X coexistence" ~count:500
+    QCheck2.Gen.(list (int_range 0 3))
+    (fun ops ->
+      let l = Latch.create () in
+      List.iter
+        (fun op ->
+          match op with
+          | 0 -> ignore (Latch.try_acquire l Latch.S)
+          | 1 -> ignore (Latch.try_acquire l Latch.X)
+          | 2 -> if Latch.s_count l > 0 then Latch.release l Latch.S
+          | _ -> if Latch.x_held l then Latch.release l Latch.X)
+        ops;
+      not (Latch.x_held l && Latch.s_count l > 0))
+
+let () =
+  Alcotest.run "asset_latch"
+    [
+      ( "latch",
+        [
+          Alcotest.test_case "S sharing" `Quick test_s_sharing;
+          Alcotest.test_case "X exclusive" `Quick test_x_exclusive;
+          Alcotest.test_case "X blocked by S" `Quick test_x_blocked_by_s;
+          Alcotest.test_case "X-bit blocks new readers" `Quick test_x_bit_blocks_new_readers;
+          Alcotest.test_case "acquire spins until granted" `Quick test_acquire_spins_until_granted;
+          Alcotest.test_case "with_latch exception safety" `Quick test_with_latch_releases_on_exception;
+          Alcotest.test_case "release underflow" `Quick test_release_underflow_rejected;
+          Alcotest.test_case "stats and pp" `Quick test_stats_and_pp;
+          QCheck_alcotest.to_alcotest prop_try_acquire_never_coexists;
+        ] );
+    ]

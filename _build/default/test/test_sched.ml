@@ -1,0 +1,230 @@
+(* Tests for the cooperative scheduler: fiber spawning, yield
+   interleaving, wait conditions, deadlock detection, the stall hook,
+   policy determinism and failure propagation. *)
+
+module S = Asset_sched.Scheduler
+
+let run_with_log policy f =
+  let events = ref [] in
+  let push e = events := e :: !events in
+  let s = S.create ~policy () in
+  f s push;
+  S.run s;
+  List.rev !events
+
+let test_single_fiber_runs () =
+  let events = run_with_log S.Fifo (fun s push -> ignore (S.spawn s ~label:"a" (fun () -> push "ran"))) in
+  Alcotest.(check (list string)) "ran" [ "ran" ] events
+
+let test_fifo_round_robin () =
+  let events =
+    run_with_log S.Fifo (fun s push ->
+        ignore
+          (S.spawn s ~label:"a" (fun () ->
+               push "a1";
+               S.yield ();
+               push "a2"));
+        ignore
+          (S.spawn s ~label:"b" (fun () ->
+               push "b1";
+               S.yield ();
+               push "b2")))
+  in
+  Alcotest.(check (list string)) "interleaved" [ "a1"; "b1"; "a2"; "b2" ] events
+
+let test_spawn_from_fiber () =
+  let events =
+    run_with_log S.Fifo (fun s push ->
+        ignore
+          (S.spawn s ~label:"parent" (fun () ->
+               push "parent";
+               ignore (S.spawn s ~label:"child" (fun () -> push "child")))))
+  in
+  Alcotest.(check (list string)) "child ran after parent" [ "parent"; "child" ] events
+
+let test_wait_until_parks_and_wakes () =
+  let flag = ref false in
+  let events =
+    run_with_log S.Fifo (fun s push ->
+        ignore
+          (S.spawn s ~label:"waiter" (fun () ->
+               S.wait_until ~reason:"flag" (fun () -> !flag);
+               push "woke"));
+        ignore
+          (S.spawn s ~label:"setter" (fun () ->
+               push "setting";
+               flag := true)))
+  in
+  Alcotest.(check (list string)) "order" [ "setting"; "woke" ] events
+
+let test_wait_until_true_does_not_park () =
+  let events =
+    run_with_log S.Fifo (fun s push ->
+        ignore
+          (S.spawn s ~label:"a" (fun () ->
+               S.wait_until (fun () -> true);
+               push "immediate")))
+  in
+  Alcotest.(check (list string)) "no park" [ "immediate" ] events
+
+let test_deadlock_detected () =
+  let s = S.create () in
+  ignore (S.spawn s ~label:"stuck" (fun () -> S.wait_until ~reason:"never" (fun () -> false)));
+  match S.run s with
+  | exception S.Deadlock reasons ->
+      Alcotest.(check (list string)) "reason" [ "stuck: never" ] reasons
+  | () -> Alcotest.fail "expected deadlock"
+
+let test_on_stall_can_resolve () =
+  let rescued = ref false in
+  let s = S.create () in
+  S.set_on_stall s (fun () ->
+      rescued := true;
+      true);
+  ignore (S.spawn s ~label:"waiter" (fun () -> S.wait_until ~reason:"rescue" (fun () -> !rescued)));
+  S.run s;
+  Alcotest.(check bool) "stall hook ran" true !rescued
+
+let test_on_stall_without_progress_deadlocks () =
+  let s = S.create () in
+  S.set_on_stall s (fun () -> false);
+  ignore (S.spawn s ~label:"w" (fun () -> S.wait_until ~reason:"never" (fun () -> false)));
+  match S.run s with
+  | exception S.Deadlock _ -> ()
+  | () -> Alcotest.fail "expected deadlock"
+
+let test_fiber_failure_propagates () =
+  let s = S.create () in
+  ignore (S.spawn s ~label:"bad" (fun () -> failwith "kaboom"));
+  match S.run s with
+  | exception S.Fiber_failed (label, Failure msg) when label = "bad" && msg = "kaboom" -> ()
+  | exception e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+  | () -> Alcotest.fail "expected failure"
+
+let test_step_budget () =
+  let s = S.create ~max_steps:10 () in
+  ignore
+    (S.spawn s ~label:"spinner" (fun () ->
+         while true do
+           S.yield ()
+         done));
+  match S.run s with
+  | exception Failure msg ->
+      Alcotest.(check bool) "mentions livelock" true
+        (String.length msg > 0 && String.exists (fun c -> c = 'l') msg)
+  | () -> Alcotest.fail "expected step budget exhaustion"
+
+let interleaving policy =
+  let order = ref [] in
+  let s = S.create ~policy () in
+  for i = 1 to 5 do
+    ignore
+      (S.spawn s ~label:(string_of_int i) (fun () ->
+           order := (i, 1) :: !order;
+           S.yield ();
+           order := (i, 2) :: !order))
+  done;
+  S.run s;
+  List.rev !order
+
+let test_fifo_deterministic () =
+  Alcotest.(check bool) "same schedule twice" true (interleaving S.Fifo = interleaving S.Fifo)
+
+let test_random_seeded_reproducible () =
+  let a = interleaving (S.Random_seeded 99) in
+  let b = interleaving (S.Random_seeded 99) in
+  Alcotest.(check bool) "same seed, same schedule" true (a = b)
+
+let test_random_seeds_vary () =
+  (* Across many seeds at least one schedule must differ from FIFO. *)
+  let fifo = interleaving S.Fifo in
+  let differs =
+    List.exists (fun seed -> interleaving (S.Random_seeded seed) <> fifo) [ 1; 2; 3; 4; 5; 6; 7 ]
+  in
+  Alcotest.(check bool) "some seed deviates from FIFO" true differs
+
+let test_trace_recorded () =
+  let s = S.create ~record_trace:true () in
+  ignore (S.spawn s ~label:"a" (fun () -> S.yield ()));
+  S.run s;
+  let trace = S.trace s in
+  Alcotest.(check bool) "spawn event" true
+    (List.exists (fun (_, e) -> e = "spawn: a") trace);
+  Alcotest.(check bool) "yield event" true (List.exists (fun (_, e) -> e = "yield") trace);
+  Alcotest.(check bool) "finish event" true (List.exists (fun (_, e) -> e = "finished") trace)
+
+let test_current_fid () =
+  let seen = ref [] in
+  let s = S.create () in
+  let fid_a = S.spawn s ~label:"a" (fun () -> ()) in
+  ignore fid_a;
+  ignore
+    (S.spawn s ~label:"b" (fun () ->
+         seen := S.current_fid s :: !seen;
+         S.yield ();
+         seen := S.current_fid s :: !seen));
+  S.run s;
+  match !seen with
+  | [ x; y ] -> Alcotest.(check int) "stable across yields" x y
+  | _ -> Alcotest.fail "expected two observations"
+
+let test_counts () =
+  let s = S.create () in
+  ignore (S.spawn s ~label:"a" (fun () -> ()));
+  Alcotest.(check int) "runnable" 1 (S.runnable_count s);
+  Alcotest.(check int) "parked" 0 (S.parked_count s);
+  S.run s;
+  Alcotest.(check bool) "steps counted" true (S.steps s >= 1)
+
+(* Property: for any program built from yields, FIFO scheduling runs
+   every fiber to completion and executes each step exactly once. *)
+let prop_all_fibers_complete =
+  QCheck2.Test.make ~name:"all fibers complete under fifo" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 10) (int_range 0 5))
+    (fun yield_counts ->
+      let s = S.create () in
+      let completed = ref 0 in
+      List.iteri
+        (fun i yields ->
+          ignore
+            (S.spawn s ~label:(string_of_int i) (fun () ->
+                 for _ = 1 to yields do
+                   S.yield ()
+                 done;
+                 incr completed)))
+        yield_counts;
+      S.run s;
+      !completed = List.length yield_counts)
+
+let () =
+  Alcotest.run "asset_sched"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "single fiber" `Quick test_single_fiber_runs;
+          Alcotest.test_case "fifo round robin" `Quick test_fifo_round_robin;
+          Alcotest.test_case "spawn from fiber" `Quick test_spawn_from_fiber;
+          Alcotest.test_case "current fid" `Quick test_current_fid;
+          Alcotest.test_case "counts" `Quick test_counts;
+          QCheck_alcotest.to_alcotest prop_all_fibers_complete;
+        ] );
+      ( "blocking",
+        [
+          Alcotest.test_case "wait_until parks and wakes" `Quick test_wait_until_parks_and_wakes;
+          Alcotest.test_case "true condition doesn't park" `Quick test_wait_until_true_does_not_park;
+          Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected;
+          Alcotest.test_case "stall hook resolves" `Quick test_on_stall_can_resolve;
+          Alcotest.test_case "stall without progress deadlocks" `Quick
+            test_on_stall_without_progress_deadlocks;
+          Alcotest.test_case "step budget" `Quick test_step_budget;
+        ] );
+      ( "failures",
+        [ Alcotest.test_case "fiber failure propagates" `Quick test_fiber_failure_propagates ] );
+      ( "policies",
+        [
+          Alcotest.test_case "fifo deterministic" `Quick test_fifo_deterministic;
+          Alcotest.test_case "random seeded reproducible" `Quick test_random_seeded_reproducible;
+          Alcotest.test_case "random seeds vary" `Quick test_random_seeds_vary;
+          Alcotest.test_case "trace recorded" `Quick test_trace_recorded;
+        ] );
+    ]

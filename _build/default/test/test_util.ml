@@ -1,0 +1,292 @@
+(* Tests for asset_util: identifiers, the deterministic RNG, the Zipf
+   sampler, counters/summaries/histograms and table rendering. *)
+
+module Id = Asset_util.Id
+module Rng = Asset_util.Rng
+module Zipf = Asset_util.Zipf
+module Stats = Asset_util.Stats
+module Table = Asset_util.Table
+
+(* ------------------------------------------------------------------ *)
+(* Id                                                                  *)
+
+let test_id_null () =
+  Alcotest.(check bool) "null is null" true (Id.Tid.is_null Id.Tid.null);
+  Alcotest.(check bool) "fresh is not null" false
+    (Id.Tid.is_null (Id.Tid.fresh (Id.Tid.generator ())))
+
+let test_id_fresh_monotonic () =
+  let g = Id.Tid.generator () in
+  let a = Id.Tid.fresh g and b = Id.Tid.fresh g and c = Id.Tid.fresh g in
+  Alcotest.(check bool) "a < b" true (Id.Tid.compare a b < 0);
+  Alcotest.(check bool) "b < c" true (Id.Tid.compare b c < 0);
+  Alcotest.(check bool) "distinct" false (Id.Tid.equal a c)
+
+let test_id_generators_independent () =
+  let g1 = Id.Tid.generator () and g2 = Id.Tid.generator () in
+  let a = Id.Tid.fresh g1 and b = Id.Tid.fresh g2 in
+  Alcotest.(check int) "same sequence" (Id.Tid.to_int a) (Id.Tid.to_int b)
+
+let test_id_roundtrip () =
+  let t = Id.Tid.of_int 42 in
+  Alcotest.(check int) "roundtrip" 42 (Id.Tid.to_int t);
+  Alcotest.(check string) "pp" "t42" (Format.asprintf "%a" Id.Tid.pp t);
+  Alcotest.(check string) "pp null" "t:null" (Format.asprintf "%a" Id.Tid.pp Id.Tid.null)
+
+let test_oid_distinct_prefix () =
+  Alcotest.(check string) "oid pp" "ob7" (Format.asprintf "%a" Id.Oid.pp (Id.Oid.of_int 7))
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1_000_000) (Rng.int b 1_000_000)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Rng.int a 1_000_000 = Rng.int b 1_000_000 then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 5)
+
+let test_rng_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 10 in
+    Alcotest.(check bool) "in [0,10)" true (x >= 0 && x < 10)
+  done
+
+let test_rng_float_unit_interval () =
+  let r = Rng.create 9 in
+  for _ = 1 to 1000 do
+    let x = Rng.float r in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_rng_bool_mixes () =
+  let r = Rng.create 11 in
+  let trues = ref 0 in
+  for _ = 1 to 1000 do
+    if Rng.bool r then incr trues
+  done;
+  Alcotest.(check bool) "roughly balanced" true (!trues > 400 && !trues < 600)
+
+let test_rng_split_independent () =
+  let r = Rng.create 5 in
+  let child = Rng.split r in
+  (* The child stream should not be the parent's continuation. *)
+  let parent_next = Rng.int r 1_000_000 and child_next = Rng.int child 1_000_000 in
+  Alcotest.(check bool) "split differs" true (parent_next <> child_next)
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 3 in
+  let arr = Array.init 20 Fun.id in
+  Rng.shuffle_in_place r arr;
+  let sorted = Array.copy arr in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 20 Fun.id) sorted
+
+let test_rng_copy () =
+  let r = Rng.create 17 in
+  ignore (Rng.int r 100);
+  let c = Rng.copy r in
+  Alcotest.(check int) "copy continues identically" (Rng.int r 1_000_000) (Rng.int c 1_000_000)
+
+(* ------------------------------------------------------------------ *)
+(* Zipf                                                                *)
+
+let test_zipf_uniform_when_theta_zero () =
+  let rng = Rng.create 21 in
+  let z = Zipf.create ~n:10 ~theta:0.0 ~rng in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let i = Zipf.sample z in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iter
+    (fun c -> Alcotest.(check bool) "roughly uniform" true (c > 700 && c < 1300))
+    counts
+
+let test_zipf_skew () =
+  let rng = Rng.create 22 in
+  let z = Zipf.create ~n:100 ~theta:1.0 ~rng in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 10_000 do
+    let i = Zipf.sample z in
+    counts.(i) <- counts.(i) + 1
+  done;
+  (* Rank 0 must dominate rank 50 by a wide margin under theta=1. *)
+  Alcotest.(check bool) "head heavier than middle" true (counts.(0) > 5 * (counts.(50) + 1));
+  Alcotest.(check int) "n accessor" 100 (Zipf.n z)
+
+let test_zipf_range () =
+  let rng = Rng.create 23 in
+  let z = Zipf.create ~n:7 ~theta:0.9 ~rng in
+  for _ = 1 to 1000 do
+    let i = Zipf.sample z in
+    Alcotest.(check bool) "in range" true (i >= 0 && i < 7)
+  done
+
+let test_zipf_invalid_args () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "n=0" (Invalid_argument "Zipf.create: n must be positive") (fun () ->
+      ignore (Zipf.create ~n:0 ~theta:1.0 ~rng));
+  Alcotest.check_raises "negative theta" (Invalid_argument "Zipf.create: theta must be >= 0")
+    (fun () -> ignore (Zipf.create ~n:5 ~theta:(-1.0) ~rng))
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+
+let test_counter () =
+  let c = Stats.Counter.create "c" in
+  Alcotest.(check int) "starts at 0" 0 (Stats.Counter.get c);
+  Stats.Counter.incr c;
+  Stats.Counter.add c 4;
+  Alcotest.(check int) "incr+add" 5 (Stats.Counter.get c);
+  Stats.Counter.reset c;
+  Alcotest.(check int) "reset" 0 (Stats.Counter.get c);
+  Alcotest.(check string) "name" "c" (Stats.Counter.name c)
+
+let test_summary () =
+  let s = Stats.Summary.create "s" in
+  List.iter (Stats.Summary.observe s) [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check int) "count" 4 (Stats.Summary.count s);
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.Summary.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.Summary.min s);
+  Alcotest.(check (float 1e-9)) "max" 4.0 (Stats.Summary.max s);
+  Alcotest.(check (float 1e-6)) "stddev" 1.118033989 (Stats.Summary.stddev s);
+  Stats.Summary.reset s;
+  Alcotest.(check int) "reset count" 0 (Stats.Summary.count s);
+  Alcotest.(check (float 1e-9)) "reset mean" 0.0 (Stats.Summary.mean s)
+
+let test_summary_empty () =
+  let s = Stats.Summary.create "empty" in
+  Alcotest.(check (float 1e-9)) "mean of empty" 0.0 (Stats.Summary.mean s);
+  Alcotest.(check (float 1e-9)) "stddev of empty" 0.0 (Stats.Summary.stddev s)
+
+let test_histogram () =
+  let h = Stats.Histogram.create "h" ~bounds:[| 10; 100 |] in
+  List.iter (Stats.Histogram.observe h) [ 1; 5; 10; 50; 99; 1000 ];
+  Alcotest.(check (array int)) "buckets" [| 3; 2; 1 |] (Stats.Histogram.buckets h);
+  Alcotest.(check int) "total" 6 (Stats.Histogram.total h)
+
+let test_histogram_unsorted_bounds () =
+  let h = Stats.Histogram.create "h" ~bounds:[| 100; 10 |] in
+  Stats.Histogram.observe h 50;
+  Alcotest.(check (array int)) "bounds get sorted" [| 0; 1; 0 |] (Stats.Histogram.buckets h)
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                               *)
+
+let test_table_render () =
+  let t = Table.create ~title:"T" ~header:[ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_row t [ "333"; "4" ];
+  let s = Format.asprintf "%a" Table.pp t in
+  Alcotest.(check bool) "title present" true (String.length s > 0);
+  Alcotest.(check bool) "contains rows" true
+    (String.split_on_char '\n' s |> List.exists (fun l -> String.length l > 0 && l.[0] = '3'))
+
+let test_table_row_width_checked () =
+  let t = Table.create ~title:"T" ~header:[ "a"; "b" ] in
+  Alcotest.check_raises "bad row" (Invalid_argument "Table.add_row: row width does not match header")
+    (fun () -> Table.add_row t [ "only one" ])
+
+let test_table_rows_in_insertion_order () =
+  let t = Table.create ~title:"T" ~header:[ "x" ] in
+  Table.add_row t [ "first" ];
+  Table.add_row t [ "second" ];
+  let s = Format.asprintf "%a" Table.pp t in
+  let first_idx =
+    match String.index_opt s 'f' with Some i -> i | None -> Alcotest.fail "missing first"
+  in
+  let second_idx =
+    let rec find i = if String.sub s i 6 = "second" then i else find (i + 1) in
+    find 0
+  in
+  Alcotest.(check bool) "order preserved" true (first_idx < second_idx)
+
+(* ------------------------------------------------------------------ *)
+(* Property tests                                                      *)
+
+let prop_rng_int_in_bounds =
+  QCheck2.Test.make ~name:"rng int stays in bounds" ~count:200
+    QCheck2.Gen.(pair small_int (int_range 1 1_000))
+    (fun (seed, bound) ->
+      let r = Rng.create seed in
+      let x = Rng.int r bound in
+      x >= 0 && x < bound)
+
+let prop_zipf_in_range =
+  QCheck2.Test.make ~name:"zipf sample in [0,n)" ~count:200
+    QCheck2.Gen.(triple small_int (int_range 1 500) (float_bound_inclusive 2.0))
+    (fun (seed, n, theta) ->
+      let rng = Rng.create seed in
+      let z = Zipf.create ~n ~theta ~rng in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let i = Zipf.sample z in
+        if i < 0 || i >= n then ok := false
+      done;
+      !ok)
+
+let prop_shuffle_preserves_elements =
+  QCheck2.Test.make ~name:"shuffle is a permutation" ~count:200
+    QCheck2.Gen.(pair small_int (list small_int))
+    (fun (seed, l) ->
+      let r = Rng.create seed in
+      let arr = Array.of_list l in
+      Rng.shuffle_in_place r arr;
+      List.sort Int.compare (Array.to_list arr) = List.sort Int.compare l)
+
+let () =
+  Alcotest.run "asset_util"
+    [
+      ( "id",
+        [
+          Alcotest.test_case "null" `Quick test_id_null;
+          Alcotest.test_case "fresh monotonic" `Quick test_id_fresh_monotonic;
+          Alcotest.test_case "generators independent" `Quick test_id_generators_independent;
+          Alcotest.test_case "roundtrip and pp" `Quick test_id_roundtrip;
+          Alcotest.test_case "oid prefix" `Quick test_oid_distinct_prefix;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "int bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "float unit interval" `Quick test_rng_float_unit_interval;
+          Alcotest.test_case "bool mixes" `Quick test_rng_bool_mixes;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          QCheck_alcotest.to_alcotest prop_rng_int_in_bounds;
+          QCheck_alcotest.to_alcotest prop_shuffle_preserves_elements;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "uniform at theta 0" `Quick test_zipf_uniform_when_theta_zero;
+          Alcotest.test_case "skew at theta 1" `Quick test_zipf_skew;
+          Alcotest.test_case "range" `Quick test_zipf_range;
+          Alcotest.test_case "invalid args" `Quick test_zipf_invalid_args;
+          QCheck_alcotest.to_alcotest prop_zipf_in_range;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "summary" `Quick test_summary;
+          Alcotest.test_case "summary empty" `Quick test_summary_empty;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "histogram unsorted bounds" `Quick test_histogram_unsorted_bounds;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "row width checked" `Quick test_table_row_width_checked;
+          Alcotest.test_case "insertion order" `Quick test_table_rows_in_insertion_order;
+        ] );
+    ]

@@ -1,0 +1,414 @@
+(* Tests for the write-ahead log: record codec, the log itself (memory
+   and file sinks, torn-tail handling) and recovery — including the
+   delegation-aware responsibility attribution that ASSET requires. *)
+
+module Tid = Asset_util.Id.Tid
+module Oid = Asset_util.Id.Oid
+module Value = Asset_storage.Value
+module Store = Asset_storage.Store
+module Heap = Asset_storage.Heap_store
+module Record = Asset_wal.Record
+module Log = Asset_wal.Log
+module Recovery = Asset_wal.Recovery
+
+let tid = Tid.of_int
+let oid = Oid.of_int
+let vi = Value.of_int
+
+let tmp_file =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "asset_wal_%d_%d.log" (Unix.getpid ()) !n)
+
+(* ------------------------------------------------------------------ *)
+(* Record codec                                                        *)
+
+let sample_records =
+  [
+    Record.Begin (tid 1);
+    Record.Update { tid = tid 1; oid = oid 2; before = None; after = vi 10 };
+    Record.Update { tid = tid 1; oid = oid 2; before = Some (vi 10); after = vi 20 };
+    Record.Commit [ tid 1 ];
+    Record.Commit [ tid 1; tid 2; tid 3 ];
+    Record.Abort (tid 9);
+    Record.Delegate { from_ = tid 1; to_ = tid 2; oids = None };
+    Record.Delegate { from_ = tid 1; to_ = tid 2; oids = Some [ oid 1; oid 5 ] };
+    Record.Clr { tid = tid 3; oid = oid 4; image = Some (vi 8) };
+    Record.Clr { tid = tid 3; oid = oid 4; image = None };
+    Record.Checkpoint;
+  ]
+
+let record_equal a b = Record.encode a = Record.encode b
+
+let test_codec_roundtrip () =
+  List.iter
+    (fun r ->
+      let decoded = Record.decode (Record.encode r) in
+      Alcotest.(check bool)
+        (Format.asprintf "roundtrip %a" Record.pp r)
+        true (record_equal r decoded))
+    sample_records
+
+let test_codec_rejects_garbage () =
+  (match Record.decode "" with
+  | exception Record.Corrupt _ -> ()
+  | _ -> Alcotest.fail "empty accepted");
+  match Record.decode "\255garbage" with
+  | exception Record.Corrupt _ -> ()
+  | _ -> Alcotest.fail "bad tag accepted"
+
+(* Decoding arbitrary bytes must either produce a record or raise
+   [Corrupt] — never crash or loop. *)
+let prop_decode_total =
+  QCheck2.Test.make ~name:"decode is total (Corrupt or record)" ~count:1000
+    QCheck2.Gen.(string_size (int_range 0 128))
+    (fun data ->
+      match Record.decode data with
+      | _ -> true
+      | exception Record.Corrupt _ -> true)
+
+(* Mutating one byte of a valid encoding must not crash the decoder. *)
+let prop_decode_survives_bitflips =
+  QCheck2.Test.make ~name:"decode survives single-byte corruption" ~count:500
+    QCheck2.Gen.(pair (int_range 0 200) (int_range 0 255))
+    (fun (pos, byte) ->
+      List.for_all
+        (fun r ->
+          let enc = Bytes.of_string (Record.encode r) in
+          if Bytes.length enc = 0 then true
+          else begin
+            Bytes.set enc (pos mod Bytes.length enc) (Char.chr byte);
+            match Record.decode (Bytes.unsafe_to_string enc) with
+            | _ -> true
+            | exception Record.Corrupt _ -> true
+          end)
+        sample_records)
+
+let prop_update_roundtrip =
+  QCheck2.Test.make ~name:"update record roundtrip" ~count:300
+    QCheck2.Gen.(
+      tup4 (int_range 1 1000) (int_range 1 1000) (option (string_size (int_range 0 64)))
+        (string_size (int_range 0 64)))
+    (fun (t, o, before, after) ->
+      let r =
+        Record.Update
+          {
+            tid = tid t;
+            oid = oid o;
+            before = Option.map Value.of_string before;
+            after = Value.of_string after;
+          }
+      in
+      record_equal r (Record.decode (Record.encode r)))
+
+(* ------------------------------------------------------------------ *)
+(* Log                                                                 *)
+
+let test_log_append_get () =
+  let l = Log.in_memory () in
+  let lsn0 = Log.append l (Record.Begin (tid 1)) in
+  let lsn1 = Log.append l (Record.Abort (tid 1)) in
+  Alcotest.(check int) "lsn0" 0 lsn0;
+  Alcotest.(check int) "lsn1" 1 lsn1;
+  Alcotest.(check int) "length" 2 (Log.length l);
+  Alcotest.(check bool) "get" true (record_equal (Record.Begin (tid 1)) (Log.get l 0))
+
+let test_log_growth () =
+  let l = Log.in_memory () in
+  for i = 1 to 1000 do
+    ignore (Log.append l (Record.Begin (tid i)))
+  done;
+  Alcotest.(check int) "1000 records" 1000 (Log.length l);
+  Alcotest.(check bool) "last" true (record_equal (Record.Begin (tid 1000)) (Log.get l 999))
+
+let test_log_iter_rev_and_fold () =
+  let l = Log.in_memory () in
+  List.iter (fun i -> ignore (Log.append l (Record.Begin (tid i)))) [ 1; 2; 3 ];
+  let seen = ref [] in
+  Log.iter_rev l (fun lsn _ -> seen := lsn :: !seen);
+  Alcotest.(check (list int)) "reverse order" [ 0; 1; 2 ] !seen;
+  let count = Log.fold l ~init:0 ~f:(fun acc _ _ -> acc + 1) in
+  Alcotest.(check int) "fold" 3 count
+
+let test_log_commit_forces () =
+  let l = Log.in_memory () in
+  ignore (Log.append l (Record.Begin (tid 1)));
+  Alcotest.(check int) "not forced yet" (-1) (Log.forced_lsn l);
+  ignore (Log.append l (Record.Commit [ tid 1 ]));
+  Alcotest.(check int) "commit forces" 1 (Log.forced_lsn l)
+
+let test_log_file_roundtrip () =
+  let path = tmp_file () in
+  let l = Log.create_file path in
+  List.iter (fun r -> ignore (Log.append l r)) sample_records;
+  Log.force l;
+  Log.close l;
+  let l2 = Log.load path in
+  Alcotest.(check int) "all records" (List.length sample_records) (Log.length l2);
+  List.iteri
+    (fun i r -> Alcotest.(check bool) "record" true (record_equal r (Log.get l2 i)))
+    sample_records;
+  Sys.remove path
+
+let test_log_load_stops_at_torn_tail () =
+  let path = tmp_file () in
+  let l = Log.create_file path in
+  ignore (Log.append l (Record.Begin (tid 1)));
+  ignore (Log.append l (Record.Abort (tid 1)));
+  Log.force l;
+  Log.close l;
+  (* Append a torn frame: a length header promising more bytes than
+     exist. *)
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc "\xff\x00\x00\x00partial";
+  close_out oc;
+  let l2 = Log.load path in
+  Alcotest.(check int) "torn tail dropped" 2 (Log.length l2);
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+
+let store_with pairs =
+  let s = Heap.store () in
+  List.iter (fun (o, v) -> Store.write s (oid o) (vi v)) pairs;
+  s
+
+let geti s o = Value.to_int (Store.read_exn s (oid o))
+
+let test_recovery_redo_winner () =
+  let log = Log.in_memory () in
+  ignore (Log.append log (Record.Begin (tid 1)));
+  ignore (Log.append log (Record.Update { tid = tid 1; oid = oid 1; before = Some (vi 0); after = vi 5 }));
+  ignore (Log.append log (Record.Commit [ tid 1 ]));
+  (* Crash before the cache reached disk: store still has 0. *)
+  let s = store_with [ (1, 0) ] in
+  let report = Recovery.recover log s in
+  Alcotest.(check int) "winner redone" 5 (geti s 1);
+  Alcotest.(check int) "one winner" 1 (List.length report.Recovery.winners);
+  Alcotest.(check int) "no losers" 0 (List.length report.Recovery.losers)
+
+let test_recovery_undo_loser () =
+  let log = Log.in_memory () in
+  ignore (Log.append log (Record.Begin (tid 1)));
+  ignore (Log.append log (Record.Update { tid = tid 1; oid = oid 1; before = Some (vi 0); after = vi 5 }));
+  (* No commit: in-flight at crash, but its write reached disk. *)
+  let s = store_with [ (1, 5) ] in
+  let report = Recovery.recover log s in
+  Alcotest.(check int) "loser undone" 0 (geti s 1);
+  Alcotest.(check (list int)) "loser" [ 1 ] (List.map Tid.to_int report.Recovery.losers)
+
+let test_recovery_loser_created_object_deleted () =
+  let log = Log.in_memory () in
+  ignore (Log.append log (Record.Update { tid = tid 1; oid = oid 7; before = None; after = vi 1 }));
+  let s = store_with [ (7, 1) ] in
+  ignore (Recovery.recover log s);
+  Alcotest.(check bool) "created object removed" false (Store.exists s (oid 7))
+
+(* An engine-side abort logs CLRs and an Abort record; recovery redoes
+   the CLRs (the undo) and does not undo the transaction again. *)
+let test_recovery_resolved_abort_replays_clrs () =
+  let log = Log.in_memory () in
+  ignore (Log.append log (Record.Update { tid = tid 1; oid = oid 1; before = Some (vi 0); after = vi 9 }));
+  ignore (Log.append log (Record.Clr { tid = tid 1; oid = oid 1; image = Some (vi 0) }));
+  ignore (Log.append log (Record.Abort (tid 1)));
+  let s = store_with [ (1, 9) ] in
+  ignore (Recovery.recover log s);
+  Alcotest.(check int) "aborted txn undone via CLR" 0 (geti s 1)
+
+(* The scenario that motivates CLRs: a loser aborts (undo applied and
+   logged), then a winner writes the same object.  Recovery must leave
+   the winner's value, not re-install the loser's before image. *)
+let test_recovery_aborted_then_winner_same_object () =
+  let log = Log.in_memory () in
+  ignore (Log.append log (Record.Update { tid = tid 1; oid = oid 1; before = Some (vi 0); after = vi 9 }));
+  ignore (Log.append log (Record.Clr { tid = tid 1; oid = oid 1; image = Some (vi 0) }));
+  ignore (Log.append log (Record.Abort (tid 1)));
+  ignore (Log.append log (Record.Update { tid = tid 2; oid = oid 1; before = Some (vi 0); after = vi 42 }));
+  ignore (Log.append log (Record.Commit [ tid 2 ]));
+  let s = store_with [ (1, 0) ] in
+  ignore (Recovery.recover log s);
+  Alcotest.(check int) "winner value survives prior abort" 42 (geti s 1)
+
+let test_recovery_interleaved_repeat_history () =
+  (* t1 and t2 interleave on distinct objects; t1 commits, t2 does not.
+     Whatever subset of writes hit the disk, recovery must converge. *)
+  let log = Log.in_memory () in
+  ignore (Log.append log (Record.Update { tid = tid 1; oid = oid 1; before = Some (vi 0); after = vi 11 }));
+  ignore (Log.append log (Record.Update { tid = tid 2; oid = oid 2; before = Some (vi 0); after = vi 22 }));
+  ignore (Log.append log (Record.Update { tid = tid 1; oid = oid 3; before = Some (vi 0); after = vi 33 }));
+  ignore (Log.append log (Record.Commit [ tid 1 ]));
+  (* Disk state: only t2's write and half of t1's made it. *)
+  let s = store_with [ (1, 0); (2, 22); (3, 33) ] in
+  ignore (Recovery.recover log s);
+  Alcotest.(check int) "t1.ob1" 11 (geti s 1);
+  Alcotest.(check int) "t2.ob2 undone" 0 (geti s 2);
+  Alcotest.(check int) "t1.ob3" 33 (geti s 3)
+
+(* The ASSET-specific case: updates delegated to a committed
+   transaction are winner updates even though their original performer
+   never committed. *)
+let test_recovery_delegated_to_winner () =
+  let log = Log.in_memory () in
+  ignore (Log.append log (Record.Update { tid = tid 1; oid = oid 1; before = Some (vi 0); after = vi 5 }));
+  ignore (Log.append log (Record.Delegate { from_ = tid 1; to_ = tid 2; oids = None }));
+  ignore (Log.append log (Record.Commit [ tid 2 ]));
+  (* t1 never commits — but its update now belongs to t2. *)
+  let s = store_with [ (1, 0) ] in
+  ignore (Recovery.recover log s);
+  Alcotest.(check int) "delegated update survives" 5 (geti s 1)
+
+let test_recovery_delegated_from_winner_to_loser () =
+  let log = Log.in_memory () in
+  ignore (Log.append log (Record.Update { tid = tid 1; oid = oid 1; before = Some (vi 0); after = vi 5 }));
+  ignore (Log.append log (Record.Delegate { from_ = tid 1; to_ = tid 2; oids = None }));
+  ignore (Log.append log (Record.Commit [ tid 1 ]));
+  (* t1 committed, but the update had been delegated to t2, which did
+     not commit: the update must be undone. *)
+  let s = store_with [ (1, 5) ] in
+  ignore (Recovery.recover log s);
+  Alcotest.(check int) "delegated-away update undone" 0 (geti s 1)
+
+let test_recovery_partial_delegation_by_object () =
+  let log = Log.in_memory () in
+  ignore (Log.append log (Record.Update { tid = tid 1; oid = oid 1; before = Some (vi 0); after = vi 5 }));
+  ignore (Log.append log (Record.Update { tid = tid 1; oid = oid 2; before = Some (vi 0); after = vi 6 }));
+  ignore (Log.append log (Record.Delegate { from_ = tid 1; to_ = tid 2; oids = Some [ oid 1 ] }));
+  ignore (Log.append log (Record.Commit [ tid 2 ]));
+  let s = store_with [ (1, 0); (2, 0) ] in
+  ignore (Recovery.recover log s);
+  Alcotest.(check int) "delegated object committed" 5 (geti s 1);
+  Alcotest.(check int) "kept object undone" 0 (geti s 2)
+
+let test_recovery_group_commit_record () =
+  let log = Log.in_memory () in
+  ignore (Log.append log (Record.Update { tid = tid 1; oid = oid 1; before = Some (vi 0); after = vi 1 }));
+  ignore (Log.append log (Record.Update { tid = tid 2; oid = oid 2; before = Some (vi 0); after = vi 2 }));
+  ignore (Log.append log (Record.Commit [ tid 1; tid 2 ]));
+  let s = store_with [ (1, 0); (2, 0) ] in
+  let report = Recovery.recover log s in
+  Alcotest.(check int) "member 1" 1 (geti s 1);
+  Alcotest.(check int) "member 2" 2 (geti s 2);
+  Alcotest.(check int) "two winners" 2 (List.length report.Recovery.winners)
+
+let test_recovery_idempotent () =
+  let log = Log.in_memory () in
+  ignore (Log.append log (Record.Update { tid = tid 1; oid = oid 1; before = Some (vi 0); after = vi 5 }));
+  ignore (Log.append log (Record.Update { tid = tid 2; oid = oid 2; before = Some (vi 0); after = vi 7 }));
+  ignore (Log.append log (Record.Commit [ tid 1 ]));
+  let s = store_with [ (1, 0); (2, 7) ] in
+  ignore (Recovery.recover log s);
+  let snap1 = Store.snapshot s in
+  ignore (Recovery.recover log s);
+  let snap2 = Store.snapshot s in
+  Alcotest.(check bool) "recover twice = recover once" true (snap1 = snap2)
+
+let test_checkpoint_skips_prefix () =
+  let log = Log.in_memory () in
+  let s = store_with [ (1, 0) ] in
+  ignore (Log.append log (Record.Update { tid = tid 1; oid = oid 1; before = Some (vi 0); after = vi 5 }));
+  ignore (Log.append log (Record.Commit [ tid 1 ]));
+  Store.write s (oid 1) (vi 5);
+  ignore (Recovery.checkpoint log s);
+  ignore (Log.append log (Record.Update { tid = tid 2; oid = oid 1; before = Some (vi 5); after = vi 9 }));
+  (* t2 lost; recovery from the checkpoint must see only t2. *)
+  let report = Recovery.recover log s in
+  Alcotest.(check int) "undone to checkpointed value" 5 (geti s 1);
+  Alcotest.(check int) "only post-checkpoint records scanned" 1 report.Recovery.updates_redone
+
+(* Property: random histories — every committed transaction's final
+   write per object survives; every loser's effect is gone.  We build
+   sequential (non-interleaved per object) histories so the expected
+   final state is computable directly. *)
+let prop_recovery_matches_oracle =
+  QCheck2.Test.make ~name:"recovery matches oracle on random histories" ~count:150
+    QCheck2.Gen.(
+      list_size (int_range 1 20)
+        (tup3 (int_range 1 5) (int_range 1 6) bool))
+    (fun txns ->
+      let log = Log.in_memory () in
+      let disk = Heap.store () in
+      let oracle = Heap.store () in
+      (* Objects start at 0 on both. *)
+      for o = 1 to 6 do
+        Store.write disk (oid o) (vi 0);
+        Store.write oracle (oid o) (vi 0)
+      done;
+      let shadow = Hashtbl.create 8 in
+      for o = 1 to 6 do
+        Hashtbl.replace shadow o 0
+      done;
+      List.iteri
+        (fun i (n_writes, obj, commits) ->
+          let t = tid (i + 1) in
+          for w = 1 to n_writes do
+            let before = Hashtbl.find shadow obj in
+            let after = (i * 100) + w in
+            ignore
+              (Log.append log
+                 (Record.Update { tid = t; oid = oid obj; before = Some (vi before); after = vi after }));
+            Hashtbl.replace shadow obj after;
+            (* Disk may or may not see the write; flip on parity. *)
+            if (i + w) mod 2 = 0 then Store.write disk (oid obj) (vi after)
+          done;
+          if commits then begin
+            ignore (Log.append log (Record.Commit [ t ]));
+            Store.write oracle (oid obj) (vi (Hashtbl.find shadow obj))
+          end
+          else begin
+            (* Loser: the abort installs (and CLR-logs) the pre-txn
+               value, as the engine does; shadow returns to the oracle
+               value. *)
+            let restored = Value.to_int (Store.read_exn oracle (oid obj)) in
+            ignore (Log.append log (Record.Clr { tid = t; oid = oid obj; image = Some (vi restored) }));
+            ignore (Log.append log (Record.Abort t));
+            Hashtbl.replace shadow obj restored
+          end)
+        txns;
+      ignore (Recovery.recover log disk);
+      Store.equal_content disk oracle)
+
+let () =
+  Alcotest.run "asset_wal"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_codec_rejects_garbage;
+          QCheck_alcotest.to_alcotest prop_update_roundtrip;
+          QCheck_alcotest.to_alcotest prop_decode_total;
+          QCheck_alcotest.to_alcotest prop_decode_survives_bitflips;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "append/get" `Quick test_log_append_get;
+          Alcotest.test_case "growth" `Quick test_log_growth;
+          Alcotest.test_case "iter_rev and fold" `Quick test_log_iter_rev_and_fold;
+          Alcotest.test_case "commit forces" `Quick test_log_commit_forces;
+          Alcotest.test_case "file roundtrip" `Quick test_log_file_roundtrip;
+          Alcotest.test_case "torn tail" `Quick test_log_load_stops_at_torn_tail;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "redo winner" `Quick test_recovery_redo_winner;
+          Alcotest.test_case "undo loser" `Quick test_recovery_undo_loser;
+          Alcotest.test_case "loser-created object deleted" `Quick
+            test_recovery_loser_created_object_deleted;
+          Alcotest.test_case "resolved abort replays CLRs" `Quick
+            test_recovery_resolved_abort_replays_clrs;
+          Alcotest.test_case "abort then winner on same object" `Quick
+            test_recovery_aborted_then_winner_same_object;
+          Alcotest.test_case "repeat history" `Quick test_recovery_interleaved_repeat_history;
+          Alcotest.test_case "delegated to winner" `Quick test_recovery_delegated_to_winner;
+          Alcotest.test_case "delegated from winner to loser" `Quick
+            test_recovery_delegated_from_winner_to_loser;
+          Alcotest.test_case "partial delegation by object" `Quick
+            test_recovery_partial_delegation_by_object;
+          Alcotest.test_case "group commit record" `Quick test_recovery_group_commit_record;
+          Alcotest.test_case "idempotent" `Quick test_recovery_idempotent;
+          Alcotest.test_case "checkpoint skips prefix" `Quick test_checkpoint_skips_prefix;
+          QCheck_alcotest.to_alcotest prop_recovery_matches_oracle;
+        ] );
+    ]
