@@ -32,6 +32,10 @@ open Asset_models
 let oid = Oid.of_int
 let vi = Value.of_int
 
+(* --smoke shrinks every knob so a CI run finishes in seconds; the
+   tables are then only smoke signals, not measurements. *)
+let smoke = ref false
+
 let fresh_db ?config ~objects () =
   let store = Heap.store () in
   Heap.populate store ~n:objects ~value:(fun _ -> vi 0);
@@ -54,7 +58,8 @@ let bechamel_measure cases =
     List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) cases
   in
   let grouped = Test.make_grouped ~name:"" ~fmt:"%s%s" tests in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false () in
+  let quota = if !smoke then 0.02 else 0.25 in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize:false () in
   let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
@@ -927,24 +932,205 @@ let e16_index () =
   Table.print t
 
 (* ------------------------------------------------------------------ *)
+(* E17: hot-path gates (ISSUE 1 "E13") — scheduler step cost with many
+   parked fibers, and WAL group-commit throughput.  Emits the
+   machine-readable BENCH_hotpath.json so the perf trajectory is
+   tracked across PRs. *)
+
+(* One busy fiber takes [yields] steps while [parked] fibers sit on a
+   wake condition.  "versioned" parks register a version watch, so the
+   scheduler skips them while the version is unchanged; "polled" parks
+   re-run every condition after every step — the pre-overhaul O(n)
+   behaviour, kept as the in-binary baseline. *)
+let hotpath_sched_case ~parked ~yields ~versioned =
+  let s = Sched.create () in
+  let ver = ref 0 in
+  Sched.set_clock s (fun () -> !ver);
+  for _ = 1 to parked do
+    ignore
+      (Sched.spawn s ~label:"parked" (fun () ->
+           let v = !ver in
+           if versioned then Sched.wait_until ~reason:"parked" ~watch:v (fun () -> !ver > v)
+           else Sched.wait_until ~reason:"parked" (fun () -> !ver > v)))
+  done;
+  ignore
+    (Sched.spawn s ~label:"worker" (fun () ->
+         for _ = 1 to yields do
+           Sched.yield ()
+         done;
+         incr ver));
+  let (), dt = time_of (fun () -> Sched.run s) in
+  (dt, Sched.steps s)
+
+(* [n_txns] independent single-write transactions, each committed from
+   its own fiber, over a file-backed log.  group_commit_size=1 is the
+   force-per-commit baseline; larger sizes coalesce K commit records
+   into one fsync. *)
+let hotpath_commit_case ~n_txns ~gcs =
+  let path = Filename.temp_file "asset_hotpath" ".wal" in
+  let log = Log.create_file path in
+  let config = { E.default_config with E.group_commit_size = gcs } in
+  let store = Heap.store () in
+  Heap.populate store ~n:(n_txns + 1) ~value:(fun _ -> vi 0);
+  let db = E.create ~config ~log store in
+  let (), dt =
+    time_of (fun () ->
+        R.run_exn db (fun () ->
+            let tids =
+              List.init n_txns (fun i -> E.initiate db (fun () -> E.write db (oid (i + 1)) (vi 1)))
+            in
+            List.iter (fun t -> ignore (E.begin_ db t)) tids;
+            List.iter (fun t -> E.spawn db ~label:"c" (fun () -> ignore (E.commit db t))) tids;
+            E.await_terminated db tids))
+  in
+  let forces = Log.force_count log in
+  let commits = stat db "commits" in
+  let group_commits = stat db "group_commits" in
+  Log.close log;
+  Sys.remove path;
+  (dt, forces, commits, group_commits)
+
+let e17_hotpath () =
+  let parked_counts = if !smoke then [ 10; 100 ] else [ 10; 100; 1000 ] in
+  let yields = if !smoke then 2_000 else 20_000 in
+  let txn_counts = if !smoke then [ 10; 50 ] else [ 10; 100; 1000 ] in
+  let gcs_values = if !smoke then [ 1; 8 ] else [ 1; 8; 64 ] in
+  (* Scheduler step cost. *)
+  let sched_rows =
+    List.concat_map
+      (fun parked ->
+        List.map
+          (fun versioned ->
+            let dt, steps = hotpath_sched_case ~parked ~yields ~versioned in
+            let ns = dt /. float_of_int steps *. 1e9 in
+            (parked, (if versioned then "versioned" else "polled"), ns, steps))
+          [ false; true ])
+      parked_counts
+  in
+  let t =
+    Table.create
+      ~title:"E17a: scheduler step cost vs parked fibers (polled = pre-overhaul wake behaviour)"
+      ~header:[ "parked"; "wakeups"; "ns/step"; "steps" ]
+  in
+  List.iter
+    (fun (parked, mode, ns, steps) ->
+      Table.add_row t [ Table.fmt_i parked; mode; Table.fmt_f ~digits:1 ns; Table.fmt_i steps ])
+    sched_rows;
+  Table.print t;
+  (* Commit throughput on a file-backed (fsynced) log. *)
+  let commit_rows =
+    List.concat_map
+      (fun n_txns ->
+        List.map
+          (fun gcs ->
+            let dt, forces, commits, group_commits = hotpath_commit_case ~n_txns ~gcs in
+            let tps = float_of_int commits /. dt in
+            (n_txns, gcs, dt, tps, forces, commits, group_commits))
+          gcs_values)
+      txn_counts
+  in
+  let t =
+    Table.create
+      ~title:"E17b: commit throughput on a file-backed log vs group_commit_size"
+      ~header:[ "txns"; "gc size"; "committed"; "log forces"; "group commits"; "txn/s" ]
+  in
+  List.iter
+    (fun (n_txns, gcs, _dt, tps, forces, commits, group_commits) ->
+      Table.add_row t
+        [
+          Table.fmt_i n_txns;
+          Table.fmt_i gcs;
+          Table.fmt_i commits;
+          Table.fmt_i forces;
+          Table.fmt_i group_commits;
+          Table.fmt_f ~digits:0 tps;
+        ])
+    commit_rows;
+  Table.print t;
+  (* Machine-readable gate for the perf trajectory. *)
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"experiment\": \"E17-hotpath\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" !smoke);
+  Buffer.add_string buf "  \"scheduler_step\": [\n";
+  List.iteri
+    (fun i (parked, mode, ns, steps) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"parked\": %d, \"mode\": \"%s\", \"ns_per_step\": %.2f, \"steps\": %d}%s\n"
+           parked mode ns steps
+           (if i = List.length sched_rows - 1 then "" else ",")))
+    sched_rows;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"commit_throughput\": [\n";
+  List.iteri
+    (fun i (n_txns, gcs, dt, tps, forces, commits, group_commits) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"txns\": %d, \"group_commit_size\": %d, \"seconds\": %.6f, \"txn_per_s\": %.1f, \
+            \"log_forces\": %d, \"committed\": %d, \"group_commits\": %d}%s\n"
+           n_txns gcs dt tps forces commits group_commits
+           (if i = List.length commit_rows - 1 then "" else ",")))
+    commit_rows;
+  Buffer.add_string buf "  ]\n}\n";
+  (* Smoke runs get their own file so CI never clobbers the committed
+     full-run numbers. *)
+  let path = if !smoke then "BENCH_hotpath_smoke.json" else "BENCH_hotpath.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "wrote %s@." path
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("f1", fig1);
+    ("e1", e1_primitives);
+    ("e2", e2_lockmgr);
+    ("e3", e3_permit);
+    ("e4", e4_delegate);
+    ("e5", e5_nested);
+    ("e6", e6_saga);
+    ("e7", e7_groupcommit);
+    ("e8", e8_cursor);
+    ("e9", e9_recovery);
+    ("e10", e10_workflow);
+    ("e11", e11_models);
+    ("e12", e12_deps);
+    ("e13", e13_increment);
+    ("e14", e14_ablations);
+    ("e15", e15_workspace);
+    ("e16", e16_index);
+    ("e17", e17_hotpath);
+    ("hotpath", e17_hotpath);
+  ]
 
 let () =
-  Format.printf "ASSET benchmark harness — experiments F1, E1-E16 (see DESIGN.md)@.";
-  fig1 ();
-  e1_primitives ();
-  e2_lockmgr ();
-  e3_permit ();
-  e4_delegate ();
-  e5_nested ();
-  e6_saga ();
-  e7_groupcommit ();
-  e8_cursor ();
-  e9_recovery ();
-  e10_workflow ();
-  e11_models ();
-  e12_deps ();
-  e13_increment ();
-  e14_ablations ();
-  e15_workspace ();
-  e16_index ();
+  let only = ref [] in
+  let spec =
+    [
+      ( "--only",
+        Arg.String
+          (fun s -> only := !only @ String.split_on_char ',' (String.lowercase_ascii s)),
+        "KEYS  comma-separated experiment keys (f1, e1..e17, hotpath); default: all" );
+      ("--smoke", Arg.Set smoke, "  tiny quotas for CI smoke runs");
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad ("unexpected argument: " ^ a)))
+    "bench/main.exe [--only e1,hotpath] [--smoke]";
+  let selected =
+    match !only with
+    | [] -> List.filter (fun (k, _) -> k <> "hotpath") experiments (* e17 covers it *)
+    | keys ->
+        List.map
+          (fun k ->
+            match List.assoc_opt k experiments with
+            | Some f -> (k, f)
+            | None -> failwith ("unknown experiment: " ^ k))
+          keys
+  in
+  Format.printf "ASSET benchmark harness — experiments F1, E1-E17 (see DESIGN.md)%s@."
+    (if !smoke then " [smoke]" else "");
+  List.iter (fun (_, f) -> f ()) selected;
   Format.printf "@.done.@."

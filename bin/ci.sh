@@ -1,0 +1,19 @@
+#!/bin/sh
+# CI entry point: type-check, build, run every test suite, then smoke
+# the benchmark harness (tiny quotas — shape check only, not numbers).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== dune build @check =="
+dune build @check
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== bench smoke (E1 + E17/hotpath) =="
+dune exec bench/main.exe -- --only e1,hotpath --smoke
+
+echo "CI OK"

@@ -52,10 +52,19 @@ type config = {
   deadlock_detection : bool;
   use_latches : bool;
   dep_cycle_check : bool;
+  group_commit_size : int;
+      (* force the log once per this many commit records; pending
+         commits are also flushed at every scheduler quiescence point *)
 }
 
 let default_config =
-  { max_transactions = 10_000; deadlock_detection = true; use_latches = true; dep_cycle_check = true }
+  {
+    max_transactions = 10_000;
+    deadlock_detection = true;
+    use_latches = true;
+    dep_cycle_check = true;
+    group_commit_size = 1;
+  }
 
 type t = {
   store : Store.t;
@@ -69,6 +78,10 @@ type t = {
   fiber_txn : (int, Tid.t) Hashtbl.t; (* scheduler fid -> tid *)
   mutable sched : Sched.t option;
   mutable version : int; (* bumped on every observable state change *)
+  (* group commit: commit records appended but not yet forced, and the
+     transactions they cover *)
+  mutable unforced_commit_records : int;
+  mutable unforced_commit_txns : int;
   (* statistics *)
   commits : Asset_util.Stats.Counter.t;
   aborts : Asset_util.Stats.Counter.t;
@@ -94,6 +107,8 @@ let create ?(config = default_config) ?log store =
     fiber_txn = Hashtbl.create 64;
     sched = None;
     version = 0;
+    unforced_commit_records = 0;
+    unforced_commit_txns = 0;
     commits = Asset_util.Stats.Counter.create "engine.commits";
     aborts = Asset_util.Stats.Counter.create "engine.aborts";
     group_commits = Asset_util.Stats.Counter.create "engine.group_commits";
@@ -105,6 +120,17 @@ let create ?(config = default_config) ?log store =
   }
 
 let bump db = db.version <- db.version + 1
+
+(* Force the log over every commit record appended since the last
+   force.  One force acknowledges the whole batch; a batch covering
+   more than one transaction is a coalesced (group) commit. *)
+let flush_pending_commits db =
+  if db.unforced_commit_records > 0 then begin
+    Log.force db.log;
+    if db.unforced_commit_txns > 1 then Asset_util.Stats.Counter.incr db.group_commits;
+    db.unforced_commit_records <- 0;
+    db.unforced_commit_txns <- 0
+  end
 
 let sched db =
   match db.sched with
@@ -131,9 +157,11 @@ let latch db oid =
       Hashtbl.replace db.latches oid l;
       l
 
-(* Park the current fiber until the engine version moves past [v]. *)
+(* Park the current fiber until the engine version moves past [v].
+   The watch snapshot lets the scheduler skip re-evaluating the
+   condition until the version has actually advanced. *)
 let wait_for_change db ~reason v =
-  Sched.wait_until ~reason (fun () -> db.version > v)
+  Sched.wait_until ~reason ~watch:v (fun () -> db.version > v)
 
 (* ------------------------------------------------------------------ *)
 (* self / parent                                                       *)
@@ -575,7 +603,14 @@ let resolve_non_gc_deps db tid =
 (* Commit the whole [group] atomically (step 4 onward), "simultaneously
    executed for all the transactions in the group". *)
 let commit_group db group =
-  Log.append db.log (Record.Commit group) |> ignore;
+  (* Group commit: stage the commit record and share one force among
+     up to [group_commit_size] commit records (plus a flush at every
+     scheduler quiescence point, so nothing waits indefinitely). *)
+  Log.append ~force_commit:false db.log (Record.Commit group) |> ignore;
+  db.unforced_commit_records <- db.unforced_commit_records + 1;
+  db.unforced_commit_txns <- db.unforced_commit_txns + List.length group;
+  if db.unforced_commit_records >= max 1 db.config.group_commit_size then
+    flush_pending_commits db;
   List.iter
     (fun tid ->
       let td = td db tid in
@@ -588,7 +623,6 @@ let commit_group db group =
       ignore (Lock.release_all db.locks tid);
       Lock.remove_permits db.locks tid)
     group;
-  if List.length group > 1 then Asset_util.Stats.Counter.incr db.group_commits;
   (* Exclusion: committing excludes every EXC partner of each member.
      Partners were collected before edges were dropped — but since
      remove_involving already ran, collect first. *)
@@ -723,12 +757,16 @@ let spawn db ~label f = ignore (Sched.spawn (sched db) ~label f)
 (* Park the current fiber until every transaction in [tids] has
    terminated. *)
 let await_terminated db tids =
-  Sched.wait_until ~reason:"await batch termination" (fun () ->
+  (* Terminated-ness only changes on a version bump, so the wait can be
+     version-keyed. *)
+  Sched.wait_until ~reason:"await batch termination" ~watch:db.version (fun () ->
       List.for_all (fun t -> Status.terminated (status db t)) tids)
 
 let attach_scheduler db s =
   db.sched <- Some s;
-  Sched.set_on_stall s (resolve_deadlock db)
+  Sched.set_on_stall s (resolve_deadlock db);
+  Sched.set_clock s (fun () -> db.version);
+  Sched.set_on_quiesce s (fun () -> flush_pending_commits db)
 
 let stats db =
   [

@@ -40,6 +40,12 @@ type config = {
   use_latches : bool;  (** Latch objects around elementary operations. *)
   dep_cycle_check : bool;
       (** Reject commit-wait cycles in [form_dependency]. *)
+  group_commit_size : int;
+      (** Force the log once per this many commit records instead of
+          per commit, so concurrent committers share one force; any
+          pending commits are also flushed at every scheduler
+          quiescence point.  1 (the default) forces every commit
+          immediately. *)
 }
 
 val default_config : config
@@ -178,6 +184,12 @@ val await_terminated : t -> Tid.t list -> unit
 val checkpoint : t -> (int, Tid.t list) result
 (** Quiescent checkpoint; [Error active] lists the transactions that
     prevent it. *)
+
+val flush_pending_commits : t -> unit
+(** Force the log over any commit records staged by group commit.
+    Called automatically at every scheduler quiescence point (and thus
+    before {!Runtime.run} returns); exposed for harnesses that hold a
+    file-backed log open across runs. *)
 
 val active_transactions : t -> Tid.t list
 val transaction_count : t -> int

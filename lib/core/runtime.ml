@@ -21,6 +21,10 @@ let run ?policy ?max_steps ?record_trace db program =
     | () -> Ok ()
     | exception e -> Error e
   in
+  (* Group commit durability: the scheduler flushes pending commit
+     forces at quiescence, but a fiber failure can abandon the loop
+     mid-step — make sure nothing staged is left unforced. *)
+  Engine.flush_pending_commits db;
   { result; steps = Sched.steps s; deadlocked = (match result with Error (Sched.Deadlock _) -> true | _ -> false) }
 
 (* Run and re-raise any failure: the common path for tests/examples. *)

@@ -10,6 +10,20 @@
    every schedule reproducible: given the same policy (FIFO, or seeded
    random) the interleaving is identical run to run.
 
+   Hot-path structure.  The run queue is a growable circular-buffer
+   deque: FIFO push/pop and the random policy's swap-remove are all
+   O(1).  Parked fibers come in two kinds.  A *version-keyed* waiter
+   (parked via [wait_until ~watch] when a clock has been registered
+   with [set_clock]) promises that its condition only changes value
+   when the clock advances; such waiters live in a queue ordered by the
+   clock value at which their condition was last seen false, and
+   [wake_ready] re-evaluates only those whose watermark the clock has
+   passed — O(1) per step while the engine version is unchanged,
+   instead of re-running every parked closure after every fiber step.
+   A plain waiter (no [~watch], or no clock registered) is re-polled on
+   every wake sweep, preserving the original semantics for conditions
+   the version counter does not guard.
+
    Deadlock becomes observable rather than a hang: when no fiber is
    runnable and no parked condition is true, the scheduler calls the
    [on_stall] hook (the engine uses it to pick and abort a deadlock
@@ -24,72 +38,164 @@ type fiber = {
   mutable resume : unit -> unit;
 }
 
-type parked = { fiber : fiber; cond : unit -> bool; reason : string }
+type parked = {
+  fiber : fiber;
+  cond : unit -> bool;
+  reason : string;
+  mutable watched : int; (* clock value at which [cond] was last seen false *)
+}
 
 exception Deadlock of string list
 exception Fiber_failed of string * exn
 
+(* Growable circular-buffer deque.  [dummy] fills vacated slots so the
+   GC does not retain popped elements.  Capacity is a power of two, so
+   index wrap is a mask. *)
+module Ring = struct
+  type 'a t = { mutable buf : 'a array; mutable head : int; mutable size : int; dummy : 'a }
+
+  let create dummy = { buf = Array.make 16 dummy; head = 0; size = 0; dummy }
+  let size r = r.size
+  let is_empty r = r.size = 0
+
+  let grow r =
+    let cap = Array.length r.buf in
+    let bigger = Array.make (2 * cap) r.dummy in
+    for i = 0 to r.size - 1 do
+      bigger.(i) <- r.buf.((r.head + i) land (cap - 1))
+    done;
+    r.buf <- bigger;
+    r.head <- 0
+
+  let push_back r x =
+    if r.size = Array.length r.buf then grow r;
+    r.buf.((r.head + r.size) land (Array.length r.buf - 1)) <- x;
+    r.size <- r.size + 1
+
+  let pop_front r =
+    if r.size = 0 then invalid_arg "Ring.pop_front: empty";
+    let x = r.buf.(r.head) in
+    r.buf.(r.head) <- r.dummy;
+    r.head <- (r.head + 1) land (Array.length r.buf - 1);
+    r.size <- r.size - 1;
+    x
+
+  let peek_front r =
+    if r.size = 0 then invalid_arg "Ring.peek_front: empty";
+    r.buf.(r.head)
+
+  (* [get r i] is the i-th element from the front. *)
+  let get r i =
+    if i < 0 || i >= r.size then invalid_arg "Ring.get: out of range";
+    r.buf.((r.head + i) land (Array.length r.buf - 1))
+
+  (* O(1) removal for the random policy: the back element fills the
+     hole, so relative order is not preserved. *)
+  let swap_remove r i =
+    let x = get r i in
+    let cap = Array.length r.buf in
+    let pos = (r.head + i) land (cap - 1) in
+    let last = (r.head + r.size - 1) land (cap - 1) in
+    r.buf.(pos) <- r.buf.(last);
+    r.buf.(last) <- r.dummy;
+    r.size <- r.size - 1;
+    x
+
+  (* Front-to-back fold, newest last. *)
+  let fold r ~init ~f =
+    let acc = ref init in
+    for i = 0 to r.size - 1 do
+      acc := f !acc (get r i)
+    done;
+    !acc
+end
+
+let dummy_fiber = { fid = -1; label = "<free slot>"; resume = (fun () -> ()) }
+
+let dummy_parked =
+  { fiber = dummy_fiber; cond = (fun () -> false); reason = "<free slot>"; watched = 0 }
+
 type t = {
-  mutable runnable : fiber list; (* newest first; FIFO takes from the tail *)
-  mutable parked : parked list;
+  runnable : fiber Ring.t; (* front = oldest; FIFO pops the front *)
+  waiters : parked Ring.t;
+      (* version-keyed waiters in park order; [watched] is nondecreasing
+         front to back and never exceeds the current clock value *)
+  mutable polled : parked list; (* plain waiters, newest first, re-polled every sweep *)
   mutable next_fid : int;
   mutable current : fiber option;
   mutable steps : int;
   max_steps : int;
   rng : Asset_util.Rng.t option;
   mutable on_stall : unit -> bool;
+  mutable on_quiesce : unit -> unit;
+  mutable clock : (unit -> int) option;
   mutable trace : (int * string) list; (* (fid, event), newest first *)
   record_trace : bool;
 }
 
-type _ Effect.t += Yield : unit Effect.t | Wait_until : ((unit -> bool) * string) -> unit Effect.t
+type _ Effect.t +=
+  | Yield : unit Effect.t
+  | Wait_until : ((unit -> bool) * string * int option) -> unit Effect.t
 
 let create ?(policy = Fifo) ?(max_steps = 10_000_000) ?(record_trace = false) () =
   {
-    runnable = [];
-    parked = [];
+    runnable = Ring.create dummy_fiber;
+    waiters = Ring.create dummy_parked;
+    polled = [];
     next_fid = 0;
     current = None;
     steps = 0;
     max_steps;
     rng = (match policy with Fifo -> None | Random_seeded seed -> Some (Asset_util.Rng.create seed));
     on_stall = (fun () -> false);
+    on_quiesce = (fun () -> ());
+    clock = None;
     trace = [];
     record_trace;
   }
 
 let set_on_stall t f = t.on_stall <- f
+let set_on_quiesce t f = t.on_quiesce <- f
+let set_clock t f = t.clock <- Some f
 
 let log_event t fid event = if t.record_trace then t.trace <- (fid, event) :: t.trace
 let trace t = List.rev t.trace
 
-let enqueue t fiber = t.runnable <- fiber :: t.runnable
+let enqueue t fiber = Ring.push_back t.runnable fiber
 
-(* Pop the next fiber according to the policy.  FIFO takes the oldest
-   (tail of the newest-first list); random takes a uniformly random
-   element. *)
+(* Pop the next fiber according to the policy.  FIFO takes the front
+   (oldest); random swap-removes a uniformly random element.  The
+   random draw indexes from the *newest* end, matching the original
+   newest-first list representation, so a given seed keeps selecting
+   the same fiber at each decision point. *)
 let pop_runnable t =
-  match t.runnable with
-  | [] -> None
-  | fibers -> (
-      match t.rng with
-      | None ->
-          let rec split acc = function
-            | [ last ] -> (last, List.rev acc)
-            | x :: rest -> split (x :: acc) rest
-            | [] -> assert false
-          in
-          let fiber, rest = split [] fibers in
-          t.runnable <- rest;
-          Some fiber
-      | Some rng ->
-          let n = List.length fibers in
-          let i = Asset_util.Rng.int rng n in
-          let fiber = List.nth fibers i in
-          t.runnable <- List.filteri (fun j _ -> j <> i) fibers;
-          Some fiber)
+  let n = Ring.size t.runnable in
+  if n = 0 then None
+  else
+    match t.rng with
+    | None -> Some (Ring.pop_front t.runnable)
+    | Some rng ->
+        let i = Asset_util.Rng.int rng n in
+        Some (Ring.swap_remove t.runnable (n - 1 - i))
 
 let current_fid t = match t.current with Some f -> f.fid | None -> -1
+
+(* Park the current fiber.  A watched park (with a registered clock)
+   re-evaluates the condition once here: the caller's snapshot may be
+   stale — the clock may have advanced between the caller reading it
+   and the park — so a condition that is already true joins the polled
+   list and wakes on the next sweep, and one that is false is enqueued
+   with the *current* clock value as its watermark (the condition was
+   just seen false at this clock reading, so nothing can be missed). *)
+let park t entry ~watch =
+  match (watch, t.clock) with
+  | Some _, Some clock ->
+      if entry.cond () then t.polled <- entry :: t.polled
+      else begin
+        entry.watched <- clock ();
+        Ring.push_back t.waiters entry
+      end
+  | _ -> t.polled <- entry :: t.polled
 
 let handler t fiber =
   {
@@ -104,12 +210,12 @@ let handler t fiber =
                 fiber.resume <- (fun () -> Effect.Deep.continue k ());
                 log_event t fiber.fid "yield";
                 enqueue t fiber)
-        | Wait_until (cond, reason) ->
+        | Wait_until (cond, reason, watch) ->
             Some
               (fun (k : (a, unit) Effect.Deep.continuation) ->
                 fiber.resume <- (fun () -> Effect.Deep.continue k ());
                 log_event t fiber.fid ("park: " ^ reason);
-                t.parked <- { fiber; cond; reason } :: t.parked)
+                park t { fiber; cond; reason; watched = 0 } ~watch)
         | _ -> None);
   }
 
@@ -124,19 +230,58 @@ let spawn t ~label body =
 
 (* Primitives available inside fibers. *)
 let yield () = Effect.perform Yield
-let wait_until ?(reason = "condition") cond = if not (cond ()) then Effect.perform (Wait_until (cond, reason))
 
-(* Wake every parked fiber whose condition now holds.  Returns true if
-   anything woke. *)
+let wait_until ?(reason = "condition") ?watch cond =
+  if not (cond ()) then Effect.perform (Wait_until (cond, reason, watch))
+
+let wake t p =
+  log_event t p.fiber.fid "wake";
+  enqueue t p.fiber
+
+(* Wake every parked fiber whose condition now holds.  Plain waiters
+   are re-polled in park order; version-keyed waiters are re-evaluated
+   only while their watermark is behind the clock, and a still-false
+   condition is re-queued at the new watermark (the queue stays sorted
+   because the clock is monotone).  Returns true if anything woke. *)
 let wake_ready t =
-  let ready, still = List.partition (fun p -> p.cond ()) t.parked in
-  t.parked <- still;
-  List.iter
-    (fun p ->
-      log_event t p.fiber.fid "wake";
-      enqueue t p.fiber)
-    (List.rev ready);
-  ready <> []
+  let woke = ref false in
+  (match t.polled with
+  | [] -> ()
+  | ps ->
+      let ready, still = List.partition (fun p -> p.cond ()) ps in
+      t.polled <- still;
+      List.iter
+        (fun p ->
+          woke := true;
+          wake t p)
+        (List.rev ready));
+  (match t.clock with
+  | None -> ()
+  | Some clock ->
+      let now = clock () in
+      let continue = ref true in
+      while !continue && not (Ring.is_empty t.waiters) do
+        if (Ring.peek_front t.waiters).watched >= now then continue := false
+        else begin
+          let p = Ring.pop_front t.waiters in
+          if p.cond () then begin
+            woke := true;
+            wake t p
+          end
+          else begin
+            p.watched <- now;
+            Ring.push_back t.waiters p
+          end
+        end
+      done);
+  !woke
+
+let no_parked t = t.polled = [] && Ring.is_empty t.waiters
+
+(* Parked reasons, newest park first (waiters back-to-front, then the
+   polled list which is already newest first). *)
+let parked_entries t =
+  Ring.fold t.waiters ~init:t.polled ~f:(fun acc p -> p :: acc)
 
 let run t =
   let rec loop () =
@@ -153,15 +298,23 @@ let run t =
         ignore (wake_ready t);
         loop ()
     | None ->
-        if t.parked = [] then () (* all fibers done *)
+        (* Quiescence point: no fiber is runnable.  The engine uses this
+           hook to flush batched group-commit forces. *)
+        t.on_quiesce ();
+        if no_parked t then () (* all fibers done *)
         else if wake_ready t then loop ()
         else if t.on_stall () then begin
           ignore (wake_ready t);
-          if t.runnable = [] && not (wake_ready t) then
-            raise (Deadlock (List.map (fun p -> Printf.sprintf "%s: %s" p.fiber.label p.reason) t.parked))
+          if Ring.is_empty t.runnable && not (wake_ready t) then
+            raise
+              (Deadlock
+                 (List.map (fun p -> Printf.sprintf "%s: %s" p.fiber.label p.reason) (parked_entries t)))
           else loop ()
         end
-        else raise (Deadlock (List.map (fun p -> Printf.sprintf "%s: %s" p.fiber.label p.reason) t.parked))
+        else
+          raise
+            (Deadlock
+               (List.map (fun p -> Printf.sprintf "%s: %s" p.fiber.label p.reason) (parked_entries t)))
   in
   loop ()
 
@@ -173,6 +326,6 @@ let run_main ?policy ?max_steps ?record_trace main =
   t
 
 let steps t = t.steps
-let runnable_count t = List.length t.runnable
-let parked_count t = List.length t.parked
-let parked_reasons t = List.map (fun p -> p.reason) t.parked
+let runnable_count t = Ring.size t.runnable
+let parked_count t = List.length t.polled + Ring.size t.waiters
+let parked_reasons t = List.map (fun p -> p.reason) (parked_entries t)

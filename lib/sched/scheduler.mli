@@ -6,6 +6,13 @@
     preserving the section-4.2 "blocks and retries" structure while
     making every schedule reproducible (FIFO, or seeded random).
 
+    The hot paths are O(1): the run queue is a circular-buffer deque
+    (FIFO pop and the random policy's swap-remove are constant time),
+    and parked fibers whose condition is guarded by the engine's
+    version counter ({!wait_until} with [~watch], after {!set_clock})
+    are only re-evaluated once the counter has advanced past the value
+    at which the condition was last seen false.
+
     Deadlock is observable rather than a hang: when no fiber is
     runnable and no parked condition holds, the [on_stall] hook runs
     (the engine uses it to abort a deadlock victim); if it makes no
@@ -26,6 +33,16 @@ val set_on_stall : t -> (unit -> bool) -> unit
 (** The hook must return true iff it made progress (e.g. aborted a
     victim and bumped a version counter). *)
 
+val set_on_quiesce : t -> (unit -> unit) -> unit
+(** Called whenever the run queue empties (before wake conditions are
+    re-examined).  The engine uses it to flush batched group-commit
+    log forces.  The hook must not spawn or wake fibers. *)
+
+val set_clock : t -> (unit -> int) -> unit
+(** Register the monotone version counter that guards watched waits
+    (the engine's state-change counter).  Without a clock, [~watch] is
+    ignored and every parked condition is re-polled on each sweep. *)
+
 val spawn : t -> label:string -> (unit -> unit) -> int
 (** Enqueue a fiber; returns its id.  Callable from inside or outside
     fibers. *)
@@ -43,8 +60,14 @@ val run_main :
 
 val yield : unit -> unit
 
-val wait_until : ?reason:string -> (unit -> bool) -> unit
-(** Park until the condition holds (checked immediately first). *)
+val wait_until : ?reason:string -> ?watch:int -> (unit -> bool) -> unit
+(** Park until the condition holds (checked immediately first).
+    [~watch:v] registers the clock snapshot the caller based its
+    decision on and promises the condition only changes value when the
+    clock advances; the scheduler then skips re-evaluating it until
+    the clock passes the point where the condition was last seen
+    false.  A stale snapshot is safe: the condition is re-checked at
+    park time against the current clock reading. *)
 
 (** {2 Introspection} *)
 

@@ -5,21 +5,30 @@
    application operates directly on the objects in a shared cache
    without first copying the object to its private address space") maps
    to handing out the frame's bytes directly; callers mutate them in
-   place and mark the frame dirty. *)
+   place and mark the frame dirty.
+
+   Eviction is O(1): unpinned frames are threaded on an intrusive
+   doubly-linked LRU list (head = least recently released, tail = most
+   recently released).  A frame leaves the list while pinned and
+   rejoins at the tail on its last unpin, so the victim is always the
+   list head — no scan over the frame table. *)
 
 type frame = {
   page_id : int;
   bytes : Bytes.t;
   mutable pins : int;
   mutable dirty : bool;
-  mutable last_use : int;
+  mutable lru_prev : frame option;
+  mutable lru_next : frame option;
+  mutable in_lru : bool;
 }
 
 type t = {
   pager : Pager.t;
   capacity : int;
   frames : (int, frame) Hashtbl.t;
-  mutable clock : int;
+  mutable lru_head : frame option; (* least recently used unpinned frame *)
+  mutable lru_tail : frame option;
   hits : Asset_util.Stats.Counter.t;
   misses : Asset_util.Stats.Counter.t;
   evictions : Asset_util.Stats.Counter.t;
@@ -31,11 +40,32 @@ let create ?(capacity = 64) pager =
     pager;
     capacity;
     frames = Hashtbl.create capacity;
-    clock = 0;
+    lru_head = None;
+    lru_tail = None;
     hits = Asset_util.Stats.Counter.create "pool.hits";
     misses = Asset_util.Stats.Counter.create "pool.misses";
     evictions = Asset_util.Stats.Counter.create "pool.evictions";
   }
+
+let lru_unlink t frame =
+  if frame.in_lru then begin
+    (match frame.lru_prev with
+    | Some p -> p.lru_next <- frame.lru_next
+    | None -> t.lru_head <- frame.lru_next);
+    (match frame.lru_next with
+    | Some n -> n.lru_prev <- frame.lru_prev
+    | None -> t.lru_tail <- frame.lru_prev);
+    frame.lru_prev <- None;
+    frame.lru_next <- None;
+    frame.in_lru <- false
+  end
+
+let lru_push_tail t frame =
+  frame.lru_prev <- t.lru_tail;
+  frame.lru_next <- None;
+  frame.in_lru <- true;
+  (match t.lru_tail with Some p -> p.lru_next <- Some frame | None -> t.lru_head <- Some frame);
+  t.lru_tail <- Some frame
 
 let flush_frame t frame =
   if frame.dirty then begin
@@ -43,51 +73,40 @@ let flush_frame t frame =
     frame.dirty <- false
   end
 
-(* Evict the least-recently-used unpinned frame.  Raises if every frame
-   is pinned — a genuine resource-exhaustion condition the caller must
-   avoid by unpinning. *)
+(* Evict the least-recently-used unpinned frame — the LRU list head.
+   Raises if every frame is pinned (the list is empty) — a genuine
+   resource-exhaustion condition the caller must avoid by unpinning. *)
 let evict_one t =
-  let victim =
-    Hashtbl.fold
-      (fun _ frame best ->
-        if frame.pins > 0 then best
-        else
-          match best with
-          | Some b when b.last_use <= frame.last_use -> best
-          | _ -> Some frame)
-      t.frames None
-  in
-  match victim with
+  match t.lru_head with
   | None -> failwith "Buffer_pool: all frames pinned"
   | Some frame ->
+      lru_unlink t frame;
       flush_frame t frame;
       Hashtbl.remove t.frames frame.page_id;
       Asset_util.Stats.Counter.incr t.evictions
-
-let touch t frame =
-  t.clock <- t.clock + 1;
-  frame.last_use <- t.clock
 
 (* Pin a page and return its frame bytes.  The caller must [unpin]. *)
 let pin t page_id =
   match Hashtbl.find_opt t.frames page_id with
   | Some frame ->
       Asset_util.Stats.Counter.incr t.hits;
+      if frame.pins = 0 then lru_unlink t frame;
       frame.pins <- frame.pins + 1;
-      touch t frame;
       frame
   | None ->
       Asset_util.Stats.Counter.incr t.misses;
       if Hashtbl.length t.frames >= t.capacity then evict_one t;
       let bytes = Pager.read_page t.pager page_id in
-      let frame = { page_id; bytes; pins = 1; dirty = false; last_use = 0 } in
-      touch t frame;
+      let frame =
+        { page_id; bytes; pins = 1; dirty = false; lru_prev = None; lru_next = None; in_lru = false }
+      in
       Hashtbl.replace t.frames page_id frame;
       frame
 
-let unpin _t frame =
+let unpin t frame =
   if frame.pins <= 0 then invalid_arg "Buffer_pool.unpin: frame not pinned";
-  frame.pins <- frame.pins - 1
+  frame.pins <- frame.pins - 1;
+  if frame.pins = 0 then lru_push_tail t frame
 
 let mark_dirty frame = frame.dirty <- true
 
@@ -107,7 +126,10 @@ let flush_all t =
 
 (* Drop all cached frames without writing them back: used by the
    recovery tests to simulate a crash that loses the volatile cache. *)
-let crash t = Hashtbl.reset t.frames
+let crash t =
+  Hashtbl.reset t.frames;
+  t.lru_head <- None;
+  t.lru_tail <- None
 
 let hit_count t = Asset_util.Stats.Counter.get t.hits
 let miss_count t = Asset_util.Stats.Counter.get t.misses

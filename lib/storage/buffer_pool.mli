@@ -1,17 +1,24 @@
 (** Buffer pool: a bounded page cache over the pager with pinning,
-    dirty tracking and LRU eviction among unpinned frames.
+    dirty tracking and O(1) LRU eviction among unpinned frames.
 
     The paper's shared-cache operating mode ("the application operates
     directly on the objects in a shared cache") corresponds to handing
     out frame bytes directly: callers mutate them in place and mark the
-    frame dirty. *)
+    frame dirty.
+
+    Unpinned frames are threaded on an intrusive doubly-linked LRU
+    list; eviction pops the head (least recently released) without
+    scanning the frame table.  The [lru_*] fields are the intrusive
+    links — treat them as private. *)
 
 type frame = {
   page_id : int;
   bytes : Bytes.t;
   mutable pins : int;
   mutable dirty : bool;
-  mutable last_use : int;
+  mutable lru_prev : frame option;
+  mutable lru_next : frame option;
+  mutable in_lru : bool;
 }
 
 type t
@@ -23,6 +30,9 @@ val pin : t -> int -> frame
     every frame is pinned. *)
 
 val unpin : t -> frame -> unit
+(** Release one pin; on the last unpin the frame becomes the
+    most-recently-used eviction candidate. *)
+
 val mark_dirty : frame -> unit
 
 val with_page : t -> int -> (frame -> 'a) -> 'a

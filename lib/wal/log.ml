@@ -2,65 +2,93 @@
 
    Records always live in memory (a growable array) so that the engine's
    abort path can walk them without I/O; when the log is opened with a
-   backing file, every append is also written to the file in a framed
-   binary format (u32 length + body) and [force] makes the file durable.
-   Commit records are forced automatically — the WAL rule. *)
+   backing file, every append is also encoded into a staging buffer in
+   a framed binary format (u32 length + body), and [force] drains the
+   buffer to the file, flushes the channel and fsyncs the descriptor —
+   only then is anything durable.  Commit records are forced
+   automatically unless the caller opts out ([~force_commit:false]),
+   which is how the engine batches K commits into one force (group
+   commit). *)
 
-type sink = { channel : out_channel; path : string }
+type sink = { channel : out_channel; path : string; buf : Buffer.t }
 
 type t = {
   mutable records : Record.t array;
   mutable len : int;
   sink : sink option;
   mutable forced_lsn : int; (* highest LSN known durable *)
+  mutable forces : int; (* how many times [force] ran *)
 }
 
-let in_memory () = { records = Array.make 64 Record.Checkpoint; len = 0; sink = None; forced_lsn = -1 }
+(* Drain the staging buffer past this size even without a force, to
+   bound memory; durability still waits for the fsync in [force]. *)
+let drain_threshold = 1 lsl 20
 
-let create_file path =
-  let channel = open_out_bin path in
+let in_memory () =
+  { records = Array.make 64 Record.Checkpoint; len = 0; sink = None; forced_lsn = -1; forces = 0 }
+
+let of_sink sink =
   {
     records = Array.make 64 Record.Checkpoint;
     len = 0;
-    sink = Some { channel; path };
+    sink = Some sink;
     forced_lsn = -1;
+    forces = 0;
   }
+
+let create_file path =
+  of_sink { channel = open_out_bin path; path; buf = Buffer.create 4096 }
 
 let grow t =
   let bigger = Array.make (2 * Array.length t.records) Record.Checkpoint in
   Array.blit t.records 0 bigger 0 t.len;
   t.records <- bigger
 
-let write_framed channel body =
+let buffer_framed buf body =
   let len = String.length body in
   let frame = Bytes.create 4 in
   Bytes.set_int32_le frame 0 (Int32.of_int len);
-  output_bytes channel frame;
-  output_string channel body
+  Buffer.add_bytes buf frame;
+  Buffer.add_string buf body
+
+let drain sink =
+  if Buffer.length sink.buf > 0 then begin
+    Buffer.output_buffer sink.channel sink.buf;
+    Buffer.clear sink.buf
+  end
 
 let force t =
-  match t.sink with
-  | None -> t.forced_lsn <- t.len - 1
-  | Some { channel; _ } ->
-      flush channel;
-      t.forced_lsn <- t.len - 1
+  (match t.sink with
+  | None -> ()
+  | Some sink ->
+      drain sink;
+      (* [flush] only empties the channel's userspace buffer; the fsync
+         is what makes the bytes durable. *)
+      flush sink.channel;
+      Unix.fsync (Unix.descr_of_out_channel sink.channel));
+  t.forced_lsn <- t.len - 1;
+  t.forces <- t.forces + 1
 
-let append t record =
+let append ?(force_commit = true) t record =
   if t.len = Array.length t.records then grow t;
   t.records.(t.len) <- record;
   let lsn = t.len in
   t.len <- t.len + 1;
   (match t.sink with
   | None -> ()
-  | Some { channel; _ } -> write_framed channel (Record.encode record));
+  | Some sink ->
+      buffer_framed sink.buf (Record.encode record);
+      if Buffer.length sink.buf >= drain_threshold then drain sink);
   (* The WAL rule: a commit record must be durable before the commit is
-     acknowledged. *)
-  (match record with Record.Commit _ -> force t | _ -> ());
+     acknowledged.  The engine's group-commit path opts out and forces
+     once per batch instead. *)
+  (match record with Record.Commit _ when force_commit -> force t | _ -> ());
   lsn
 
 let length t = t.len
 let get t lsn = if lsn < 0 || lsn >= t.len then invalid_arg "Log.get: bad LSN" else t.records.(lsn)
 let forced_lsn t = t.forced_lsn
+let force_count t = t.forces
 
 let iter ?(from = 0) t f =
   for lsn = from to t.len - 1 do
@@ -80,13 +108,23 @@ let fold ?(from = 0) t ~init ~f =
 
 let to_list t = List.init t.len (fun i -> t.records.(i))
 
-let close t = match t.sink with None -> () | Some { channel; _ } -> close_out channel
+let close t =
+  match t.sink with
+  | None -> ()
+  | Some sink ->
+      drain sink;
+      close_out sink.channel
 
 (* Load a file-backed log for recovery.  Stops cleanly at a torn tail
-   (partial final record), mirroring what a real recovery scan does. *)
+   (partial final record), mirroring what a real recovery scan does.
+   The torn bytes are truncated away and the file is reopened as an
+   appendable sink, so that a recovered log stays durable:
+   post-recovery appends land in the same file (never after garbage)
+   and [force] keeps fsyncing it. *)
 let load path =
   let ic = open_in_bin path in
-  let t = in_memory () in
+  let records = ref [] in
+  let valid_end = ref 0 in
   let frame = Bytes.create 4 in
   let rec loop () =
     match really_input ic frame 0 4 with
@@ -95,13 +133,26 @@ let load path =
         let body = Bytes.create len in
         (match really_input ic body 0 len with
         | () ->
-            ignore (append t (Record.decode (Bytes.unsafe_to_string body)));
+            records := Record.decode (Bytes.unsafe_to_string body) :: !records;
+            valid_end := pos_in ic;
             loop ()
         | exception End_of_file -> ())
     | exception End_of_file -> ()
   in
   loop ();
   close_in ic;
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+  Unix.ftruncate fd !valid_end;
+  ignore (Unix.lseek fd 0 Unix.SEEK_END);
+  let channel = Unix.out_channel_of_descr fd in
+  let t = of_sink { channel; path; buf = Buffer.create 4096 } in
+  (* Replay into memory only: the records are already in the file. *)
+  List.iter
+    (fun r ->
+      if t.len = Array.length t.records then grow t;
+      t.records.(t.len) <- r;
+      t.len <- t.len + 1)
+    (List.rev !records);
   t.forced_lsn <- t.len - 1;
   t
 

@@ -1,9 +1,11 @@
 (** The log: an append-only record sequence addressed by LSN.
 
     Records always stay in memory (the engine's abort path walks them
-    without I/O); with a backing file every append is also written in a
-    framed binary format and {!force} makes the file durable.  Commit
-    records are forced automatically — the WAL rule. *)
+    without I/O); with a backing file every append is staged into a
+    buffer in a framed binary format and {!force} drains, flushes and
+    {e fsyncs} it — nothing is durable before the fsync.  Commit
+    records are forced automatically (the WAL rule) unless the caller
+    opts out to batch several commits into one force (group commit). *)
 
 type t
 
@@ -12,14 +14,23 @@ val create_file : string -> t
 
 val load : string -> t
 (** Read a file-backed log back for recovery, stopping cleanly at a
-    torn tail (partial final record). *)
+    torn tail (partial final record).  The torn bytes are truncated and
+    the file is reopened as an appendable sink, so the recovered log
+    accepts further appends and stays durable. *)
 
-val append : t -> Record.t -> int
+val append : ?force_commit:bool -> t -> Record.t -> int
 (** Append and return the record's LSN.  Appending a [Commit] record
-    forces the log. *)
+    forces the log unless [~force_commit:false] — the engine's
+    group-commit path batches commits and calls {!force} once per
+    batch instead. *)
 
 val force : t -> unit
-(** Make everything appended so far durable. *)
+(** Make everything appended so far durable: drain the staging buffer,
+    flush the channel and fsync the file descriptor. *)
+
+val force_count : t -> int
+(** How many times {!force} ran — the group-commit coalescing metric
+    (K commits sharing one force show K appends but one force). *)
 
 val forced_lsn : t -> int
 (** Highest LSN known durable; -1 when nothing is. *)

@@ -593,6 +593,56 @@ let test_gc_group_commits_together () =
   Alcotest.(check int) "group commit counted once" 1 (List.assoc "group_commits" (E.stats db));
   Alcotest.(check (list int)) "all effects present" [ 1; 2; 3 ] [ geti db 1; geti db 2; geti db 3 ]
 
+let test_group_commit_coalesces_forces () =
+  (* 8 concurrent committers over a file-backed log with
+     [group_commit_size = 4]: the log must be forced fewer than 8
+     times, yet every commit record must be durable afterwards. *)
+  let module Log = Asset_wal.Log in
+  let path = Filename.temp_file "asset_gcommit" ".wal" in
+  let log = Log.create_file path in
+  let store = Asset_storage.Heap_store.store () in
+  let config = { E.default_config with E.group_commit_size = 4 } in
+  let db = E.create ~config ~log store in
+  R.run_exn db (fun () ->
+      let tids =
+        List.init 8 (fun i -> E.initiate db (fun () -> E.write db (oid (i + 1)) (vi (i + 1))))
+      in
+      List.iter (fun t -> ignore (E.begin_ db t)) tids;
+      List.iter
+        (fun t -> E.spawn db ~label:"committer" (fun () -> ignore (E.commit db t)))
+        tids;
+      E.await_terminated db tids);
+  let forces = Log.force_count log in
+  Alcotest.(check bool) (Printf.sprintf "forces coalesced (%d < 8)" forces) true (forces < 8);
+  Alcotest.(check bool) "at least one force" true (forces >= 1);
+  Log.close log;
+  let l2 = Log.load path in
+  let commits =
+    Log.fold l2 ~init:0 ~f:(fun acc _ r ->
+        match r with Asset_wal.Record.Commit _ -> acc + 1 | _ -> acc)
+  in
+  Log.close l2;
+  Alcotest.(check int) "all 8 commit records durable" 8 commits;
+  Sys.remove path
+
+let test_group_commit_default_forces_each () =
+  (* The default config (size 1) keeps the seed behavior: one force
+     per commit, immediately. *)
+  let module Log = Asset_wal.Log in
+  let path = Filename.temp_file "asset_gcommit1" ".wal" in
+  let log = Log.create_file path in
+  let store = Asset_storage.Heap_store.store () in
+  let db = E.create ~log store in
+  R.run_exn db (fun () ->
+      for i = 1 to 3 do
+        let t = E.initiate db (fun () -> E.write db (oid i) (vi i)) in
+        ignore (E.begin_ db t);
+        ignore (E.commit db t)
+      done);
+  Alcotest.(check int) "one force per commit" 3 (Log.force_count log);
+  Log.close log;
+  Sys.remove path
+
 let test_gc_member_abort_dooms_group () =
   let db =
     with_db (fun db ->
@@ -1072,5 +1122,10 @@ let () =
         [
           Alcotest.test_case "checkpoint quiescence" `Quick test_checkpoint_requires_quiescence;
           Alcotest.test_case "stats" `Quick test_stats_exposed;
+        ] );
+      ( "group commit",
+        [
+          Alcotest.test_case "coalesces forces" `Quick test_group_commit_coalesces_forces;
+          Alcotest.test_case "default forces each" `Quick test_group_commit_default_forces_each;
         ] );
     ]

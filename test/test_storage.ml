@@ -318,6 +318,45 @@ let test_pool_crash_loses_unflushed () =
   Pager.close pager;
   Sys.remove path
 
+let test_pool_lru_eviction_order () =
+  (* Re-touching a resident page must move it to the MRU end: with
+     capacity 2, touching p1, p2, then p1 again makes p2 the victim
+     when p3 arrives. *)
+  let path = tmp_file () in
+  let pager = Pager.create ~page_size:128 path in
+  let p1 = Pager.alloc_page pager and p2 = Pager.alloc_page pager and p3 = Pager.alloc_page pager in
+  let pool = Pool.create ~capacity:2 pager in
+  Pool.with_page pool p1 (fun _ -> ());
+  Pool.with_page pool p2 (fun _ -> ());
+  Pool.with_page pool p1 (fun _ -> ());
+  Pool.with_page pool p3 (fun _ -> ());
+  (* p2 was evicted, p1 survived. *)
+  let hits = Pool.hit_count pool and misses = Pool.miss_count pool in
+  Pool.with_page pool p1 (fun _ -> ());
+  Alcotest.(check int) "p1 resident (hit)" (hits + 1) (Pool.hit_count pool);
+  Pool.with_page pool p2 (fun _ -> ());
+  Alcotest.(check int) "p2 evicted (miss)" (misses + 1) (Pool.miss_count pool);
+  Pager.close pager;
+  Sys.remove path
+
+let test_pool_pinned_skips_eviction () =
+  (* A pinned frame is off the LRU list entirely: the unpinned page is
+     evicted even though it was touched more recently. *)
+  let path = tmp_file () in
+  let pager = Pager.create ~page_size:128 path in
+  let p1 = Pager.alloc_page pager and p2 = Pager.alloc_page pager and p3 = Pager.alloc_page pager in
+  let pool = Pool.create ~capacity:2 pager in
+  let f1 = Pool.pin pool p1 in
+  Pool.with_page pool p2 (fun _ -> ());
+  Pool.with_page pool p3 (fun _ -> ());
+  (* p2 (the only unpinned frame) was evicted; pinned p1 survived. *)
+  let hits = Pool.hit_count pool in
+  Pool.unpin pool f1;
+  Pool.with_page pool p1 (fun _ -> ());
+  Alcotest.(check int) "pinned page survived" (hits + 1) (Pool.hit_count pool);
+  Pager.close pager;
+  Sys.remove path
+
 let test_pool_all_pinned_fails () =
   let path = tmp_file () in
   let pager = Pager.create ~page_size:128 path in
@@ -475,6 +514,8 @@ let () =
           Alcotest.test_case "hit/miss/eviction" `Quick test_pool_hit_miss_eviction;
           Alcotest.test_case "dirty writeback" `Quick test_pool_dirty_writeback;
           Alcotest.test_case "crash loses unflushed" `Quick test_pool_crash_loses_unflushed;
+          Alcotest.test_case "lru eviction order" `Quick test_pool_lru_eviction_order;
+          Alcotest.test_case "pinned skips eviction" `Quick test_pool_pinned_skips_eviction;
           Alcotest.test_case "all pinned fails" `Quick test_pool_all_pinned_fails;
         ] );
       ( "persistent_store",

@@ -168,6 +168,77 @@ let test_log_load_stops_at_torn_tail () =
   Alcotest.(check int) "torn tail dropped" 2 (Log.length l2);
   Sys.remove path
 
+let count_records path =
+  (* Re-scan the file through a fresh load: what a post-crash recovery
+     would actually see. *)
+  let l = Log.load path in
+  let n = Log.length l in
+  Log.close l;
+  n
+
+let test_log_unforced_commit_then_force () =
+  (* [~force_commit:false] stages the commit record without a force;
+     an explicit [force] then makes everything durable at once. *)
+  let path = tmp_file () in
+  let l = Log.create_file path in
+  ignore (Log.append l (Record.Begin (tid 1)));
+  ignore (Log.append ~force_commit:false l (Record.Commit [ tid 1 ]));
+  Alcotest.(check int) "not forced" (-1) (Log.forced_lsn l);
+  Alcotest.(check int) "no forces yet" 0 (Log.force_count l);
+  Log.force l;
+  Alcotest.(check int) "forced through commit" 1 (Log.forced_lsn l);
+  Alcotest.(check int) "one force" 1 (Log.force_count l);
+  Alcotest.(check int) "both records on disk" 2 (count_records path);
+  Log.close l;
+  Sys.remove path
+
+let test_log_force_count_coalesces () =
+  (* K staged commits + one force = one fsync, not K. *)
+  let path = tmp_file () in
+  let l = Log.create_file path in
+  for i = 1 to 8 do
+    ignore (Log.append ~force_commit:false l (Record.Commit [ tid i ]))
+  done;
+  Log.force l;
+  Alcotest.(check int) "one force for 8 commits" 1 (Log.force_count l);
+  Alcotest.(check int) "all durable" 8 (count_records path);
+  Log.close l;
+  Sys.remove path
+
+let test_log_load_reopens_for_append () =
+  (* A loaded log must accept (and durably force) further appends —
+     the restart path: recover, then keep running. *)
+  let path = tmp_file () in
+  let l = Log.create_file path in
+  ignore (Log.append l (Record.Begin (tid 1)));
+  ignore (Log.append l (Record.Commit [ tid 1 ]));
+  Log.close l;
+  let l2 = Log.load path in
+  ignore (Log.append l2 (Record.Begin (tid 2)));
+  ignore (Log.append l2 (Record.Commit [ tid 2 ]));
+  Log.close l2;
+  Alcotest.(check int) "old + new records" 4 (count_records path);
+  Sys.remove path
+
+let test_log_load_truncates_torn_tail_before_append () =
+  (* Garbage after the last complete record must not end up between
+     old and new records: load truncates the torn tail, so an append
+     after recovery leaves a clean log. *)
+  let path = tmp_file () in
+  let l = Log.create_file path in
+  ignore (Log.append l (Record.Begin (tid 1)));
+  Log.force l;
+  Log.close l;
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc "\x00\x00\x00\x09partial";
+  close_out oc;
+  let l2 = Log.load path in
+  Alcotest.(check int) "tail dropped" 1 (Log.length l2);
+  ignore (Log.append l2 (Record.Commit [ tid 1 ]));
+  Log.close l2;
+  Alcotest.(check int) "clean after post-recovery append" 2 (count_records path);
+  Sys.remove path
+
 (* ------------------------------------------------------------------ *)
 (* Recovery                                                            *)
 
@@ -389,6 +460,11 @@ let () =
           Alcotest.test_case "commit forces" `Quick test_log_commit_forces;
           Alcotest.test_case "file roundtrip" `Quick test_log_file_roundtrip;
           Alcotest.test_case "torn tail" `Quick test_log_load_stops_at_torn_tail;
+          Alcotest.test_case "unforced commit then force" `Quick test_log_unforced_commit_then_force;
+          Alcotest.test_case "force count coalesces" `Quick test_log_force_count_coalesces;
+          Alcotest.test_case "load reopens for append" `Quick test_log_load_reopens_for_append;
+          Alcotest.test_case "load truncates torn tail before append" `Quick
+            test_log_load_truncates_torn_tail_before_append;
         ] );
       ( "recovery",
         [
