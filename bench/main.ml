@@ -1081,6 +1081,221 @@ let e17_hotpath () =
   Format.printf "wrote %s@." path
 
 (* ------------------------------------------------------------------ *)
+(* E18: lock-manager hot path (ISSUE 2) — indexed descriptors and the
+   incrementally maintained waits-for graph.  Emits BENCH_lockpath.json
+   so the lock-path perf trajectory is tracked across PRs. *)
+
+(* Acquire+release cost seen by one transaction when every object
+   already carries [holders] granted Read locks: the conflict scan
+   walks [holders] entries, but all descriptor bookkeeping (find,
+   insert, release) should stay O(1). *)
+let lockpath_acquire_case ~objects ~holders ~iters =
+  let lm = Lm.create () in
+  for h = 1 to holders do
+    for o = 1 to objects do
+      ignore (Lm.acquire lm (Tid.of_int h) (oid o) Mode.Read)
+    done
+  done;
+  let me = Tid.of_int (holders + 1) in
+  let (), dt =
+    time_of (fun () ->
+        for _ = 1 to iters do
+          for o = 1 to objects do
+            ignore (Lm.acquire lm me (oid o) Mode.Read)
+          done;
+          ignore (Lm.release_all lm me)
+        done)
+  in
+  dt /. float_of_int (iters * objects) *. 1e9
+
+(* The stall hook's deadlock search.  [objects] transactions each hold
+   their own object (live-transaction count scales with the store) and
+   [waiters] further transactions form a blocked chain with no cycle —
+   the worst case, since the search cannot stop early.  The incremental
+   graph searches O(edges) = O(waiters); the rebuild path re-derives
+   the graph from every OD first. *)
+let lockpath_deadlock_case ~objects ~waiters ~checks =
+  let lm = Lm.create () in
+  for o = 1 to objects do
+    ignore (Lm.acquire lm (Tid.of_int o) (oid o) Mode.Write)
+  done;
+  for w = 1 to waiters do
+    ignore (Lm.acquire lm (Tid.of_int (w + 1)) (oid w) Mode.Write)
+  done;
+  let time_checks f =
+    let (), dt =
+      time_of (fun () ->
+          for _ = 1 to checks do
+            assert (f lm = None)
+          done)
+    in
+    dt /. float_of_int checks *. 1e6
+  in
+  let incremental_us = time_checks Lm.find_cycle in
+  let rebuild_us = time_checks Lm.find_cycle_rebuild in
+  (incremental_us, rebuild_us)
+
+(* End-to-end: Zipf-contended read-modify-write batches (the classic
+   upgrade-deadlock pattern) and the bank-transfer workload, both of
+   which hammer acquire/block/abort and the stall hook. *)
+let lockpath_workload_case ~theta ~n_txns =
+  let m =
+    Workload.run
+      {
+        Workload.default_spec with
+        Workload.n_objects = 64;
+        n_txns;
+        ops_per_txn = 8;
+        write_ratio = 0.5;
+        theta;
+        seed = 11;
+        read_modify_write = true;
+      }
+  in
+  (m.Workload.committed, m.Workload.deadlock_victims, m.Workload.lock_waits, m.Workload.throughput)
+
+let lockpath_bank_case ~n_txns =
+  let accounts = 8 in
+  let store = Heap.store () in
+  Bank.setup store ~accounts ~balance:1_000;
+  let db = E.create store in
+  let result = ref (0, 0) in
+  let (), dt =
+    time_of (fun () -> R.run_exn db (fun () -> result := Bank.run_transfers db ~accounts ~n_txns))
+  in
+  let committed, victims = !result in
+  (committed, victims, stat db "lock_waits", float_of_int committed /. dt)
+
+let e18_lockpath () =
+  let object_counts = if !smoke then [ 16; 256 ] else [ 16; 256; 1024 ] in
+  let holder_counts = if !smoke then [ 1; 8 ] else [ 1; 8; 32 ] in
+  let dl_objects = if !smoke then [ 100; 1_000 ] else [ 100; 1_000; 10_000 ] in
+  let dl_waiters = if !smoke then [ 8 ] else [ 8; 64 ] in
+  let checks = if !smoke then 50 else 500 in
+  let wl_txns = if !smoke then 48 else 256 in
+  let bank_txns = if !smoke then 50 else 400 in
+  (* Acquire/release ns per op. *)
+  let acq_rows =
+    List.concat_map
+      (fun objects ->
+        List.map
+          (fun holders ->
+            let iters = max 1 ((if !smoke then 20_000 else 200_000) / objects) in
+            let ns = lockpath_acquire_case ~objects ~holders ~iters in
+            (objects, holders, ns))
+          holder_counts)
+      object_counts
+  in
+  let t =
+    Table.create
+      ~title:"E18a: acquire+release cost vs objects and granted holders per object"
+      ~header:[ "objects"; "holders"; "ns/op" ]
+  in
+  List.iter
+    (fun (objects, holders, ns) ->
+      Table.add_row t [ Table.fmt_i objects; Table.fmt_i holders; Table.fmt_f ~digits:1 ns ])
+    acq_rows;
+  Table.print t;
+  (* Stall-hook deadlock-check cost: live incremental graph vs rebuild. *)
+  let dl_rows =
+    List.concat_map
+      (fun objects ->
+        List.map
+          (fun waiters ->
+            let inc_us, reb_us = lockpath_deadlock_case ~objects ~waiters ~checks in
+            (objects, waiters, inc_us, reb_us))
+          dl_waiters)
+      dl_objects
+  in
+  let t =
+    Table.create
+      ~title:"E18b: deadlock-check cost vs live txns (one per object) and pending requests"
+      ~header:[ "txns"; "pending"; "incremental us"; "rebuild us" ]
+  in
+  List.iter
+    (fun (objects, waiters, inc_us, reb_us) ->
+      Table.add_row t
+        [
+          Table.fmt_i objects;
+          Table.fmt_i waiters;
+          Table.fmt_f ~digits:2 inc_us;
+          Table.fmt_f ~digits:2 reb_us;
+        ])
+    dl_rows;
+  Table.print t;
+  (* Contended workloads end to end. *)
+  let wl_rows =
+    List.map
+      (fun theta ->
+        let committed, victims, waits, tps = lockpath_workload_case ~theta ~n_txns:wl_txns in
+        (Printf.sprintf "rmw zipf %.2f" theta, committed, victims, waits, tps))
+      [ 0.0; 0.99 ]
+    @ [
+        (let committed, victims, waits, tps = lockpath_bank_case ~n_txns:bank_txns in
+         ("bank transfers", committed, victims, waits, tps));
+      ]
+  in
+  let t =
+    Table.create
+      ~title:"E18c: contended workload throughput through the overhauled lock path"
+      ~header:[ "workload"; "committed"; "victims"; "lock waits"; "txn/s" ]
+  in
+  List.iter
+    (fun (name, committed, victims, waits, tps) ->
+      Table.add_row t
+        [
+          name;
+          Table.fmt_i committed;
+          Table.fmt_i victims;
+          Table.fmt_i waits;
+          Table.fmt_f ~digits:0 tps;
+        ])
+    wl_rows;
+  Table.print t;
+  (* Machine-readable gate for the perf trajectory. *)
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"experiment\": \"E18-lockpath\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" !smoke);
+  Buffer.add_string buf "  \"acquire_release\": [\n";
+  List.iteri
+    (fun i (objects, holders, ns) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"objects\": %d, \"holders\": %d, \"ns_per_op\": %.2f}%s\n" objects
+           holders ns
+           (if i = List.length acq_rows - 1 then "" else ",")))
+    acq_rows;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"deadlock_check\": [\n";
+  List.iteri
+    (fun i (objects, waiters, inc_us, reb_us) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"txns\": %d, \"pending\": %d, \"incremental_us\": %.3f, \"rebuild_us\": %.3f}%s\n"
+           objects waiters inc_us reb_us
+           (if i = List.length dl_rows - 1 then "" else ",")))
+    dl_rows;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"workload\": [\n";
+  List.iteri
+    (fun i (name, committed, victims, waits, tps) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"committed\": %d, \"victims\": %d, \"lock_waits\": %d, \
+            \"txn_per_s\": %.1f}%s\n"
+           name committed victims waits tps
+           (if i = List.length wl_rows - 1 then "" else ",")))
+    wl_rows;
+  Buffer.add_string buf "  ]\n}\n";
+  (* Smoke runs get their own file so CI never clobbers the committed
+     full-run numbers. *)
+  let path = if !smoke then "BENCH_lockpath_smoke.json" else "BENCH_lockpath.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "wrote %s@." path
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1103,6 +1318,8 @@ let experiments =
     ("e16", e16_index);
     ("e17", e17_hotpath);
     ("hotpath", e17_hotpath);
+    ("e18", e18_lockpath);
+    ("lockpath", e18_lockpath);
   ]
 
 let () =
@@ -1112,16 +1329,18 @@ let () =
       ( "--only",
         Arg.String
           (fun s -> only := !only @ String.split_on_char ',' (String.lowercase_ascii s)),
-        "KEYS  comma-separated experiment keys (f1, e1..e17, hotpath); default: all" );
+        "KEYS  comma-separated experiment keys (f1, e1..e18, hotpath, lockpath); default: all" );
       ("--smoke", Arg.Set smoke, "  tiny quotas for CI smoke runs");
     ]
   in
   Arg.parse spec
     (fun a -> raise (Arg.Bad ("unexpected argument: " ^ a)))
-    "bench/main.exe [--only e1,hotpath] [--smoke]";
+    "bench/main.exe [--only e1,hotpath,lockpath] [--smoke]";
   let selected =
     match !only with
-    | [] -> List.filter (fun (k, _) -> k <> "hotpath") experiments (* e17 covers it *)
+    | [] ->
+        (* the eNN keys cover the aliases *)
+        List.filter (fun (k, _) -> k <> "hotpath" && k <> "lockpath") experiments
     | keys ->
         List.map
           (fun k ->
@@ -1130,7 +1349,7 @@ let () =
             | None -> failwith ("unknown experiment: " ^ k))
           keys
   in
-  Format.printf "ASSET benchmark harness — experiments F1, E1-E17 (see DESIGN.md)%s@."
+  Format.printf "ASSET benchmark harness — experiments F1, E1-E18 (see DESIGN.md)%s@."
     (if !smoke then " [smoke]" else "");
   List.iter (fun (_, f) -> f ()) selected;
   Format.printf "@.done.@."

@@ -14,6 +14,6 @@ echo "== dune runtest =="
 dune runtest
 
 echo "== bench smoke (E1 + E17/hotpath) =="
-dune exec bench/main.exe -- --only e1,hotpath --smoke
+dune exec bench/main.exe -- --only e1,hotpath,lockpath --smoke
 
 echo "CI OK"

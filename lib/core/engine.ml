@@ -55,6 +55,10 @@ type config = {
   group_commit_size : int;
       (* force the log once per this many commit records; pending
          commits are also flushed at every scheduler quiescence point *)
+  debug_invariants : bool;
+      (* cross-check the lock manager's incremental waits-for graph
+         against a from-scratch rebuild on every lock operation and
+         deadlock search — expensive, for tests only *)
 }
 
 let default_config =
@@ -64,6 +68,7 @@ let default_config =
     use_latches = true;
     dep_cycle_check = true;
     group_commit_size = 1;
+    debug_invariants = false;
   }
 
 type t = {
@@ -267,12 +272,17 @@ let begin_many db tids = List.for_all (fun t -> begin_ db t) tids
 (* ------------------------------------------------------------------ *)
 (* Data operations: the section 4.2 read / write algorithms            *)
 
+let check_lock_invariants db where =
+  if db.config.debug_invariants && not (Lock.check_waits_for_invariant db.locks) then
+    Fmt.failwith "debug_invariants: incremental waits-for graph diverged (%s)" where
+
 let acquire_lock db td oid mode =
   let rec loop () =
     check_live td;
     match Lock.acquire db.locks td.tid oid mode with
-    | Lock.Acquired -> ()
+    | Lock.Acquired -> check_lock_invariants db "acquire"
     | Lock.Blocked_on blockers ->
+        check_lock_invariants db "blocked";
         Asset_util.Stats.Counter.incr db.lock_waits;
         td.waiting_on <-
           Format.asprintf "lock %a/%a held by %a" Oid.pp oid Mode.pp mode
@@ -740,7 +750,15 @@ let transaction_count db = Hashtbl.length db.tds
    member of a waits-for cycle.  Returns true when it made progress. *)
 let resolve_deadlock db () =
   if not db.config.deadlock_detection then false
-  else
+  else begin
+    check_lock_invariants db "stall";
+    (if db.config.debug_invariants then
+       (* The incremental and rebuild searches must agree on whether a
+          deadlock exists (the particular cycle may differ). *)
+       let live = Lock.find_cycle db.locks <> None in
+       let rebuilt = Lock.find_cycle_rebuild db.locks <> None in
+       if live <> rebuilt then
+         Fmt.failwith "debug_invariants: find_cycle (%b) disagrees with rebuild (%b)" live rebuilt);
     match Lock.find_cycle db.locks with
     | Some (victim :: _ as cycle) ->
         let youngest = List.fold_left (fun a b -> if Tid.compare a b >= 0 then a else b) victim cycle in
@@ -749,6 +767,7 @@ let resolve_deadlock db () =
         ignore (abort db youngest);
         true
     | Some [] | None -> false
+  end
 
 (* Spawn an auxiliary fiber (e.g. a per-transaction committer in a
    workload harness).  Not a transaction: [self] inside it is null. *)

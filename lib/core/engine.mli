@@ -46,6 +46,11 @@ type config = {
           pending commits are also flushed at every scheduler
           quiescence point.  1 (the default) forces every commit
           immediately. *)
+  debug_invariants : bool;
+      (** Cross-check the lock manager's incremental waits-for graph
+          against a from-scratch rebuild after every lock operation and
+          at every deadlock search, failing loudly on divergence.
+          Expensive — intended for tests.  Default [false]. *)
 }
 
 val default_config : config

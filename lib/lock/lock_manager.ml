@@ -6,11 +6,26 @@
    Figure 1 of the paper shows the OD pointing at three lists — granted
    lock requests, pending lock requests, and permissions; this module
    maintains exactly those lists (see [pp_od], which renders the
-   figure's structure).  LRDs are linked both from their OD and from a
-   per-transaction list so that delegation and release can traverse by
-   transaction; PDs are doubly indexed by grantor and grantee tid, as
-   the paper prescribes ("doubly hashed on the tid of the two
-   transactions involved"). *)
+   figure's structure).  The lists are intrusive doubly-linked lists
+   shadowed by per-OD [(tid -> lrd)] hash indexes, so membership tests
+   and removals are O(1) while the Figure-1 ordering (newest request at
+   the head) is preserved.  LRDs are linked both from their OD and from
+   per-transaction tables (granted and pending separately) so that
+   delegation, release and pending-cancellation traverse only the
+   transaction's own descriptors; PDs are doubly indexed by grantor and
+   grantee tid, as the paper prescribes ("doubly hashed on the tid of
+   the two transactions involved"), plus a per-OD grantor index feeding
+   the transitive-permission search, whose verdicts are memoised per OD
+   until the OD's permit list changes.
+
+   On top of the descriptors the manager keeps an incrementally
+   maintained waits-for graph: a pending request records the holders
+   that block it ([lrd_blockers]), and every mutation of an OD's
+   granted list, pending list or permit list re-derives the blocker
+   sets of that OD's pending requests only, diffing them into a global
+   refcounted adjacency.  [find_cycle] therefore runs cycle detection
+   on the live graph — O(edges) — instead of reconstructing it from
+   every OD in the store. *)
 
 module Tid = Asset_util.Id.Tid
 module Oid = Asset_util.Id.Oid
@@ -28,6 +43,10 @@ type lrd = {
   lrd_oid : Oid.t;
   mutable lrd_mode : Mode.t;
   mutable lrd_status : lock_status;
+  mutable lrd_blockers : Tid.t list;
+      (* sorted; the waits-for edges this pending request contributes *)
+  mutable lrd_prev : lrd option; (* intrusive links within the OD list *)
+  mutable lrd_next : lrd option;
 }
 
 type pd = {
@@ -37,51 +56,122 @@ type pd = {
   pd_ops : Mode.Ops.t;
 }
 
+(* An intrusive doubly-linked LRD list: O(1) push/remove, head = newest
+   (the prepend order of the paper's Figure-1 lists). *)
+type lrd_list = { mutable head : lrd option; mutable count : int }
+
+let list_create () = { head = None; count = 0 }
+
+let list_push l lrd =
+  lrd.lrd_prev <- None;
+  lrd.lrd_next <- l.head;
+  (match l.head with Some h -> h.lrd_prev <- Some lrd | None -> ());
+  l.head <- Some lrd;
+  l.count <- l.count + 1
+
+let list_remove l lrd =
+  (match lrd.lrd_prev with
+  | Some p -> p.lrd_next <- lrd.lrd_next
+  | None -> l.head <- lrd.lrd_next);
+  (match lrd.lrd_next with Some n -> n.lrd_prev <- lrd.lrd_prev | None -> ());
+  lrd.lrd_prev <- None;
+  lrd.lrd_next <- None;
+  l.count <- l.count - 1
+
+let list_iter f l =
+  let rec go = function
+    | None -> ()
+    | Some x ->
+        let next = x.lrd_next in
+        f x;
+        go next
+  in
+  go l.head
+
+let list_exists p l =
+  let rec go = function
+    | None -> false
+    | Some x -> p x || go x.lrd_next
+  in
+  go l.head
+
+let list_elems l =
+  let rec go acc = function None -> List.rev acc | Some x -> go (x :: acc) x.lrd_next in
+  go [] l.head
+
 type od = {
   od_oid : Oid.t;
-  mutable granted : lrd list; (* granted + suspended requests *)
-  mutable pending : lrd list; (* blocked + upgrading requests *)
+  granted : lrd_list; (* granted + suspended requests *)
+  granted_idx : (Tid.t, lrd) Hashtbl.t;
+  pending : lrd_list; (* blocked + upgrading requests *)
+  pending_idx : (Tid.t, lrd) Hashtbl.t;
   mutable permits : pd list;
+  pd_by_grantor : (Tid.t, pd list) Hashtbl.t;
+      (* per-OD grantor adjacency for the transitive-permission DFS *)
+  reach_memo : (Tid.t * Tid.t * Mode.t, bool) Hashtbl.t;
+      (* memoised permits_op verdicts; cleared whenever [permits] changes *)
 }
 
 type t = {
   objects : (Oid.t, od) Hashtbl.t;
-  by_txn : (Tid.t, lrd list ref) Hashtbl.t; (* LRD list pointed to by the TD *)
+  by_txn : (Tid.t, (Oid.t, lrd) Hashtbl.t) Hashtbl.t; (* granted LRDs, from the TD *)
+  pending_by_txn : (Tid.t, (Oid.t, lrd) Hashtbl.t) Hashtbl.t;
   permits_by_grantor : (Tid.t, pd list ref) Hashtbl.t;
   permits_by_grantee : (Tid.t, pd list ref) Hashtbl.t;
+  (* Incremental waits-for graph: waiter -> (holder -> refcount); the
+     refcount is the number of pending requests of the waiter currently
+     citing the holder as a blocker. *)
+  wf_out : (Tid.t, (Tid.t, int) Hashtbl.t) Hashtbl.t;
+  mutable wf_edges : int; (* live distinct (waiter, holder) pairs *)
   acquires : Asset_util.Stats.Counter.t;
   blocks : Asset_util.Stats.Counter.t;
   suspensions : Asset_util.Stats.Counter.t;
   permit_grants : Asset_util.Stats.Counter.t;
+  cycle_checks : Asset_util.Stats.Counter.t;
 }
 
 let create () =
   {
     objects = Hashtbl.create 256;
     by_txn = Hashtbl.create 64;
+    pending_by_txn = Hashtbl.create 64;
     permits_by_grantor = Hashtbl.create 64;
     permits_by_grantee = Hashtbl.create 64;
+    wf_out = Hashtbl.create 64;
+    wf_edges = 0;
     acquires = Asset_util.Stats.Counter.create "lock.acquires";
     blocks = Asset_util.Stats.Counter.create "lock.blocks";
     suspensions = Asset_util.Stats.Counter.create "lock.suspensions";
     permit_grants = Asset_util.Stats.Counter.create "lock.permit_grants";
+    cycle_checks = Asset_util.Stats.Counter.create "lock.cycle_checks";
   }
 
 let od t oid =
   match Hashtbl.find_opt t.objects oid with
   | Some od -> od
   | None ->
-      let od = { od_oid = oid; granted = []; pending = []; permits = [] } in
+      let od =
+        {
+          od_oid = oid;
+          granted = list_create ();
+          granted_idx = Hashtbl.create 4;
+          pending = list_create ();
+          pending_idx = Hashtbl.create 4;
+          permits = [];
+          pd_by_grantor = Hashtbl.create 4;
+          reach_memo = Hashtbl.create 8;
+        }
+      in
       Hashtbl.replace t.objects oid od;
       od
 
-let txn_list t tid =
-  match Hashtbl.find_opt t.by_txn tid with
-  | Some l -> l
+let txn_table table tid =
+  match Hashtbl.find_opt table tid with
+  | Some h -> h
   | None ->
-      let l = ref [] in
-      Hashtbl.replace t.by_txn tid l;
-      l
+      let h = Hashtbl.create 8 in
+      Hashtbl.replace table tid h;
+      h
 
 let index_list table tid =
   match Hashtbl.find_opt table tid with
@@ -92,36 +182,125 @@ let index_list table tid =
       l
 
 (* ------------------------------------------------------------------ *)
+(* The incremental waits-for graph                                     *)
+
+let wf_add t waiter holder =
+  let adj =
+    match Hashtbl.find_opt t.wf_out waiter with
+    | Some h -> h
+    | None ->
+        let h = Hashtbl.create 4 in
+        Hashtbl.replace t.wf_out waiter h;
+        h
+  in
+  match Hashtbl.find_opt adj holder with
+  | Some c -> Hashtbl.replace adj holder (c + 1)
+  | None ->
+      Hashtbl.replace adj holder 1;
+      t.wf_edges <- t.wf_edges + 1
+
+let wf_remove t waiter holder =
+  match Hashtbl.find_opt t.wf_out waiter with
+  | None -> ()
+  | Some adj -> (
+      match Hashtbl.find_opt adj holder with
+      | Some 1 ->
+          Hashtbl.remove adj holder;
+          t.wf_edges <- t.wf_edges - 1;
+          if Hashtbl.length adj = 0 then Hashtbl.remove t.wf_out waiter
+      | Some c -> Hashtbl.replace adj holder (c - 1)
+      | None -> ())
+
+(* Re-point a pending request's waits-for contribution at [blockers]
+   (sorted); the edge refcounts absorb the diff. *)
+let set_blockers t p blockers =
+  if p.lrd_blockers <> blockers then begin
+    List.iter (fun b -> wf_remove t p.lrd_tid b) p.lrd_blockers;
+    List.iter (fun b -> wf_add t p.lrd_tid b) blockers;
+    p.lrd_blockers <- blockers
+  end
+
+let waits_edges t = t.wf_edges
+
+(* ------------------------------------------------------------------ *)
 (* Permits                                                             *)
 
 (* Does [grantor] permit [grantee] to perform [op] on this object,
    directly or transitively?  Rule 3 of the permit semantics makes
    permission transitive with operation-set intersection:
    permit(ti,tj,ops) and permit(tj,tk,ops') act as permit(ti,tk,
-   ops∩ops').  We search the object's PD list for a chain from grantor
-   to grantee every link of which (and hence the intersection) includes
-   [op].  A PD with [pd_grantee = None] reaches any transaction. *)
-let permits_op od ~grantor ~grantee op =
-  let rec reachable visited current =
-    if Tid.equal current grantee then true
-    else if List.exists (Tid.equal current) visited then false
-    else
-      List.exists
-        (fun pd ->
-          Tid.equal pd.pd_grantor current
-          && Mode.Ops.mem op pd.pd_ops
-          &&
-          match pd.pd_grantee with
-          | None -> true (* open permission reaches everyone, incl. grantee *)
-          | Some next -> reachable (current :: visited) next)
-        od.permits
-  in
-  (* An open permission from the grantor short-circuits. *)
-  List.exists
-    (fun pd ->
-      Tid.equal pd.pd_grantor grantor && pd.pd_grantee = None && Mode.Ops.mem op pd.pd_ops)
-    od.permits
-  || reachable [] grantor
+   ops∩ops').  We search the OD's per-grantor PD index for a chain from
+   grantor to grantee every link of which (and hence the intersection)
+   includes [op]; a PD with [pd_grantee = None] reaches any
+   transaction.  Verdicts are memoised on the OD — the permit list is
+   the only input, so the memo is cleared whenever it changes. *)
+let permits_op obj ~grantor ~grantee op =
+  let key = (grantor, grantee, op) in
+  match Hashtbl.find_opt obj.reach_memo key with
+  | Some r -> r
+  | None ->
+      let pds_of tid =
+        match Hashtbl.find_opt obj.pd_by_grantor tid with Some l -> l | None -> []
+      in
+      let rec reachable visited current =
+        if Tid.equal current grantee then true
+        else if List.exists (Tid.equal current) visited then false
+        else
+          List.exists
+            (fun pd ->
+              Mode.Ops.mem op pd.pd_ops
+              &&
+              match pd.pd_grantee with
+              | None -> true (* open permission reaches everyone, incl. grantee *)
+              | Some next -> reachable (current :: visited) next)
+            (pds_of current)
+      in
+      let r =
+        (* An open permission from the grantor short-circuits. *)
+        List.exists (fun pd -> pd.pd_grantee = None && Mode.Ops.mem op pd.pd_ops) (pds_of grantor)
+        || reachable [] grantor
+      in
+      Hashtbl.replace obj.reach_memo key r;
+      r
+
+(* The waits-for predicate: does granted/suspended [gl] block waiter
+   [p_tid] requesting [p_mode]?  Shared by conflict checking and the
+   incremental blocker refresh so the live graph and the from-scratch
+   view can never disagree on semantics. *)
+let blocks_waiter obj p_tid p_mode op gl =
+  (not (Tid.equal gl.lrd_tid p_tid))
+  && (gl.lrd_status = Granted || gl.lrd_status = Suspended)
+  && Mode.conflicts gl.lrd_mode p_mode
+  && not (permits_op obj ~grantor:gl.lrd_tid ~grantee:p_tid op)
+
+let blockers_of obj p =
+  let op = Mode.as_op p.lrd_mode in
+  let acc = ref [] in
+  list_iter
+    (fun gl -> if blocks_waiter obj p.lrd_tid p.lrd_mode op gl then acc := gl.lrd_tid :: !acc)
+    obj.granted;
+  List.sort_uniq Tid.compare !acc
+
+(* Re-derive the waits-for contribution of every pending request on
+   [obj].  Called after any mutation of the OD's granted list or permit
+   list (pending-entry changes update their own edges directly); the
+   cost is O(pending × granted) on this object only. *)
+let refresh_waits t obj = list_iter (fun p -> set_blockers t p (blockers_of obj p)) obj.pending
+
+(* Per-OD permit indexing. *)
+let od_pd_index obj pd =
+  let l = match Hashtbl.find_opt obj.pd_by_grantor pd.pd_grantor with Some l -> l | None -> [] in
+  Hashtbl.replace obj.pd_by_grantor pd.pd_grantor (pd :: l);
+  Hashtbl.reset obj.reach_memo
+
+let od_pd_unindex obj pd =
+  (match Hashtbl.find_opt obj.pd_by_grantor pd.pd_grantor with
+  | None -> ()
+  | Some l -> (
+      match List.filter (fun p -> p != pd) l with
+      | [] -> Hashtbl.remove obj.pd_by_grantor pd.pd_grantor
+      | l' -> Hashtbl.replace obj.pd_by_grantor pd.pd_grantor l'));
+  Hashtbl.reset obj.reach_memo
 
 let add_permit t ~grantor ~grantee ~oid ~ops =
   if Mode.Ops.is_empty ops then ()
@@ -129,6 +308,7 @@ let add_permit t ~grantor ~grantee ~oid ~ops =
     let obj = od t oid in
     let pd = { pd_oid = oid; pd_grantor = grantor; pd_grantee = grantee; pd_ops = ops } in
     obj.permits <- pd :: obj.permits;
+    od_pd_index obj pd;
     let gl = index_list t.permits_by_grantor grantor in
     gl := pd :: !gl;
     (match grantee with
@@ -136,13 +316,20 @@ let add_permit t ~grantor ~grantee ~oid ~ops =
         let el = index_list t.permits_by_grantee g in
         el := pd :: !el
     | None -> ());
-    Asset_util.Stats.Counter.incr t.permit_grants
+    Asset_util.Stats.Counter.incr t.permit_grants;
+    (* A new permission may excuse conflicts that pending requests on
+       this object are currently blocked on. *)
+    refresh_waits t obj
   end
 
 (* Objects a transaction has accessed (holds an LRD on) or has been
    permitted to access — the traversal used by permit(ti, tj, op). *)
 let accessible_objects t tid =
-  let locked = List.map (fun lrd -> lrd.lrd_oid) !(txn_list t tid) in
+  let locked =
+    match Hashtbl.find_opt t.by_txn tid with
+    | None -> []
+    | Some h -> Hashtbl.fold (fun oid _ acc -> oid :: acc) h []
+  in
   let permitted =
     match Hashtbl.find_opt t.permits_by_grantee tid with
     | None -> []
@@ -155,11 +342,22 @@ let accessible_objects t tid =
 
 type outcome = Acquired | Blocked_on of Tid.t list
 
-let find_lrd od tid = List.find_opt (fun l -> Tid.equal l.lrd_tid tid) od.granted
-let find_pending od tid = List.find_opt (fun l -> Tid.equal l.lrd_tid tid) od.pending
+let find_lrd obj tid = Hashtbl.find_opt obj.granted_idx tid
+let find_pending obj tid = Hashtbl.find_opt obj.pending_idx tid
 
-let remove_pending od tid =
-  od.pending <- List.filter (fun l -> not (Tid.equal l.lrd_tid tid)) od.pending
+(* Drop a pending request (and its waits-for edges). *)
+let remove_pending t obj tid =
+  match Hashtbl.find_opt obj.pending_idx tid with
+  | None -> ()
+  | Some p ->
+      list_remove obj.pending p;
+      Hashtbl.remove obj.pending_idx tid;
+      (match Hashtbl.find_opt t.pending_by_txn tid with
+      | Some h ->
+          Hashtbl.remove h p.lrd_oid;
+          if Hashtbl.length h = 0 then Hashtbl.remove t.pending_by_txn tid
+      | None -> ());
+      set_blockers t p []
 
 (* Step 1b: for every conflicting lock gl in the granted list (granted
    or suspended — a suspended lock still guards its holder's
@@ -171,7 +369,7 @@ let check_conflicts t obj tid mode =
   let op = Mode.as_op mode in
   let blockers = ref [] in
   let to_suspend = ref [] in
-  List.iter
+  list_iter
     (fun gl ->
       if (not (Tid.equal gl.lrd_tid tid))
          && (gl.lrd_status = Granted || gl.lrd_status = Suspended)
@@ -200,55 +398,98 @@ let acquire t tid oid mode =
       Acquired
   | existing -> (
       match check_conflicts t obj tid mode with
-      | [] -> (
+      | [] ->
           (* Step 2: t_i can now lock ob. *)
-          remove_pending obj tid;
-          match existing with
+          remove_pending t obj tid;
+          (match existing with
           | Some gl ->
               (* 2b: change the lock mode / remove suspension. *)
               if not (Mode.covers ~held:gl.lrd_mode ~requested:mode) then gl.lrd_mode <- mode;
               gl.lrd_status <- Granted;
-              Asset_util.Stats.Counter.incr t.acquires;
-              Acquired
+              Asset_util.Stats.Counter.incr t.acquires
           | None ->
               (* 2a: create an LRD and link it from the OD and the TD. *)
-              let lrd = { lrd_tid = tid; lrd_oid = oid; lrd_mode = mode; lrd_status = Granted } in
-              obj.granted <- lrd :: obj.granted;
-              let l = txn_list t tid in
-              l := lrd :: !l;
-              Asset_util.Stats.Counter.incr t.acquires;
-              Acquired)
+              let lrd =
+                {
+                  lrd_tid = tid;
+                  lrd_oid = oid;
+                  lrd_mode = mode;
+                  lrd_status = Granted;
+                  lrd_blockers = [];
+                  lrd_prev = None;
+                  lrd_next = None;
+                }
+              in
+              list_push obj.granted lrd;
+              Hashtbl.replace obj.granted_idx tid lrd;
+              Hashtbl.replace (txn_table t.by_txn tid) oid lrd;
+              Asset_util.Stats.Counter.incr t.acquires);
+          (* The new/upgraded grant (and any suspensions) may block
+             other transactions' pending requests on this object. *)
+          refresh_waits t obj;
+          Acquired
       | blockers ->
           (* Register a pending request (status upgrading when we already
              hold a weaker lock), so the OD shows the Figure-1 pending
              list and waits-for extraction sees the edge. *)
-          (match find_pending obj tid with
-          | Some p -> p.lrd_mode <- mode
-          | None ->
-              let status = if existing <> None then Upgrading else Pending in
-              let p = { lrd_tid = tid; lrd_oid = oid; lrd_mode = mode; lrd_status = status } in
-              obj.pending <- p :: obj.pending);
+          let p =
+            match find_pending obj tid with
+            | Some p ->
+                p.lrd_mode <- mode;
+                p
+            | None ->
+                let status = if existing <> None then Upgrading else Pending in
+                let p =
+                  {
+                    lrd_tid = tid;
+                    lrd_oid = oid;
+                    lrd_mode = mode;
+                    lrd_status = status;
+                    lrd_blockers = [];
+                    lrd_prev = None;
+                    lrd_next = None;
+                  }
+                in
+                list_push obj.pending p;
+                Hashtbl.replace obj.pending_idx tid p;
+                Hashtbl.replace (txn_table t.pending_by_txn tid) oid p;
+                p
+          in
+          (* The waits-for edges of this request are exactly the
+             blockers just computed. *)
+          set_blockers t p blockers;
           Asset_util.Stats.Counter.incr t.blocks;
           Blocked_on blockers)
 
 (* Give up a pending request (e.g. the requester aborted while waiting). *)
 let cancel_pending t tid oid =
-  match Hashtbl.find_opt t.objects oid with None -> () | Some obj -> remove_pending obj tid
+  match Hashtbl.find_opt t.objects oid with None -> () | Some obj -> remove_pending t obj tid
 
 (* Drop every pending request of [tid]; used when a waiting transaction
-   is aborted (e.g. as a deadlock victim). *)
-let cancel_pending_all t tid = Hashtbl.iter (fun _ obj -> remove_pending obj tid) t.objects
+   is aborted (e.g. as a deadlock victim).  The per-transaction pending
+   index makes this O(own pending requests), not O(objects). *)
+let cancel_pending_all t tid =
+  match Hashtbl.find_opt t.pending_by_txn tid with
+  | None -> ()
+  | Some h ->
+      let lrds = Hashtbl.fold (fun _ p acc -> p :: acc) h [] in
+      List.iter
+        (fun p ->
+          match Hashtbl.find_opt t.objects p.lrd_oid with
+          | Some obj -> remove_pending t obj tid
+          | None -> ())
+        lrds
 
 (* A suspended lock resumes when no granted lock conflicts with it any
    more (section 4.2 step 2b "remove suspension status" happens through
    re-acquisition; release-time resumption keeps cooperating
    transactions live without forcing a retry loop). *)
 let resume_suspended obj =
-  List.iter
+  list_iter
     (fun sl ->
       if sl.lrd_status = Suspended then begin
         let conflicting =
-          List.exists
+          list_exists
             (fun gl ->
               (not (Tid.equal gl.lrd_tid sl.lrd_tid))
               && gl.lrd_status = Granted
@@ -262,91 +503,181 @@ let resume_suspended obj =
 (* ------------------------------------------------------------------ *)
 (* Release, delegation, cleanup                                        *)
 
+(* Unlink a granted LRD from its OD (guarded by physical equality so a
+   stale descriptor is a no-op); does not refresh waits-for — callers
+   do, once per object. *)
+let od_remove_granted obj lrd =
+  match Hashtbl.find_opt obj.granted_idx lrd.lrd_tid with
+  | Some l when l == lrd ->
+      list_remove obj.granted lrd;
+      Hashtbl.remove obj.granted_idx lrd.lrd_tid
+  | _ -> ()
+
 let drop_lrd t lrd =
   (match Hashtbl.find_opt t.objects lrd.lrd_oid with
   | Some obj ->
-      obj.granted <- List.filter (fun l -> l != lrd) obj.granted;
-      resume_suspended obj
+      od_remove_granted obj lrd;
+      resume_suspended obj;
+      (* The departed holder's waits-for edges die with it. *)
+      refresh_waits t obj
   | None -> ());
   match Hashtbl.find_opt t.by_txn lrd.lrd_tid with
-  | Some l -> l := List.filter (fun x -> x != lrd) !l
+  | Some h -> (
+      match Hashtbl.find_opt h lrd.lrd_oid with
+      | Some l when l == lrd -> Hashtbl.remove h lrd.lrd_oid
+      | _ -> ())
   | None -> ()
 
 (* Release all locks held by a transaction; returns the object ids that
    were locked (the engine uses them to wake waiters). *)
 let release_all t tid =
-  let lrds = !(txn_list t tid) in
-  List.iter (drop_lrd t) lrds;
-  Hashtbl.remove t.by_txn tid;
-  List.map (fun l -> l.lrd_oid) lrds
+  match Hashtbl.find_opt t.by_txn tid with
+  | None -> []
+  | Some h ->
+      let lrds = Hashtbl.fold (fun _ l acc -> l :: acc) h [] in
+      List.iter (drop_lrd t) lrds;
+      Hashtbl.remove t.by_txn tid;
+      List.map (fun l -> l.lrd_oid) lrds
 
 (* Remove permissions given by and given to [tid] (commit step 6 /
-   abort cleanup). *)
+   abort cleanup).  Each PD is removed eagerly from its OD, from the
+   per-OD grantor index and from the *other* party's global index
+   entry, so no full-table purge is ever needed. *)
 let remove_permits t tid =
-  let involves pd =
-    Tid.equal pd.pd_grantor tid || match pd.pd_grantee with Some g -> Tid.equal g tid | None -> false
+  let affected = ref [] in
+  let drop_from_od pd =
+    match Hashtbl.find_opt t.objects pd.pd_oid with
+    | Some obj ->
+        if List.memq pd obj.permits then begin
+          obj.permits <- List.filter (fun p -> p != pd) obj.permits;
+          od_pd_unindex obj pd;
+          affected := obj :: !affected
+        end
+    | None -> ()
   in
-  let affected =
-    (match Hashtbl.find_opt t.permits_by_grantor tid with Some l -> !l | None -> [])
-    @ (match Hashtbl.find_opt t.permits_by_grantee tid with Some l -> !l | None -> [])
-  in
-  let oids = List.sort_uniq Oid.compare (List.map (fun pd -> pd.pd_oid) affected) in
-  List.iter
-    (fun oid ->
-      match Hashtbl.find_opt t.objects oid with
-      | Some obj -> obj.permits <- List.filter (fun pd -> not (involves pd)) obj.permits
-      | None -> ())
-    oids;
+  (match Hashtbl.find_opt t.permits_by_grantor tid with
+  | Some l ->
+      List.iter
+        (fun pd ->
+          drop_from_od pd;
+          match pd.pd_grantee with
+          | Some g when not (Tid.equal g tid) -> (
+              match Hashtbl.find_opt t.permits_by_grantee g with
+              | Some el -> el := List.filter (fun p -> p != pd) !el
+              | None -> ())
+          | _ -> ())
+        !l
+  | None -> ());
+  (match Hashtbl.find_opt t.permits_by_grantee tid with
+  | Some l ->
+      List.iter
+        (fun pd ->
+          drop_from_od pd;
+          if not (Tid.equal pd.pd_grantor tid) then
+            match Hashtbl.find_opt t.permits_by_grantor pd.pd_grantor with
+            | Some gl -> gl := List.filter (fun p -> p != pd) !gl
+            | None -> ())
+        !l
+  | None -> ());
   Hashtbl.remove t.permits_by_grantor tid;
   Hashtbl.remove t.permits_by_grantee tid;
-  (* The grantee index may still hold entries granted *by* tid (and vice
-     versa); purge them lazily. *)
-  Hashtbl.iter (fun _ l -> l := List.filter (fun pd -> not (involves pd)) !l) t.permits_by_grantor;
-  Hashtbl.iter (fun _ l -> l := List.filter (fun pd -> not (involves pd)) !l) t.permits_by_grantee
+  (* A withdrawn permission may re-block pending requests it excused. *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun obj ->
+      if not (Hashtbl.mem seen obj.od_oid) then begin
+        Hashtbl.replace seen obj.od_oid ();
+        refresh_waits t obj
+      end)
+    !affected
 
 (* delegate(ti, tj, ob_set): move the LRDs on the named objects from ti
    to tj and rewrite PDs granted by ti on them to be granted by tj.
    When tj already holds a lock on the same object the two requests
-   merge, keeping the stronger mode. *)
+   merge, keeping the stronger mode.  ti's *pending* requests on the
+   delegated objects are cancelled: responsibility for performed
+   operations moves, but an in-flight request is simply withdrawn (a
+   blocked requester re-registers it on its next retry), so no orphaned
+   pending entries or stale waits-for edges survive the delegation. *)
 let delegate t ~from_ ~to_ oids =
-  let from_list = txn_list t from_ in
   let covers oid = match oids with None -> true | Some l -> List.exists (Oid.equal oid) l in
-  let moving, staying = List.partition (fun lrd -> covers lrd.lrd_oid) !from_list in
-  from_list := staying;
-  let to_list = txn_list t to_ in
+  let from_h = txn_table t.by_txn from_ in
+  let moving =
+    Hashtbl.fold (fun _ lrd acc -> if covers lrd.lrd_oid then lrd :: acc else acc) from_h []
+  in
+  let to_h = txn_table t.by_txn to_ in
+  let touched = ref [] in
   List.iter
     (fun lrd ->
-      match List.find_opt (fun l -> Oid.equal l.lrd_oid lrd.lrd_oid) !to_list with
-      | Some existing ->
-          (* Merge into tj's existing request. *)
-          if Mode.conflicts existing.lrd_mode lrd.lrd_mode || lrd.lrd_mode = Mode.Write then
-            existing.lrd_mode <- Mode.Write;
-          (match Hashtbl.find_opt t.objects lrd.lrd_oid with
-          | Some obj ->
-              obj.granted <- List.filter (fun l -> l != lrd) obj.granted;
+      Hashtbl.remove from_h lrd.lrd_oid;
+      match Hashtbl.find_opt t.objects lrd.lrd_oid with
+      | None -> ()
+      | Some obj -> (
+          touched := obj :: !touched;
+          match Hashtbl.find_opt to_h lrd.lrd_oid with
+          | Some existing ->
+              (* Merge into tj's existing request. *)
+              if Mode.conflicts existing.lrd_mode lrd.lrd_mode || lrd.lrd_mode = Mode.Write then
+                existing.lrd_mode <- Mode.Write;
+              od_remove_granted obj lrd;
               resume_suspended obj
-          | None -> ())
-      | None ->
-          let lrd = { lrd with lrd_tid = to_ } in
-          (* Replace the OD's entry with the re-owned LRD. *)
-          (match Hashtbl.find_opt t.objects lrd.lrd_oid with
-          | Some obj ->
-              obj.granted <-
-                lrd :: List.filter (fun l -> not (Tid.equal l.lrd_tid from_ && Oid.equal l.lrd_oid lrd.lrd_oid)) obj.granted
-          | None -> ());
-          to_list := lrd :: !to_list)
+          | None ->
+              (* Replace the OD's entry with a re-owned LRD. *)
+              od_remove_granted obj lrd;
+              let lrd' =
+                {
+                  lrd with
+                  lrd_tid = to_;
+                  lrd_blockers = [];
+                  lrd_prev = None;
+                  lrd_next = None;
+                }
+              in
+              list_push obj.granted lrd';
+              Hashtbl.replace obj.granted_idx to_ lrd';
+              Hashtbl.replace to_h lrd.lrd_oid lrd'))
     moving;
+  (* Withdraw ti's in-flight requests on the delegated objects. *)
+  (match Hashtbl.find_opt t.pending_by_txn from_ with
+  | None -> ()
+  | Some h ->
+      let stale = Hashtbl.fold (fun _ p acc -> if covers p.lrd_oid then p :: acc else acc) h [] in
+      List.iter
+        (fun p ->
+          match Hashtbl.find_opt t.objects p.lrd_oid with
+          | Some obj -> remove_pending t obj from_
+          | None -> ())
+        stale);
   (* Rewrite PDs (ti, tk, op) to (tj, tk, op) for the delegated objects. *)
   (match Hashtbl.find_opt t.permits_by_grantor from_ with
   | Some l ->
       let moving_pds, staying_pds = List.partition (fun pd -> covers pd.pd_oid) !l in
       l := staying_pds;
-      List.iter (fun pd -> pd.pd_grantor <- to_) moving_pds;
+      List.iter
+        (fun pd ->
+          (match Hashtbl.find_opt t.objects pd.pd_oid with
+          | Some obj ->
+              od_pd_unindex obj pd;
+              pd.pd_grantor <- to_;
+              od_pd_index obj pd;
+              touched := obj :: !touched
+          | None -> pd.pd_grantor <- to_))
+        moving_pds;
       if moving_pds <> [] then begin
         let tl = index_list t.permits_by_grantor to_ in
         tl := moving_pds @ !tl
       end
   | None -> ());
+  (* Re-derive waits-for contributions of every object whose holders or
+     permits changed: waiters on ti now wait on tj. *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun obj ->
+      if not (Hashtbl.mem seen obj.od_oid) then begin
+        Hashtbl.replace seen obj.od_oid ();
+        refresh_waits t obj
+      end)
+    !touched;
   List.map (fun lrd -> lrd.lrd_oid) moving
 
 (* ------------------------------------------------------------------ *)
@@ -361,40 +692,53 @@ let holds t tid oid =
           Some (lrd.lrd_mode, lrd.lrd_status)
       | _ -> None)
 
-let locked_objects t tid = List.map (fun l -> l.lrd_oid) !(txn_list t tid)
+let locked_objects t tid =
+  match Hashtbl.find_opt t.by_txn tid with
+  | None -> []
+  | Some h -> Hashtbl.fold (fun oid _ acc -> oid :: acc) h []
 
-let lock_count t tid = List.length !(txn_list t tid)
+let lock_count t tid =
+  match Hashtbl.find_opt t.by_txn tid with None -> 0 | Some h -> Hashtbl.length h
 
-(* Waits-for edges from the pending lists: requester -> each granted
-   holder whose lock conflicts (and is not excused by a permit). *)
+(* Waits-for edges recomputed from the pending lists: requester -> each
+   granted holder whose lock conflicts (and is not excused by a
+   permit).  This is the from-scratch debug/introspection view; the
+   live engine path reads the incremental graph instead. *)
 let waits_for t =
   Hashtbl.fold
     (fun _ obj acc ->
-      List.fold_left
-        (fun acc p ->
+      let acc = ref acc in
+      list_iter
+        (fun p ->
           let op = Mode.as_op p.lrd_mode in
-          List.fold_left
-            (fun acc gl ->
-              if (not (Tid.equal gl.lrd_tid p.lrd_tid))
-                 && (gl.lrd_status = Granted || gl.lrd_status = Suspended)
-                 && Mode.conflicts gl.lrd_mode p.lrd_mode
-                 && not (permits_op obj ~grantor:gl.lrd_tid ~grantee:p.lrd_tid op)
-              then (p.lrd_tid, gl.lrd_tid) :: acc
-              else acc)
-            acc obj.granted)
-        acc obj.pending)
+          list_iter
+            (fun gl ->
+              if blocks_waiter obj p.lrd_tid p.lrd_mode op gl then
+                acc := (p.lrd_tid, gl.lrd_tid) :: !acc)
+            obj.granted)
+        obj.pending;
+      !acc)
     t.objects []
 
-(* Find a cycle in the waits-for graph, if any; used for deadlock
-   victim selection. *)
-let find_cycle t =
-  let edges = waits_for t in
-  let adj = Hashtbl.create 16 in
-  List.iter
-    (fun (a, b) ->
-      let l = try Hashtbl.find adj a with Not_found -> [] in
-      Hashtbl.replace adj a (b :: l))
-    edges;
+(* The incremental graph's edge set (distinct pairs). *)
+let waits_for_incremental t =
+  Hashtbl.fold
+    (fun waiter adj acc -> Hashtbl.fold (fun holder _ acc -> (waiter, holder) :: acc) adj acc)
+    t.wf_out []
+
+(* Invariant: the incrementally maintained graph carries exactly the
+   edges a from-scratch rebuild would derive from the ODs. *)
+let check_waits_for_invariant t =
+  let cmp (a, b) (c, d) =
+    match Tid.compare a c with 0 -> Tid.compare b d | n -> n
+  in
+  let norm l = List.sort_uniq cmp l in
+  norm (waits_for t) = norm (waits_for_incremental t)
+
+(* DFS cycle search shared by the incremental and rebuild paths.
+   [roots] lists the nodes with outgoing edges; [succs] their
+   successors. *)
+let cycle_search roots succs =
   let exception Found of Tid.t list in
   let visited = Hashtbl.create 16 in
   (* [path] holds the current DFS stack, most recent first; on revisiting
@@ -410,13 +754,40 @@ let find_cycle t =
     end
     else if not (Hashtbl.mem visited node) then begin
       Hashtbl.replace visited node ();
-      let succs = match Hashtbl.find_opt adj node with Some l -> l | None -> [] in
-      List.iter (dfs (node :: path)) succs
+      List.iter (dfs (node :: path)) (succs node)
     end
   in
-  match Hashtbl.iter (fun node _ -> dfs [] node) adj with
+  match List.iter (fun node -> dfs [] node) roots with
   | () -> None
   | exception Found cycle -> Some cycle
+
+(* Find a cycle in the live waits-for graph, if any; used for deadlock
+   victim selection.  O(edges) — no reconstruction from the ODs. *)
+let find_cycle t =
+  Asset_util.Stats.Counter.incr t.cycle_checks;
+  if t.wf_edges = 0 then None
+  else
+    let roots = Hashtbl.fold (fun node _ acc -> node :: acc) t.wf_out [] in
+    let succs node =
+      match Hashtbl.find_opt t.wf_out node with
+      | Some adj -> Hashtbl.fold (fun s _ acc -> s :: acc) adj []
+      | None -> []
+    in
+    cycle_search roots succs
+
+(* The pre-overhaul path, kept as the cross-check and bench baseline:
+   rebuild the whole graph from the ODs, then search it. *)
+let find_cycle_rebuild t =
+  let edges = waits_for t in
+  let adj = Hashtbl.create 16 in
+  List.iter
+    (fun (a, b) ->
+      let l = try Hashtbl.find adj a with Not_found -> [] in
+      Hashtbl.replace adj a (b :: l))
+    edges;
+  let roots = Hashtbl.fold (fun node _ acc -> node :: acc) adj [] in
+  let succs node = match Hashtbl.find_opt adj node with Some l -> l | None -> [] in
+  cycle_search roots succs
 
 let stats t =
   [
@@ -424,6 +795,8 @@ let stats t =
     ("blocks", Asset_util.Stats.Counter.get t.blocks);
     ("suspensions", Asset_util.Stats.Counter.get t.suspensions);
     ("permit_grants", Asset_util.Stats.Counter.get t.permit_grants);
+    ("waits_edges", t.wf_edges);
+    ("cycle_checks", Asset_util.Stats.Counter.get t.cycle_checks);
   ]
 
 (* Render an object descriptor in the shape of the paper's Figure 1:
@@ -443,21 +816,21 @@ let pp_od t ppf oid =
       in
       Format.fprintf ppf "OD(%a)@.  granted: %a@.  pending: %a@.  permits: %a" Oid.pp oid
         (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_lrd)
-        obj.granted
+        (list_elems obj.granted)
         (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_lrd)
-        obj.pending
+        (list_elems obj.pending)
         (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_pd)
         obj.permits
 
 let granted_of t oid =
   match Hashtbl.find_opt t.objects oid with
   | None -> []
-  | Some obj -> List.map (fun l -> (l.lrd_tid, l.lrd_mode, l.lrd_status)) obj.granted
+  | Some obj -> List.map (fun l -> (l.lrd_tid, l.lrd_mode, l.lrd_status)) (list_elems obj.granted)
 
 let pending_of t oid =
   match Hashtbl.find_opt t.objects oid with
   | None -> []
-  | Some obj -> List.map (fun l -> (l.lrd_tid, l.lrd_mode, l.lrd_status)) obj.pending
+  | Some obj -> List.map (fun l -> (l.lrd_tid, l.lrd_mode, l.lrd_status)) (list_elems obj.pending)
 
 let permits_of t oid =
   match Hashtbl.find_opt t.objects oid with

@@ -7,7 +7,16 @@
     requests, pending requests, permissions; {!pp_od} renders exactly
     that structure.  PDs are doubly indexed by grantor and grantee tid,
     and permission is transitive with operation-set intersection
-    (permit rule 3). *)
+    (permit rule 3).
+
+    The descriptor lists are shadowed by hash indexes (per-OD tid → lrd
+    for granted and pending; per-transaction oid → lrd for held and
+    pending requests; per-OD grantor → pd with memoised transitive
+    reachability), and the manager maintains the waits-for graph
+    incrementally: each pending request tracks its blocker set, updated
+    whenever the OD's granted, pending, or permit lists change, so
+    {!find_cycle} searches a live O(edges) graph instead of rebuilding
+    it from every OD. *)
 
 module Tid = Asset_util.Id.Tid
 module Oid = Asset_util.Id.Oid
@@ -67,8 +76,11 @@ val release_all : t -> Tid.t -> Oid.t list
 val delegate : t -> from_:Tid.t -> to_:Tid.t -> Oid.t list option -> Oid.t list
 (** Move LRDs on the given objects ([None] = all) from [from_] to
     [to_], merging with [to_]'s existing locks (stronger mode wins),
-    and rewrite PDs granted by [from_] to be granted by [to_].  Returns
-    the moved oids. *)
+    and rewrite PDs granted by [from_] to be granted by [to_].
+    [from_]'s pending requests on the delegated objects are withdrawn
+    (a blocked requester re-registers on retry), so no orphaned pending
+    entries or stale waits-for edges survive.  Returns the moved
+    oids. *)
 
 (** {2 Introspection} *)
 
@@ -77,13 +89,32 @@ val locked_objects : t -> Tid.t -> Oid.t list
 val lock_count : t -> Tid.t -> int
 
 val waits_for : t -> (Tid.t * Tid.t) list
-(** Waits-for edges (requester, holder) from the pending lists, with
-    permit-excused conflicts removed. *)
+(** Waits-for edges (requester, holder) recomputed from the pending
+    lists, with permit-excused conflicts removed — the from-scratch
+    debug/introspection view.  The live engine path uses the
+    incrementally maintained graph; {!check_waits_for_invariant}
+    cross-checks the two. *)
+
+val waits_edges : t -> int
+(** Distinct (waiter, holder) pairs in the incremental waits-for
+    graph. *)
+
+val check_waits_for_invariant : t -> bool
+(** [true] iff the incrementally maintained waits-for graph carries
+    exactly the edges a from-scratch rebuild derives from the ODs. *)
 
 val find_cycle : t -> Tid.t list option
-(** A deadlock cycle in the waits-for graph, if any. *)
+(** A deadlock cycle in the incrementally maintained waits-for graph,
+    if any — O(edges). *)
+
+val find_cycle_rebuild : t -> Tid.t list option
+(** The pre-overhaul path: rebuild the waits-for graph from every OD,
+    then search it.  Kept as the invariant cross-check and bench
+    baseline. *)
 
 val stats : t -> (string * int) list
+(** Includes [waits_edges] (live incremental-graph size) and
+    [cycle_checks] (deadlock searches run). *)
 
 val pp_od : t -> Format.formatter -> Oid.t -> unit
 (** Render an object descriptor in the shape of the paper's Figure 1. *)

@@ -268,6 +268,25 @@ let test_deadlock_detection_disabled_raises () =
   in
   Alcotest.(check bool) "deadlock surfaced" true outcome.R.deadlocked
 
+let test_debug_invariants_deadlock_workload () =
+  (* A deadlock-prone bank workload with the invariant cross-check on:
+     every lock operation and every stall-hook deadlock search verifies
+     the incremental waits-for graph against a from-scratch rebuild,
+     and fails the run on any divergence. *)
+  let module Bank = Asset_workload.Bank in
+  let config = { E.default_config with E.debug_invariants = true } in
+  let store = Asset_storage.Heap_store.store () in
+  Bank.setup store ~accounts:4 ~balance:1_000;
+  let db = E.create ~config store in
+  R.run_exn db (fun () -> ignore (Bank.run_transfers db ~accounts:4 ~n_txns:24));
+  Alcotest.(check int) "money conserved" (4 * 1_000) (Bank.total db ~accounts:4);
+  Alcotest.(check bool) "deadlocks actually exercised" true
+    (List.assoc "deadlock_victims" (E.stats db) > 0);
+  (* The new counters surface through Engine.stats. *)
+  Alcotest.(check bool) "cycle_checks surfaced" true
+    (List.assoc "lock.cycle_checks" (E.stats db) > 0);
+  Alcotest.(check int) "no residual waits-for edges" 0 (List.assoc "lock.waits_edges" (E.stats db))
+
 (* ------------------------------------------------------------------ *)
 (* wait / commit blocking semantics                                    *)
 
@@ -1044,6 +1063,8 @@ let () =
           Alcotest.test_case "deadlock victim" `Quick test_deadlock_victim_aborted;
           Alcotest.test_case "deadlock detection disabled" `Quick
             test_deadlock_detection_disabled_raises;
+          Alcotest.test_case "debug invariants under deadlock workload" `Quick
+            test_debug_invariants_deadlock_workload;
         ] );
       ( "blocking",
         [

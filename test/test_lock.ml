@@ -417,6 +417,169 @@ let prop_delegate_conserves_locks =
       in
       after <= before)
 
+(* ------------------------------------------------------------------ *)
+(* The incremental waits-for graph and its indexes                     *)
+
+let check_invariant msg lm =
+  Alcotest.(check bool) (msg ^ ": incremental graph matches rebuild") true
+    (Lm.check_waits_for_invariant lm)
+
+let edges lm =
+  Lm.waits_for lm
+  |> List.map (fun (a, b) -> (Tid.to_int a, Tid.to_int b))
+  |> List.sort_uniq compare
+
+let test_pending_index_cancel_all () =
+  let lm = Lm.create () in
+  (* t1 holds three objects; t2 and t3 queue up behind it on each. *)
+  List.iter (fun o -> check_acquired "t1 W" (Lm.acquire lm (tid 1) (oid o) Mode.Write)) [ 1; 2; 3 ];
+  List.iter
+    (fun o -> check_blocked "t2 blocked" [ 1 ] (Lm.acquire lm (tid 2) (oid o) Mode.Write))
+    [ 1; 2; 3 ];
+  check_blocked "t3 blocked" [ 1 ] (Lm.acquire lm (tid 3) (oid 2) Mode.Write);
+  Alcotest.(check int) "four live edges... t2 x3 dedup to 1 + t3" 2 (Lm.waits_edges lm);
+  check_invariant "before cancel" lm;
+  Lm.cancel_pending_all lm (tid 2);
+  (* All of t2's pending requests are gone; t3's is untouched. *)
+  List.iter
+    (fun o ->
+      Alcotest.(check bool)
+        (Printf.sprintf "no t2 pending on ob%d" o)
+        false
+        (List.exists (fun (t, _, _) -> Tid.to_int t = 2) (Lm.pending_of lm (oid o))))
+    [ 1; 2; 3 ];
+  Alcotest.(check (list (pair int int))) "only t3 edge survives" [ (3, 1) ] (edges lm);
+  Alcotest.(check int) "one live edge" 1 (Lm.waits_edges lm);
+  check_invariant "after cancel" lm;
+  (* Idempotent on a transaction with nothing pending. *)
+  Lm.cancel_pending_all lm (tid 2);
+  check_invariant "after re-cancel" lm
+
+let test_incremental_edges_lifecycle () =
+  let lm = Lm.create () in
+  Alcotest.(check int) "empty graph" 0 (Lm.waits_edges lm);
+  check_acquired "t1 W ob1" (Lm.acquire lm (tid 1) (oid 1) Mode.Write);
+  check_invariant "grant adds no edge" lm;
+  check_blocked "t2 blocked" [ 1 ] (Lm.acquire lm (tid 2) (oid 1) Mode.Write);
+  Alcotest.(check int) "block adds edge" 1 (Lm.waits_edges lm);
+  check_invariant "after block" lm;
+  (* Release grants the way: t2's retry acquires and the edge dies. *)
+  ignore (Lm.release_all lm (tid 1));
+  check_invariant "after release" lm;
+  check_acquired "t2 retry acquires" (Lm.acquire lm (tid 2) (oid 1) Mode.Write);
+  Alcotest.(check int) "edge removed on grant" 0 (Lm.waits_edges lm);
+  check_invariant "after grant" lm;
+  (* Abort path: a blocked waiter is torn down with the engine's
+     finalize-abort sequence (cancel pending, release, drop permits). *)
+  check_blocked "t3 blocked" [ 2 ] (Lm.acquire lm (tid 3) (oid 1) Mode.Write);
+  Alcotest.(check int) "edge re-added" 1 (Lm.waits_edges lm);
+  ignore (Lm.release_all lm (tid 3));
+  Lm.cancel_pending_all lm (tid 3);
+  Lm.remove_permits lm (tid 3);
+  Alcotest.(check int) "abort clears waiter's edges" 0 (Lm.waits_edges lm);
+  check_invariant "after abort teardown" lm
+
+let test_delegate_cancels_pending () =
+  let lm = Lm.create () in
+  check_acquired "t1 W ob1" (Lm.acquire lm (tid 1) (oid 1) Mode.Write);
+  check_acquired "t2 W ob2" (Lm.acquire lm (tid 2) (oid 2) Mode.Write);
+  check_blocked "t2 blocked on ob1" [ 1 ] (Lm.acquire lm (tid 2) (oid 1) Mode.Write);
+  Alcotest.(check int) "edge t2->t1" 1 (Lm.waits_edges lm);
+  (* t2 delegates everything to t3: its granted lock on ob2 moves, and
+     its in-flight request on ob1 is withdrawn with its edge. *)
+  let moved = Lm.delegate lm ~from_:(tid 2) ~to_:(tid 3) None in
+  Alcotest.(check (list int)) "ob2 moved" [ 2 ] (List.map Oid.to_int moved);
+  Alcotest.(check (list (pair int int))) "no stale t2 edge" [] (edges lm);
+  Alcotest.(check bool) "no orphaned pending on ob1" true (Lm.pending_of lm (oid 1) = []);
+  check_invariant "after delegation" lm;
+  (* The withdrawn request can simply be re-registered by its owner. *)
+  check_blocked "t2 re-blocks" [ 1 ] (Lm.acquire lm (tid 2) (oid 1) Mode.Write);
+  check_invariant "after re-register" lm
+
+let test_delegate_repoints_waiter_edges () =
+  let lm = Lm.create () in
+  check_acquired "t1 W ob1" (Lm.acquire lm (tid 1) (oid 1) Mode.Write);
+  check_blocked "t9 blocked on t1" [ 1 ] (Lm.acquire lm (tid 9) (oid 1) Mode.Write);
+  Alcotest.(check (list (pair int int))) "edge t9->t1" [ (9, 1) ] (edges lm);
+  (* t1 hands its lock to t5: the waiter's edge must follow the lock. *)
+  ignore (Lm.delegate lm ~from_:(tid 1) ~to_:(tid 5) None);
+  Alcotest.(check (list (pair int int))) "edge repointed to t5" [ (9, 5) ] (edges lm);
+  check_invariant "after delegation" lm
+
+let test_transitive_permit_chain_excuses_edge () =
+  let lm = Lm.create () in
+  check_acquired "t1 W ob1" (Lm.acquire lm (tid 1) (oid 1) Mode.Write);
+  check_blocked "t2 blocked" [ 1 ] (Lm.acquire lm (tid 2) (oid 1) Mode.Write);
+  Alcotest.(check int) "edge live" 1 (Lm.waits_edges lm);
+  (* A permit chain t1 -> t3 -> t2: only once the second link lands is
+     t2's conflict transitively excused (permit rule 3), and the
+     incremental graph must drop the edge at exactly that point. *)
+  Lm.add_permit lm ~grantor:(tid 1) ~grantee:(Some (tid 3)) ~oid:(oid 1) ~ops:Ops.all;
+  Alcotest.(check int) "half a chain excuses nothing" 1 (Lm.waits_edges lm);
+  check_invariant "after first link" lm;
+  Lm.add_permit lm ~grantor:(tid 3) ~grantee:(Some (tid 2)) ~oid:(oid 1) ~ops:Ops.all;
+  Alcotest.(check int) "full chain excuses the edge" 0 (Lm.waits_edges lm);
+  check_invariant "after second link" lm;
+  (* Withdrawing the middle transaction's permits re-blocks t2. *)
+  Lm.remove_permits lm (tid 3);
+  Alcotest.(check int) "edge returns" 1 (Lm.waits_edges lm);
+  check_invariant "after permit removal" lm
+
+(* Randomized schedules: after every operation the incremental graph
+   must match a from-scratch rebuild, and cycle detection on it must
+   agree with the rebuild path on deadlock existence. *)
+let prop_incremental_matches_rebuild =
+  let open QCheck2 in
+  let op_gen =
+    Gen.(
+      frequency
+        [
+          (6, map2 (fun t o -> `Acquire (t, o, Mode.Write)) (int_range 1 5) (int_range 1 4));
+          (3, map2 (fun t o -> `Acquire (t, o, Mode.Read)) (int_range 1 5) (int_range 1 4));
+          (2, map (fun t -> `Release t) (int_range 1 5));
+          (2, map (fun t -> `CancelAll t) (int_range 1 5));
+          (2, map3 (fun a b o -> `Permit (a, b, o)) (int_range 1 5) (int_range 1 5) (int_range 1 4));
+          (1, map (fun t -> `RemovePermits t) (int_range 1 5));
+          (1, map2 (fun a b -> `Delegate (a, b)) (int_range 1 5) (int_range 1 5));
+        ])
+  in
+  Test.make ~name:"incremental waits-for graph matches rebuild" ~count:200
+    Gen.(list_size (int_range 5 60) op_gen)
+    (fun ops ->
+      let lm = Lm.create () in
+      List.for_all
+        (fun op ->
+          (match op with
+          | `Acquire (t, o, m) -> ignore (Lm.acquire lm (tid t) (oid o) m)
+          | `Release t ->
+              ignore (Lm.release_all lm (tid t));
+              Lm.cancel_pending_all lm (tid t)
+          | `CancelAll t -> Lm.cancel_pending_all lm (tid t)
+          | `Permit (a, b, o) ->
+              if a <> b then
+                Lm.add_permit lm ~grantor:(tid a) ~grantee:(Some (tid b)) ~oid:(oid o) ~ops:Ops.all
+          | `RemovePermits t -> Lm.remove_permits lm (tid t)
+          | `Delegate (a, b) -> if a <> b then ignore (Lm.delegate lm ~from_:(tid a) ~to_:(tid b) None));
+          Lm.check_waits_for_invariant lm
+          &&
+          let live = Lm.find_cycle lm in
+          let rebuilt = Lm.find_cycle_rebuild lm in
+          (live <> None) = (rebuilt <> None)
+          &&
+          (* Any reported cycle must be made of real waits-for edges. *)
+          match live with
+          | None -> true
+          | Some cycle ->
+              let es = Lm.waits_for lm in
+              let edge a b = List.exists (fun (x, y) -> Tid.equal x a && Tid.equal y b) es in
+              let rec consecutive = function
+                | a :: (b :: _ as rest) -> edge a b && consecutive rest
+                | [ last ] -> edge last (List.hd cycle)
+                | [] -> false
+              in
+              consecutive cycle)
+        ops)
+
 let () =
   Alcotest.run "asset_lock"
     [
@@ -467,6 +630,15 @@ let () =
           Alcotest.test_case "no false cycle" `Quick test_no_false_cycle;
           Alcotest.test_case "permit removes edge" `Quick test_permit_removes_waits_for_edge;
         ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "pending index cancel all" `Quick test_pending_index_cancel_all;
+          Alcotest.test_case "edge lifecycle" `Quick test_incremental_edges_lifecycle;
+          Alcotest.test_case "delegate cancels pending" `Quick test_delegate_cancels_pending;
+          Alcotest.test_case "delegate repoints edges" `Quick test_delegate_repoints_waiter_edges;
+          Alcotest.test_case "transitive chain excuses edge" `Quick
+            test_transitive_permit_chain_excuses_edge;
+        ] );
       ( "fig1",
         [ Alcotest.test_case "object descriptor structure" `Quick test_fig1_od_structure ] );
       ( "properties",
@@ -474,5 +646,6 @@ let () =
           QCheck_alcotest.to_alcotest prop_no_conflicting_grants;
           QCheck_alcotest.to_alcotest prop_release_all_clears;
           QCheck_alcotest.to_alcotest prop_delegate_conserves_locks;
+          QCheck_alcotest.to_alcotest prop_incremental_matches_rebuild;
         ] );
     ]
