@@ -1296,6 +1296,175 @@ let e18_lockpath () =
   Format.printf "wrote %s@." path
 
 (* ------------------------------------------------------------------ *)
+(* E19: fault injection and recovery (ISSUE 3) — crash-recovery torture
+   throughput, recovery latency, bounded retry under transient fault
+   rates, and the lock-wait timeout backstop.  Emits BENCH_faults.json. *)
+
+module Torture = Asset_workload.Torture
+
+(* Crossed lock-order pairs with deadlock detection off: only the
+   lock-wait timeout keeps the batch live.  Victims are retried by the
+   bounded-retry combinator, so every transfer eventually commits. *)
+let faults_timeout_case ~pairs ~timeout_steps ~max_retries =
+  let config =
+    { E.default_config with deadlock_detection = false; lock_wait_timeout_steps = timeout_steps }
+  in
+  let db = fresh_db ~config ~objects:(2 * pairs) () in
+  let body a b () =
+    E.modify db (oid a) (fun _ -> vi a);
+    Sched.yield ();
+    E.modify db (oid b) (fun _ -> vi b)
+  in
+  let bodies =
+    List.concat_map
+      (fun i -> [ body ((2 * i) + 1) ((2 * i) + 2); body ((2 * i) + 2) ((2 * i) + 1) ])
+      (List.init pairs (fun i -> i))
+  in
+  let rng = Rng.create 0x19f in
+  let metrics = ref { Workload.r_committed = 0; r_retries = 0; r_gave_up = 0 } in
+  let (), dt =
+    time_of (fun () ->
+        R.run_exn db (fun () -> metrics := Workload.run_bodies_with_retry ~max_retries ~rng db bodies))
+  in
+  (!metrics, stat db "lock_timeouts", dt)
+
+let e19_faults () =
+  (* E19a: the exhaustive WAL-boundary crash sweep, per commit-batch size. *)
+  let spec = Torture.default_spec in
+  let gcs_values = if !smoke then [ 1 ] else [ 1; 3; 8 ] in
+  let sweeps =
+    List.map
+      (fun gcs ->
+        let s = Torture.crash_at_every_boundary { spec with group_commit_size = gcs } in
+        (gcs, s))
+      gcs_values
+  in
+  let t =
+    Table.create ~title:"E19a: crash at every WAL record boundary (bank workload)"
+      ~header:[ "gc size"; "boundaries"; "crashes"; "violations"; "recover ms/run" ]
+  in
+  List.iter
+    (fun (gcs, (s : Torture.sweep)) ->
+      Table.add_row t
+        [
+          Table.fmt_i gcs;
+          Table.fmt_i s.boundaries;
+          Table.fmt_i s.crashes;
+          Table.fmt_i (List.length s.sweep_failures);
+          Table.fmt_f ~digits:3 (s.total_recovery_s /. float_of_int (max 1 s.runs) *. 1e3);
+        ])
+    sweeps;
+  Table.print t;
+  (* E19b: seeded random crash schedules across every failpoint site. *)
+  let n_schedules = if !smoke then 50 else 500 in
+  let random = Torture.random_crash_schedules ~n:n_schedules spec in
+  let t =
+    Table.create ~title:"E19b: seeded random crash schedules"
+      ~header:[ "schedules"; "crashes"; "violations"; "recover ms/run" ]
+  in
+  Table.add_row t
+    [
+      Table.fmt_i random.runs;
+      Table.fmt_i random.crashes;
+      Table.fmt_i (List.length random.sweep_failures);
+      Table.fmt_f ~digits:3 (random.total_recovery_s /. float_of_int (max 1 random.runs) *. 1e3);
+    ];
+  Table.print t;
+  (* E19c: bounded retry under transient fault rates. *)
+  let rates = if !smoke then [ 0.0; 0.2 ] else [ 0.0; 0.05; 0.2; 0.5 ] in
+  let retry_spec = { spec with n_txns = (if !smoke then 12 else 48) } in
+  let retry_rows =
+    List.map
+      (fun rate ->
+        let r = Torture.run_retry_workload ~fault_rate:rate ~max_retries:6 retry_spec in
+        (rate, r))
+      rates
+  in
+  let t =
+    Table.create ~title:"E19c: bounded retry vs transient fault rate"
+      ~header:[ "fault rate"; "txns"; "committed"; "retries"; "gave up"; "conserved" ]
+  in
+  List.iter
+    (fun (rate, (r : Torture.retry_outcome)) ->
+      Table.add_row t
+        [
+          Table.fmt_f ~digits:2 rate;
+          Table.fmt_i retry_spec.n_txns;
+          Table.fmt_i r.committed;
+          Table.fmt_i r.retries;
+          Table.fmt_i r.gave_up;
+          (if r.conserved then "yes" else "NO");
+        ])
+    retry_rows;
+  Table.print t;
+  (* E19d: the lock-wait timeout backstop (deadlock detection off). *)
+  let pairs = if !smoke then 4 else 16 in
+  let timeout_steps = 8 in
+  let tm, timeouts, dt = faults_timeout_case ~pairs ~timeout_steps ~max_retries:8 in
+  let t =
+    Table.create ~title:"E19d: lock-wait timeout breaks stalls (detection off)"
+      ~header:[ "txns"; "timeout steps"; "committed"; "lock timeouts"; "retries"; "gave up" ]
+  in
+  Table.add_row t
+    [
+      Table.fmt_i (2 * pairs);
+      Table.fmt_i timeout_steps;
+      Table.fmt_i tm.Workload.r_committed;
+      Table.fmt_i timeouts;
+      Table.fmt_i tm.Workload.r_retries;
+      Table.fmt_i tm.Workload.r_gave_up;
+    ];
+  Table.print t;
+  (* Machine-readable gate for the robustness trajectory. *)
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"experiment\": \"E19-faults\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" !smoke);
+  Buffer.add_string buf "  \"boundary_sweep\": [\n";
+  List.iteri
+    (fun i (gcs, (s : Torture.sweep)) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"group_commit_size\": %d, \"boundaries\": %d, \"crashes\": %d, \"violations\": \
+            %d, \"recovery_total_s\": %.6f}%s\n"
+           gcs s.boundaries s.crashes
+           (List.length s.sweep_failures)
+           s.total_recovery_s
+           (if i = List.length sweeps - 1 then "" else ",")))
+    sweeps;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"random_schedules\": {\"runs\": %d, \"crashes\": %d, \"violations\": %d, \
+        \"recovery_total_s\": %.6f},\n"
+       random.runs random.crashes
+       (List.length random.sweep_failures)
+       random.total_recovery_s);
+  Buffer.add_string buf "  \"retry\": [\n";
+  List.iteri
+    (fun i (rate, (r : Torture.retry_outcome)) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"fault_rate\": %.2f, \"txns\": %d, \"committed\": %d, \"retries\": %d, \
+            \"gave_up\": %d, \"seconds\": %.6f, \"conserved\": %b}%s\n"
+           rate retry_spec.n_txns r.committed r.retries r.gave_up r.duration_s r.conserved
+           (if i = List.length retry_rows - 1 then "" else ",")))
+    retry_rows;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"lock_timeout\": {\"txns\": %d, \"timeout_steps\": %d, \"committed\": %d, \
+        \"lock_timeouts\": %d, \"retries\": %d, \"gave_up\": %d, \"seconds\": %.6f}\n"
+       (2 * pairs) timeout_steps tm.Workload.r_committed timeouts tm.Workload.r_retries
+       tm.Workload.r_gave_up dt);
+  Buffer.add_string buf "}\n";
+  let path = if !smoke then "BENCH_faults_smoke.json" else "BENCH_faults.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "wrote %s@." path
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1320,6 +1489,8 @@ let experiments =
     ("hotpath", e17_hotpath);
     ("e18", e18_lockpath);
     ("lockpath", e18_lockpath);
+    ("e19", e19_faults);
+    ("faults", e19_faults);
   ]
 
 let () =
@@ -1329,7 +1500,7 @@ let () =
       ( "--only",
         Arg.String
           (fun s -> only := !only @ String.split_on_char ',' (String.lowercase_ascii s)),
-        "KEYS  comma-separated experiment keys (f1, e1..e18, hotpath, lockpath); default: all" );
+        "KEYS  comma-separated experiment keys (f1, e1..e19, hotpath, lockpath, faults); default: all" );
       ("--smoke", Arg.Set smoke, "  tiny quotas for CI smoke runs");
     ]
   in
@@ -1340,7 +1511,7 @@ let () =
     match !only with
     | [] ->
         (* the eNN keys cover the aliases *)
-        List.filter (fun (k, _) -> k <> "hotpath" && k <> "lockpath") experiments
+        List.filter (fun (k, _) -> k <> "hotpath" && k <> "lockpath" && k <> "faults") experiments
     | keys ->
         List.map
           (fun k ->
@@ -1349,7 +1520,7 @@ let () =
             | None -> failwith ("unknown experiment: " ^ k))
           keys
   in
-  Format.printf "ASSET benchmark harness — experiments F1, E1-E18 (see DESIGN.md)%s@."
+  Format.printf "ASSET benchmark harness — experiments F1, E1-E19 (see DESIGN.md)%s@."
     (if !smoke then " [smoke]" else "");
   List.iter (fun (_, f) -> f ()) selected;
   Format.printf "@.done.@."

@@ -13,7 +13,7 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
-echo "== bench smoke (E1 + E17/hotpath) =="
-dune exec bench/main.exe -- --only e1,hotpath,lockpath --smoke
+echo "== bench smoke (E1 + E17/hotpath + E18/lockpath + E19/faults) =="
+dune exec bench/main.exe -- --only e1,hotpath,lockpath,faults --smoke
 
 echo "CI OK"

@@ -33,6 +33,11 @@ exception Not_in_transaction
 (** A data operation ([read]/[write]) was invoked outside any
     transaction body. *)
 
+exception Lock_timeout of Tid.t * Oid.t
+(** A lock request stalled past [lock_wait_timeout_steps] retry rounds;
+    the requester aborted itself with this as its failure reason —
+    distinguishable from a deadlock victim (whose failure is [None]). *)
+
 type td = {
   tid : Tid.t;
   parent : Tid.t;
@@ -40,6 +45,7 @@ type td = {
   mutable status : Status.t;
   mutable fid : int; (* scheduler fiber, -1 until begun *)
   mutable updates : int list; (* LSNs of updates this txn is responsible for, newest first *)
+  mutable commit_lsn : int; (* LSN of the commit record covering this txn, -1 before *)
   mutable failure : exn option; (* body exception, if any *)
   mutable waiting_on : string; (* diagnostic: why currently parked *)
   mutable begin_denied : bool;
@@ -55,6 +61,10 @@ type config = {
   group_commit_size : int;
       (* force the log once per this many commit records; pending
          commits are also flushed at every scheduler quiescence point *)
+  lock_wait_timeout_steps : int;
+      (* abort a lock requester stalled past this many retry rounds
+         with [Lock_timeout] instead of hanging — the liveness backstop
+         when deadlock detection is off.  0 (the default) disables *)
   debug_invariants : bool;
       (* cross-check the lock manager's incremental waits-for graph
          against a from-scratch rebuild on every lock operation and
@@ -68,6 +78,7 @@ let default_config =
     use_latches = true;
     dep_cycle_check = true;
     group_commit_size = 1;
+    lock_wait_timeout_steps = 0;
     debug_invariants = false;
   }
 
@@ -94,6 +105,9 @@ type t = {
   lock_waits : Asset_util.Stats.Counter.t;
   commit_retries : Asset_util.Stats.Counter.t;
   deadlock_victims : Asset_util.Stats.Counter.t;
+  lock_timeouts : Asset_util.Stats.Counter.t;
+  retries : Asset_util.Stats.Counter.t;
+  gave_up : Asset_util.Stats.Counter.t;
   reads : Asset_util.Stats.Counter.t;
   writes : Asset_util.Stats.Counter.t;
 }
@@ -120,6 +134,9 @@ let create ?(config = default_config) ?log store =
     lock_waits = Asset_util.Stats.Counter.create "engine.lock_waits";
     commit_retries = Asset_util.Stats.Counter.create "engine.commit_retries";
     deadlock_victims = Asset_util.Stats.Counter.create "engine.deadlock_victims";
+    lock_timeouts = Asset_util.Stats.Counter.create "engine.lock_timeouts";
+    retries = Asset_util.Stats.Counter.create "engine.retries";
+    gave_up = Asset_util.Stats.Counter.create "engine.gave_up";
     reads = Asset_util.Stats.Counter.create "engine.reads";
     writes = Asset_util.Stats.Counter.create "engine.writes";
   }
@@ -134,7 +151,9 @@ let flush_pending_commits db =
     Log.force db.log;
     if db.unforced_commit_txns > 1 then Asset_util.Stats.Counter.incr db.group_commits;
     db.unforced_commit_records <- 0;
-    db.unforced_commit_txns <- 0
+    db.unforced_commit_txns <- 0;
+    (* Wake committers parked on durability of their staged record. *)
+    bump db
   end
 
 let sched db =
@@ -209,6 +228,7 @@ let initiate ?parent:parent_tid db body =
         status = Status.Initiated;
         fid = -1;
         updates = [];
+        commit_lsn = -1;
         failure = None;
         waiting_on = "";
         begin_denied = false;
@@ -226,6 +246,11 @@ let run_body db td =
   (try td.body ()
    with
   | Txn_aborted _ -> () (* the abort machinery has already done its work *)
+  | Asset_fault.Fault.Crash _ as e ->
+      (* Simulated power loss is not a body failure: nothing below the
+         torture harness may catch it (an abort here would append an
+         Abort record — I/O the dead machine never performed). *)
+      raise e
   | e ->
       (* A body failure aborts the transaction, Ode-style.  Aborting
          oneself raises [Txn_aborted] to unwind the body; here the body
@@ -277,12 +302,26 @@ let check_lock_invariants db where =
     Fmt.failwith "debug_invariants: incremental waits-for graph diverged (%s)" where
 
 let acquire_lock db td oid mode =
+  let rounds = ref 0 in
   let rec loop () =
     check_live td;
     match Lock.acquire db.locks td.tid oid mode with
     | Lock.Acquired -> check_lock_invariants db "acquire"
     | Lock.Blocked_on blockers ->
         check_lock_invariants db "blocked";
+        let bound = db.config.lock_wait_timeout_steps in
+        if bound > 0 && !rounds >= bound then begin
+          (* The request has stalled past the bound: abort ourselves
+             with a distinguishable reason instead of hanging.  The
+             scheduler's stall hook keeps bumping the version while
+             lock waiters exist, so [rounds] advances even when nothing
+             else in the system moves. *)
+          Asset_util.Stats.Counter.incr db.lock_timeouts;
+          td.failure <- Some (Lock_timeout (td.tid, oid));
+          ignore (!abort_ref db td.tid)
+          (* unreachable: aborting oneself raises Txn_aborted *)
+        end;
+        incr rounds;
         Asset_util.Stats.Counter.incr db.lock_waits;
         td.waiting_on <-
           Format.asprintf "lock %a/%a held by %a" Oid.pp oid Mode.pp mode
@@ -292,8 +331,13 @@ let acquire_lock db td oid mode =
         wait_for_change db ~reason:td.waiting_on v;
         loop ()
   in
-  loop ();
-  td.waiting_on <- ""
+  (match loop () with
+  | () -> td.waiting_on <- ""
+  | exception e ->
+      (* Clear the diagnostic even when the wait ends in an abort —
+         the stall hook uses [waiting_on] to find live lock waiters. *)
+      td.waiting_on <- "";
+      raise e)
 
 let with_latch db oid mode f =
   if db.config.use_latches then Latch.with_latch ~spin:Sched.yield (latch db oid) mode f else f ()
@@ -616,7 +660,7 @@ let commit_group db group =
   (* Group commit: stage the commit record and share one force among
      up to [group_commit_size] commit records (plus a flush at every
      scheduler quiescence point, so nothing waits indefinitely). *)
-  Log.append ~force_commit:false db.log (Record.Commit group) |> ignore;
+  let commit_lsn = Log.append ~force_commit:false db.log (Record.Commit group) in
   db.unforced_commit_records <- db.unforced_commit_records + 1;
   db.unforced_commit_txns <- db.unforced_commit_txns + List.length group;
   if db.unforced_commit_records >= max 1 db.config.group_commit_size then
@@ -625,6 +669,7 @@ let commit_group db group =
     (fun tid ->
       let td = td db tid in
       td.status <- Status.Committed;
+      td.commit_lsn <- commit_lsn;
       td.updates <- [];
       Asset_util.Stats.Counter.incr db.commits;
       (* Step 5: drop dependency edges; step 6: release locks and
@@ -638,10 +683,28 @@ let commit_group db group =
      remove_involving already ran, collect first. *)
   bump db
 
+(* The WAL acknowledgment rule under group commit: [commit] may only
+   return true once the transaction's commit record has reached a
+   forced LSN.  A commit staged but not yet forced is *not* durable —
+   a crash in the window must make the transaction a loser — so the
+   acknowledgment parks until the batch's force (threshold or
+   quiescence flush) catches up. *)
+let await_commit_durable db (t : td) =
+  let rec wait () =
+    if t.commit_lsn >= 0 && Log.forced_lsn db.log < t.commit_lsn then begin
+      let v = db.version in
+      wait_for_change db ~reason:"commit: awaiting force" v;
+      wait ()
+    end
+  in
+  wait ()
+
 let rec commit db tid =
   let t = td db tid in
   match t.status with
-  | Status.Committed -> true
+  | Status.Committed ->
+      await_commit_durable db t;
+      true
   | Status.Aborted -> false
   | Status.Aborting ->
       (* Step 1: "If it is aborting, perform the steps of the abort
@@ -725,6 +788,7 @@ and attempt_commit db tid =
                  abort. *)
               abort_many db
                 (List.filter (fun p -> not (is_terminated db p)) (List.sort_uniq Tid.compare exc_losers));
+              await_commit_durable db (td db tid);
               true
             end)
 
@@ -749,25 +813,42 @@ let transaction_count db = Hashtbl.length db.tds
 (* Deadlock resolution hook for the scheduler: abort the youngest
    member of a waits-for cycle.  Returns true when it made progress. *)
 let resolve_deadlock db () =
-  if not db.config.deadlock_detection then false
-  else begin
-    check_lock_invariants db "stall";
-    (if db.config.debug_invariants then
-       (* The incremental and rebuild searches must agree on whether a
-          deadlock exists (the particular cycle may differ). *)
-       let live = Lock.find_cycle db.locks <> None in
-       let rebuilt = Lock.find_cycle_rebuild db.locks <> None in
-       if live <> rebuilt then
-         Fmt.failwith "debug_invariants: find_cycle (%b) disagrees with rebuild (%b)" live rebuilt);
-    match Lock.find_cycle db.locks with
-    | Some (victim :: _ as cycle) ->
-        let youngest = List.fold_left (fun a b -> if Tid.compare a b >= 0 then a else b) victim cycle in
-        Logs.debug (fun m -> m "deadlock: aborting victim %a" Tid.pp youngest);
-        Asset_util.Stats.Counter.incr db.deadlock_victims;
-        ignore (abort db youngest);
-        true
-    | Some [] | None -> false
+  let resolved =
+    if not db.config.deadlock_detection then false
+    else begin
+      check_lock_invariants db "stall";
+      (if db.config.debug_invariants then
+         (* The incremental and rebuild searches must agree on whether a
+            deadlock exists (the particular cycle may differ). *)
+         let live = Lock.find_cycle db.locks <> None in
+         let rebuilt = Lock.find_cycle_rebuild db.locks <> None in
+         if live <> rebuilt then
+           Fmt.failwith "debug_invariants: find_cycle (%b) disagrees with rebuild (%b)" live rebuilt);
+      match Lock.find_cycle db.locks with
+      | Some (victim :: _ as cycle) ->
+          let youngest = List.fold_left (fun a b -> if Tid.compare a b >= 0 then a else b) victim cycle in
+          Logs.debug (fun m -> m "deadlock: aborting victim %a" Tid.pp youngest);
+          Asset_util.Stats.Counter.incr db.deadlock_victims;
+          ignore (abort db youngest);
+          true
+      | Some [] | None -> false
+    end
+  in
+  if resolved then true
+  else if
+    (* Lock-wait timeout tick: parked lock waiters can't advance their
+       retry counters while the version is frozen, so a stall with live
+       lock waiters bumps the version to force another retry round;
+       after [lock_wait_timeout_steps] rounds the waiter aborts itself
+       with [Lock_timeout].  Guarded on an actual lock waiter existing,
+       or a stall caused by something else would tick forever. *)
+    db.config.lock_wait_timeout_steps > 0
+    && Hashtbl.fold (fun _ td acc -> acc || td.waiting_on <> "") db.tds false
+  then begin
+    bump db;
+    true
   end
+  else false
 
 (* Spawn an auxiliary fiber (e.g. a per-transaction committer in a
    workload harness).  Not a transaction: [self] inside it is null. *)
@@ -787,6 +868,12 @@ let attach_scheduler db s =
   Sched.set_clock s (fun () -> db.version);
   Sched.set_on_quiesce s (fun () -> flush_pending_commits db)
 
+(* Retry bookkeeping for harness-level bounded retry (the workload
+   layer's combinator reports here so [stats] shows resilience figures
+   next to the engine's own counters). *)
+let note_retry db = Asset_util.Stats.Counter.incr db.retries
+let note_give_up db = Asset_util.Stats.Counter.incr db.gave_up
+
 let stats db =
   [
     ("commits", Asset_util.Stats.Counter.get db.commits);
@@ -795,6 +882,9 @@ let stats db =
     ("lock_waits", Asset_util.Stats.Counter.get db.lock_waits);
     ("commit_retries", Asset_util.Stats.Counter.get db.commit_retries);
     ("deadlock_victims", Asset_util.Stats.Counter.get db.deadlock_victims);
+    ("lock_timeouts", Asset_util.Stats.Counter.get db.lock_timeouts);
+    ("retries", Asset_util.Stats.Counter.get db.retries);
+    ("gave_up", Asset_util.Stats.Counter.get db.gave_up);
     ("reads", Asset_util.Stats.Counter.get db.reads);
     ("writes", Asset_util.Stats.Counter.get db.writes);
   ]

@@ -30,6 +30,12 @@ exception Txn_aborted of Tid.t
 exception Not_in_transaction
 (** A data operation was invoked outside any transaction body. *)
 
+exception Lock_timeout of Tid.t * Oid.t
+(** A lock request stalled past [lock_wait_timeout_steps] retry rounds;
+    the requester aborted itself with this as its {!failure_of} reason
+    — distinguishable from a deadlock victim (whose failure is
+    [None]). *)
+
 type t
 
 type config = {
@@ -45,7 +51,15 @@ type config = {
           per commit, so concurrent committers share one force; any
           pending commits are also flushed at every scheduler
           quiescence point.  1 (the default) forces every commit
-          immediately. *)
+          immediately.  Whatever the batch size, {!commit} only
+          returns true once the commit record has reached a forced
+          LSN. *)
+  lock_wait_timeout_steps : int;
+      (** Abort a lock requester stalled past this many retry rounds
+          with {!Lock_timeout} instead of hanging — the liveness
+          backstop when [deadlock_detection] is off.  The scheduler's
+          stall hook keeps retry rounds ticking while lock waiters
+          exist.  0 (the default) disables. *)
   debug_invariants : bool;
       (** Cross-check the lock manager's incremental waits-for graph
           against a from-scratch rebuild after every lock operation and
@@ -204,5 +218,15 @@ val log : t -> Asset_wal.Log.t
 val locks : t -> Asset_lock.Lock_manager.t
 val deps : t -> Asset_deps.Dep_graph.t
 val attach_scheduler : t -> Asset_sched.Scheduler.t -> unit
+
+val note_retry : t -> unit
+(** Count a harness-level transaction retry (surfaced as ["retries"]
+    in {!stats}); called by the workload layer's bounded-retry
+    combinator. *)
+
+val note_give_up : t -> unit
+(** Count a transaction abandoned after exhausting its retry budget
+    (["gave_up"] in {!stats}). *)
+
 val stats : t -> (string * int) list
 val pp_stats : Format.formatter -> t -> unit

@@ -23,8 +23,18 @@ let run ?policy ?max_steps ?record_trace db program =
   in
   (* Group commit durability: the scheduler flushes pending commit
      forces at quiescence, but a fiber failure can abandon the loop
-     mid-step — make sure nothing staged is left unforced. *)
-  Engine.flush_pending_commits db;
+     mid-step — make sure nothing staged is left unforced.  Not after a
+     simulated power loss, though: the machine is dead, and a flush here
+     would persist commit records past the crash point (the injected
+     crash also disarms its one-shot site, so this force would land). *)
+  let crashed =
+    match result with
+    | Error (Asset_fault.Fault.Crash _) | Error (Sched.Fiber_failed (_, Asset_fault.Fault.Crash _))
+      ->
+        true
+    | _ -> false
+  in
+  if not crashed then Engine.flush_pending_commits db;
   { result; steps = Sched.steps s; deadlocked = (match result with Error (Sched.Deadlock _) -> true | _ -> false) }
 
 (* Run and re-raise any failure: the common path for tests/examples. *)

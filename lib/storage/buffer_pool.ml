@@ -13,6 +13,13 @@
    rejoins at the tail on its last unpin, so the victim is always the
    list head — no scan over the frame table. *)
 
+module Fault = Asset_fault.Fault
+
+(* Fires once per dirty-frame writeback — a crash here models power
+   loss midway through [flush_all], leaving an arbitrary subset of the
+   dirty pages on disk. *)
+let site_flush = Fault.register "pool.flush_frame"
+
 type frame = {
   page_id : int;
   bytes : Bytes.t;
@@ -69,6 +76,7 @@ let lru_push_tail t frame =
 
 let flush_frame t frame =
   if frame.dirty then begin
+    Fault.hit_io site_flush;
     Pager.write_page t.pager frame.page_id frame.bytes;
     frame.dirty <- false
   end

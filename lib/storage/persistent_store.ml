@@ -8,6 +8,12 @@
    that [flush] makes the current cache contents durable. *)
 
 module Oid = Asset_util.Id.Oid
+module Fault = Asset_fault.Fault
+
+(* Fires at the top of every [write] — before the object table or any
+   page is touched, so an injected failure leaves the store unchanged
+   and a crash loses only volatile state. *)
+let site_write = Fault.register "pstore.write"
 
 type location = { page_id : int; slot : int }
 
@@ -111,6 +117,7 @@ let rec insert t oid body =
   | None -> insert t oid body
 
 let write t oid value =
+  Fault.hit_io site_write;
   let body = Value.to_string value in
   if String.length body > 65535 then
     invalid_arg "Persistent_store.write: object larger than a slot (large objects unsupported)";

@@ -1,0 +1,24 @@
+(* CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven.
+
+   Used by the WAL frame format to detect bit rot and torn writes
+   inside a record body.  The checksum is kept as a plain [int] masked
+   to 32 bits so callers can store it with [Bytes.set_int32_le]. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc s pos len =
+  let table = Lazy.force table in
+  let crc = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    crc := table.((!crc lxor Char.code (String.unsafe_get s i)) land 0xff) lxor (!crc lsr 8)
+  done;
+  !crc lxor 0xFFFFFFFF
+
+let string s = update 0 s 0 (String.length s)

@@ -1,0 +1,11 @@
+(** CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven.
+
+    The WAL frames every record with this checksum so recovery can
+    distinguish a bit-flipped record from a valid one. *)
+
+val string : string -> int
+(** 32-bit checksum of the whole string (in the low 32 bits). *)
+
+val update : int -> string -> int -> int -> int
+(** [update crc s pos len] extends [crc] over [s.[pos .. pos+len-1]];
+    [update 0 s 0 (String.length s) = string s]. *)

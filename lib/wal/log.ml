@@ -3,14 +3,32 @@
    Records always live in memory (a growable array) so that the engine's
    abort path can walk them without I/O; when the log is opened with a
    backing file, every append is also encoded into a staging buffer in
-   a framed binary format (u32 length + body), and [force] drains the
-   buffer to the file, flushes the channel and fsyncs the descriptor —
-   only then is anything durable.  Commit records are forced
-   automatically unless the caller opts out ([~force_commit:false]),
-   which is how the engine batches K commits into one force (group
-   commit). *)
+   a framed binary format (u32 length + u32 CRC-32 + body), and [force]
+   drains the buffer to the raw file descriptor and fsyncs it — only
+   then is anything durable.  Commit records are forced automatically
+   unless the caller opts out ([~force_commit:false]), which is how the
+   engine batches K commits into one force (group commit).
 
-type sink = { channel : out_channel; path : string; buf : Buffer.t }
+   The sink is a raw [Unix.file_descr], not an [out_channel]: the fault
+   harness's simulated power loss ([crash]) must discard exactly the
+   staged-but-undrained bytes, which requires the userspace buffering
+   to be ours.
+
+   Failpoints (see [Asset_fault.Fault]): "wal.append" at every staged
+   append, "wal.force" before the drain+fsync, "wal.after_force" once
+   the bytes are durable but before the in-memory forced-LSN advances,
+   and "wal.torn_write" in the drain itself — armed with any policy it
+   writes *half* the staged bytes and then crashes, modelling a torn
+   multi-sector write. *)
+
+module Fault = Asset_fault.Fault
+
+let site_append = Fault.register "wal.append"
+let site_force = Fault.register "wal.force"
+let site_after_force = Fault.register "wal.after_force"
+let site_torn = Fault.register "wal.torn_write"
+
+type sink = { fd : Unix.file_descr; path : string; buf : Buffer.t; mutable crashed : bool }
 
 type t = {
   mutable records : Record.t array;
@@ -18,6 +36,7 @@ type t = {
   sink : sink option;
   mutable forced_lsn : int; (* highest LSN known durable *)
   mutable forces : int; (* how many times [force] ran *)
+  mutable corrupt_dropped : int; (* records dropped by [load] on CRC mismatch *)
 }
 
 (* Drain the staging buffer past this size even without a force, to
@@ -25,7 +44,14 @@ type t = {
 let drain_threshold = 1 lsl 20
 
 let in_memory () =
-  { records = Array.make 64 Record.Checkpoint; len = 0; sink = None; forced_lsn = -1; forces = 0 }
+  {
+    records = Array.make 64 Record.Checkpoint;
+    len = 0;
+    sink = None;
+    forced_lsn = -1;
+    forces = 0;
+    corrupt_dropped = 0;
+  }
 
 let of_sink sink =
   {
@@ -34,42 +60,68 @@ let of_sink sink =
     sink = Some sink;
     forced_lsn = -1;
     forces = 0;
+    corrupt_dropped = 0;
   }
 
 let create_file path =
-  of_sink { channel = open_out_bin path; path; buf = Buffer.create 4096 }
+  let fd =
+    Fault.protect "wal.open" (fun () ->
+        Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644)
+  in
+  of_sink { fd; path; buf = Buffer.create 4096; crashed = false }
 
 let grow t =
   let bigger = Array.make (2 * Array.length t.records) Record.Checkpoint in
   Array.blit t.records 0 bigger 0 t.len;
   t.records <- bigger
 
+let frame_header_size = 8
+
 let buffer_framed buf body =
-  let len = String.length body in
-  let frame = Bytes.create 4 in
-  Bytes.set_int32_le frame 0 (Int32.of_int len);
-  Buffer.add_bytes buf frame;
+  Buffer.add_int32_le buf (Int32.of_int (String.length body));
+  Buffer.add_int32_le buf (Int32.of_int (Asset_util.Crc32.string body));
   Buffer.add_string buf body
+
+let rec write_all fd b pos len =
+  if len > 0 then begin
+    let n = Unix.write fd b pos len in
+    write_all fd b (pos + n) (len - n)
+  end
 
 let drain sink =
   if Buffer.length sink.buf > 0 then begin
-    Buffer.output_buffer sink.channel sink.buf;
-    Buffer.clear sink.buf
+    let staged = Buffer.contents sink.buf in
+    match Fault.check site_torn with
+    | Some _ ->
+        (* A torn write: half the staged bytes reach the disk, then the
+           machine dies.  The buffer is cleared first — the surviving
+           process state is irrelevant, the harness discards it. *)
+        Buffer.clear sink.buf;
+        Fault.protect "wal.drain" (fun () ->
+            write_all sink.fd (Bytes.unsafe_of_string staged) 0 (String.length staged / 2));
+        raise (Fault.Crash "wal.torn_write")
+    | None ->
+        Buffer.clear sink.buf;
+        Fault.protect "wal.drain" (fun () ->
+            write_all sink.fd (Bytes.unsafe_of_string staged) 0 (String.length staged))
   end
 
 let force t =
   (match t.sink with
   | None -> ()
   | Some sink ->
-      drain sink;
-      (* [flush] only empties the channel's userspace buffer; the fsync
-         is what makes the bytes durable. *)
-      flush sink.channel;
-      Unix.fsync (Unix.descr_of_out_channel sink.channel));
+      Fault.io site_force (fun () ->
+          drain sink;
+          (* The fsync is what makes the bytes durable. *)
+          Unix.fsync sink.fd);
+      (* Crash here = power loss after the force hit the platter but
+         before anyone was told: durable yet unacknowledged. *)
+      Fault.hit_io site_after_force);
   t.forced_lsn <- t.len - 1;
   t.forces <- t.forces + 1
 
 let append ?(force_commit = true) t record =
+  (match t.sink with None -> () | Some _ -> Fault.hit_io site_append);
   if t.len = Array.length t.records then grow t;
   t.records.(t.len) <- record;
   let lsn = t.len in
@@ -89,6 +141,7 @@ let length t = t.len
 let get t lsn = if lsn < 0 || lsn >= t.len then invalid_arg "Log.get: bad LSN" else t.records.(lsn)
 let forced_lsn t = t.forced_lsn
 let force_count t = t.forces
+let corrupt_dropped t = t.corrupt_dropped
 
 let iter ?(from = 0) t f =
   for lsn = from to t.len - 1 do
@@ -112,40 +165,103 @@ let close t =
   match t.sink with
   | None -> ()
   | Some sink ->
-      drain sink;
-      close_out sink.channel
+      if not sink.crashed then begin
+        sink.crashed <- true;
+        drain sink;
+        Fault.protect "wal.close" (fun () -> Unix.close sink.fd)
+      end
+
+(* Simulated power loss: the staging buffer — everything appended since
+   the last drain — evaporates, and the descriptor is dropped without a
+   flush.  What the next [load] sees is exactly what reached the file. *)
+let crash t =
+  match t.sink with
+  | None -> ()
+  | Some sink ->
+      if not sink.crashed then begin
+        sink.crashed <- true;
+        Buffer.clear sink.buf;
+        (try Unix.close sink.fd with Unix.Unix_error _ -> ())
+      end
 
 (* Load a file-backed log for recovery.  Stops cleanly at a torn tail
-   (partial final record), mirroring what a real recovery scan does.
-   The torn bytes are truncated away and the file is reopened as an
-   appendable sink, so that a recovered log stays durable:
+   (partial final record) and at the first CRC mismatch — a torn tail
+   is the expected signature of a crash mid-write and is silently
+   truncated, while a checksum failure on a *complete* frame means bit
+   rot or an interior torn write, so the count of records dropped from
+   there on is surfaced ([corrupt_dropped], reported by recovery).
+   Either way the file is truncated back to the last good record and
+   reopened as an appendable sink, so a recovered log stays durable:
    post-recovery appends land in the same file (never after garbage)
    and [force] keeps fsyncing it. *)
+let max_sane_record = 1 lsl 26
+
 let load path =
-  let ic = open_in_bin path in
+  let ic = Fault.protect "wal.open" (fun () -> open_in_bin path) in
   let records = ref [] in
   let valid_end = ref 0 in
-  let frame = Bytes.create 4 in
-  let rec loop () =
-    match really_input ic frame 0 4 with
+  let dropped = ref 0 in
+  let frame = Bytes.create frame_header_size in
+  (* After a corrupt record, keep walking the (untrusted) framing just
+     to count how many complete records are being discarded. *)
+  let rec count_rest () =
+    match really_input ic frame 0 frame_header_size with
     | () ->
         let len = Int32.to_int (Bytes.get_int32_le frame 0) in
-        let body = Bytes.create len in
-        (match really_input ic body 0 len with
-        | () ->
-            records := Record.decode (Bytes.unsafe_to_string body) :: !records;
-            valid_end := pos_in ic;
-            loop ()
-        | exception End_of_file -> ())
+        if len < 0 || len > max_sane_record then ()
+        else begin
+          let body = Bytes.create len in
+          match really_input ic body 0 len with
+          | () ->
+              incr dropped;
+              count_rest ()
+          | exception End_of_file -> ()
+        end
     | exception End_of_file -> ()
   in
-  loop ();
-  close_in ic;
-  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
-  Unix.ftruncate fd !valid_end;
-  ignore (Unix.lseek fd 0 Unix.SEEK_END);
-  let channel = Unix.out_channel_of_descr fd in
-  let t = of_sink { channel; path; buf = Buffer.create 4096 } in
+  let rec loop () =
+    match really_input ic frame 0 frame_header_size with
+    | () ->
+        let len = Int32.to_int (Bytes.get_int32_le frame 0) in
+        let crc = Int32.to_int (Bytes.get_int32_le frame 4) land 0xFFFFFFFF in
+        if len < 0 || len > max_sane_record then begin
+          (* Garbage length on a complete header: corruption. *)
+          incr dropped
+        end
+        else begin
+          let body = Bytes.create len in
+          match really_input ic body 0 len with
+          | () ->
+              let body = Bytes.unsafe_to_string body in
+              if Asset_util.Crc32.string body land 0xFFFFFFFF <> crc then begin
+                incr dropped;
+                count_rest ()
+              end
+              else begin
+                match Record.decode body with
+                | r ->
+                    records := r :: !records;
+                    valid_end := pos_in ic;
+                    loop ()
+                | exception Record.Corrupt _ ->
+                    incr dropped;
+                    count_rest ()
+              end
+          | exception End_of_file -> (* torn tail: not corruption *) ()
+        end
+    | exception End_of_file -> ()
+  in
+  Fault.protect "wal.load" (fun () ->
+      loop ();
+      close_in ic);
+  let fd =
+    Fault.protect "wal.open" (fun () ->
+        let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+        Unix.ftruncate fd !valid_end;
+        ignore (Unix.lseek fd 0 Unix.SEEK_END);
+        fd)
+  in
+  let t = of_sink { fd; path; buf = Buffer.create 4096; crashed = false } in
   (* Replay into memory only: the records are already in the file. *)
   List.iter
     (fun r ->
@@ -154,6 +270,7 @@ let load path =
       t.len <- t.len + 1)
     (List.rev !records);
   t.forced_lsn <- t.len - 1;
+  t.corrupt_dropped <- !dropped;
   t
 
 let pp ppf t =

@@ -2,10 +2,16 @@
 
     Records always stay in memory (the engine's abort path walks them
     without I/O); with a backing file every append is staged into a
-    buffer in a framed binary format and {!force} drains, flushes and
-    {e fsyncs} it — nothing is durable before the fsync.  Commit
-    records are forced automatically (the WAL rule) unless the caller
-    opts out to batch several commits into one force (group commit). *)
+    buffer in a framed binary format (length + CRC-32 + body) and
+    {!force} drains and {e fsyncs} it — nothing is durable before the
+    fsync.  Commit records are forced automatically (the WAL rule)
+    unless the caller opts out to batch several commits into one force
+    (group commit).
+
+    File I/O is instrumented with failpoints ("wal.append",
+    "wal.force", "wal.after_force", "wal.torn_write" — see
+    {!Asset_fault.Fault}), and raw I/O failures surface as
+    [Fault.Storage_error]. *)
 
 type t
 
@@ -14,9 +20,21 @@ val create_file : string -> t
 
 val load : string -> t
 (** Read a file-backed log back for recovery, stopping cleanly at a
-    torn tail (partial final record).  The torn bytes are truncated and
-    the file is reopened as an appendable sink, so the recovered log
-    accepts further appends and stays durable. *)
+    torn tail (partial final record) and at the first CRC-32 mismatch.
+    The torn or corrupt bytes are truncated and the file is reopened
+    as an appendable sink, so the recovered log accepts further appends
+    and stays durable.  {!corrupt_dropped} counts the complete records
+    dropped by checksum failure (a torn tail is not corruption). *)
+
+val corrupt_dropped : t -> int
+(** How many complete records {!load} dropped on CRC mismatch; 0 for
+    logs not produced by {!load}. *)
+
+val crash : t -> unit
+(** Simulated power loss: discard the staging buffer (everything
+    appended since the last drain) and drop the descriptor without
+    flushing.  The file is left with exactly the bytes that reached it;
+    reopen with {!load}. *)
 
 val append : ?force_commit:bool -> t -> Record.t -> int
 (** Append and return the record's LSN.  Appending a [Commit] record

@@ -52,23 +52,35 @@ type report = {
   updates_redone : int;
   updates_undone : int;
   scanned_from : int;
+  log_records_dropped : int;
 }
-
-let last_checkpoint log =
-  let result = ref 0 in
-  Log.iter log (fun lsn r -> match r with Record.Checkpoint -> result := lsn | _ -> ());
-  !result
 
 type redo_action = Install of Oid.t * Value.t | Remove of Oid.t
 
-let analyze ?(from = 0) log =
+(* One forward pass.  A Checkpoint record resets the accumulators when
+   [from_checkpoint]: everything before a quiescent checkpoint is
+   already in the store, so the state gathered so far is obsolete —
+   this replaces the old separate [last_checkpoint] scan (which walked
+   the whole log once just to find the starting LSN, then scanned
+   again). *)
+let analyze ?(from_checkpoint = true) log =
   let updates = ref [] in
   let redo = ref [] in
   let winners = Hashtbl.create 16 in
   let aborted = Hashtbl.create 16 in
   let seen = Hashtbl.create 16 in
-  Log.iter ~from log (fun lsn record ->
+  let scanned_from = ref 0 in
+  Log.iter log (fun lsn record ->
       match record with
+      | Record.Checkpoint ->
+          if from_checkpoint then begin
+            updates := [];
+            redo := [];
+            Hashtbl.reset winners;
+            Hashtbl.reset aborted;
+            Hashtbl.reset seen;
+            scanned_from := lsn
+          end
       | Record.Begin tid -> Hashtbl.replace seen tid ()
       | Record.Update { tid; oid; before; after } ->
           Hashtbl.replace seen tid ();
@@ -90,8 +102,7 @@ let analyze ?(from = 0) log =
             (fun u -> if Tid.equal u.responsible from_ && covers u.oid then u.responsible <- to_)
             !updates
       | Record.Commit tids -> List.iter (fun tid -> Hashtbl.replace winners tid ()) tids
-      | Record.Abort tid -> Hashtbl.replace aborted tid ()
-      | Record.Checkpoint -> ());
+      | Record.Abort tid -> Hashtbl.replace aborted tid ());
   let updates = List.rev !updates in
   let redo = List.rev !redo in
   let winner tid = Hashtbl.mem winners tid in
@@ -100,11 +111,10 @@ let analyze ?(from = 0) log =
   in
   let winners = Hashtbl.fold (fun tid () acc -> tid :: acc) winners [] in
   let resolved tid = Hashtbl.mem aborted tid in
-  (updates, redo, List.sort Tid.compare winners, List.sort Tid.compare losers, resolved)
+  (updates, redo, List.sort Tid.compare winners, List.sort Tid.compare losers, resolved, !scanned_from)
 
 let recover ?(from_checkpoint = true) log store =
-  let from = if from_checkpoint then last_checkpoint log else 0 in
-  let updates, redo, winners, losers, resolved = analyze ~from log in
+  let updates, redo, winners, losers, resolved, from = analyze ~from_checkpoint log in
   let winner tid = List.exists (Tid.equal tid) winners in
   (* Redo: repeat history, including the undo writes (CLRs) of aborts
      that ran before the crash. *)
@@ -132,7 +142,14 @@ let recover ?(from_checkpoint = true) log store =
           | None -> ()))
     (List.rev loser_updates);
   Store.flush store;
-  { winners; losers; updates_redone = redone; updates_undone = undone; scanned_from = from }
+  {
+    winners;
+    losers;
+    updates_redone = redone;
+    updates_undone = undone;
+    scanned_from = from;
+    log_records_dropped = Log.corrupt_dropped log;
+  }
 
 (* A quiescent checkpoint: everything committed so far is already in the
    store; flush it and mark the log.  The caller must guarantee no

@@ -16,7 +16,10 @@ type report = {
   losers : Tid.t list;
   updates_redone : int;
   updates_undone : int;
-  scanned_from : int;  (** LSN the scan started at (the last checkpoint). *)
+  scanned_from : int;  (** LSN of the last checkpoint, where analysis state was reset. *)
+  log_records_dropped : int;
+      (** Complete log records dropped by {!Log.load} on CRC mismatch —
+          nonzero means the log tail was corrupt, not merely torn. *)
 }
 
 val recover : ?from_checkpoint:bool -> Log.t -> Store.t -> report

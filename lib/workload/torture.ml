@@ -1,0 +1,345 @@
+(* Crash-recovery torture harness.
+
+   One torture run is a bank-transfer workload over a fully persistent
+   stack — slotted pages behind a small buffer pool, file-backed WAL —
+   with a fault armed at some I/O site.  When the fault fires as
+   [Fault.Crash], the harness treats it as power loss with full
+   fidelity:
+
+     - the WAL's staging buffer and the buffer pool's dirty frames are
+       discarded ([Log.crash], [Persistent_store.crash_and_reopen]) —
+       only bytes that reached the files survive;
+     - the log is re-read from disk ([Log.load]: torn-tail truncation +
+       CRC verification) and [Recovery.recover] repeats history and
+       undoes losers.
+
+   The durability invariants checked after every recovery:
+
+     1. every *acknowledged* commit (E.commit returned true) is a
+        recovery winner — its effects are present;
+     2. no loser effect is visible: each account holds exactly the
+        initial balance plus the winners' transfer deltas;
+     3. the bank total is conserved;
+     4. optionally, recovery is idempotent (recovering again changes
+        nothing).
+
+   Everything is deterministic in the spec seed: the transfer plan, the
+   cooperative schedule, and the fault schedule, so any failure
+   reproduces from its seed. *)
+
+module E = Asset_core.Engine
+module Runtime = Asset_core.Runtime
+module Sched = Asset_sched.Scheduler
+module Log = Asset_wal.Log
+module Recovery = Asset_wal.Recovery
+module Pstore = Asset_storage.Persistent_store
+module Store = Asset_storage.Store
+module Value = Asset_storage.Value
+module Fault = Asset_fault.Fault
+module Rng = Asset_util.Rng
+module Tid = Asset_util.Id.Tid
+
+(* Application-level failpoint for the retry workload: fired at the top
+   of every transfer body, modelling a transient application failure
+   (the clean abort-and-retry path, as opposed to the crash sites in
+   the storage layers). *)
+let site_op = Fault.register "workload.op"
+
+type spec = {
+  accounts : int;
+  balance : int;
+  n_txns : int;
+  seed : int;
+  group_commit_size : int;
+  page_size : int;
+  pool_capacity : int;
+}
+
+let default_spec =
+  { accounts = 16; balance = 1_000; n_txns = 12; seed = 42; group_commit_size = 1; page_size = 512; pool_capacity = 4 }
+
+type transfer = { src : int; dst : int; amount : int }
+
+(* The scripted transfer plan, deterministic in the seed.  Recorded up
+   front so the invariant check can recompute each winner's effect. *)
+let plan spec =
+  let rng = Rng.create spec.seed in
+  Array.init spec.n_txns (fun _ ->
+      let src = 1 + Rng.int rng spec.accounts in
+      let dst = 1 + Rng.int rng spec.accounts in
+      { src; dst; amount = 1 + Rng.int rng 100 })
+
+type outcome = {
+  crashed : string option; (* failpoint site of the simulated power loss *)
+  acked : bool array; (* per transaction: E.commit returned true *)
+  tids : Tid.t array;
+  report : Recovery.report;
+  recovery_s : float;
+  log_length : int; (* records in the recovered log *)
+  failures : string list; (* violated durability invariants, empty = pass *)
+}
+
+let fresh_paths =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let base =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "asset-torture-%d-%d" (Unix.getpid ()) !counter)
+    in
+    (base ^ ".pages", base ^ ".wal")
+
+let check spec transfers (tids : Tid.t array) acked (report : Recovery.report) store =
+  let failures = ref [] in
+  let addf fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let winner t = List.exists (Tid.equal t) report.winners in
+  Array.iteri
+    (fun i t -> if acked.(i) && not (winner t) then addf "txn %d acknowledged but not durable" i)
+    tids;
+  let expected = Array.make (spec.accounts + 1) spec.balance in
+  Array.iteri
+    (fun i t ->
+      if (not (Tid.is_null t)) && winner t then begin
+        let tr = transfers.(i) in
+        expected.(tr.src) <- expected.(tr.src) - tr.amount;
+        expected.(tr.dst) <- expected.(tr.dst) + tr.amount
+      end)
+    tids;
+  let total = ref 0 in
+  for a = 1 to spec.accounts do
+    match Store.read store (Bank.account a) with
+    | Some v ->
+        let got = Value.to_int v in
+        total := !total + got;
+        if got <> expected.(a) then addf "account %d holds %d, expected %d" a got expected.(a)
+    | None -> addf "account %d missing after recovery" a
+  done;
+  if !total <> spec.accounts * spec.balance then
+    addf "balance not conserved: %d, expected %d" !total (spec.accounts * spec.balance);
+  List.rev !failures
+
+let sorted_snapshot store =
+  Store.snapshot store |> List.map (fun (oid, v) -> (oid, Value.to_string v)) |> List.sort compare
+
+(* One full torture run: set up a clean bank, arm faults via [arm],
+   run every transfer with its own committer fiber, simulate power loss
+   if a crash fires, recover, and check the durability invariants. *)
+let run_once ?(arm = fun () -> ()) ?(check_idempotent = false) spec =
+  Fault.reset_all ();
+  let pages_path, wal_path = fresh_paths () in
+  let ps = Pstore.create ~page_size:spec.page_size ~pool_capacity:spec.pool_capacity pages_path in
+  let store = Pstore.to_store ps in
+  for a = 1 to spec.accounts do
+    Store.write store (Bank.account a) (Value.of_int spec.balance)
+  done;
+  Store.flush store;
+  let log = Log.create_file wal_path in
+  let config = { E.default_config with group_commit_size = spec.group_commit_size } in
+  let db = E.create ~config ~log store in
+  let transfers = plan spec in
+  let tids = Array.make spec.n_txns Tid.null in
+  let acked = Array.make spec.n_txns false in
+  arm ();
+  let crashed =
+    let main () =
+      Array.iteri
+        (fun i tr ->
+          tids.(i) <- E.initiate db (Bank.transfer db ~from_:tr.src ~to_:tr.dst ~amount:tr.amount))
+        transfers;
+      Array.iter (fun t -> ignore (E.begin_ db t)) tids;
+      Array.iteri
+        (fun i t ->
+          E.spawn db ~label:(Printf.sprintf "committer-%d" i) (fun () ->
+              if E.commit db t then acked.(i) <- true))
+        tids;
+      E.await_terminated db (Array.to_list tids)
+    in
+    match Runtime.run db main with
+    | { Runtime.result = Ok (); _ } -> None
+    | { Runtime.result = Error (Fault.Crash site | Sched.Fiber_failed (_, Fault.Crash site)); _ } ->
+        Some site
+    | { Runtime.result = Error e; _ } -> raise e
+    | exception Fault.Crash site ->
+        (* A crash in the post-run quiescence flush (Runtime's own
+           flush_pending_commits). *)
+        Some site
+  in
+  (* Power off: disarm everything, lose all volatile state. *)
+  Fault.reset_all ();
+  (match crashed with Some _ -> Log.crash log | None -> Log.close log);
+  Pstore.crash_and_reopen ps;
+  (* Power on: reload the log from disk and recover. *)
+  let rlog = Log.load wal_path in
+  let t0 = Unix.gettimeofday () in
+  let report = Recovery.recover rlog store in
+  let recovery_s = Unix.gettimeofday () -. t0 in
+  let failures = check spec transfers tids acked report store in
+  let failures =
+    if check_idempotent then begin
+      let before = sorted_snapshot store in
+      ignore (Recovery.recover rlog store);
+      if sorted_snapshot store <> before then failures @ [ "recovery not idempotent" ]
+      else failures
+    end
+    else failures
+  in
+  let log_length = Log.length rlog in
+  Log.close rlog;
+  Pstore.close ps;
+  Sys.remove pages_path;
+  Sys.remove wal_path;
+  { crashed; acked; tids; report; recovery_s; log_length; failures }
+
+(* ------------------------------------------------------------------ *)
+(* Schedules                                                           *)
+
+type sweep = {
+  boundaries : int; (* WAL records in the fault-free run *)
+  crashes : int; (* runs that actually lost power *)
+  runs : int;
+  sweep_failures : (string * string list) list; (* (schedule, violations) *)
+  total_recovery_s : float;
+}
+
+(* Crash at *every* WAL record boundary: a fault-free reference run
+   counts the appends, then one run per k crashes at the k-th append.
+   The workload is deterministic, so run k's first k-1 appends are
+   exactly the reference run's. *)
+let crash_at_every_boundary ?(check_idempotent = false) spec =
+  let clean = run_once spec in
+  let boundaries = clean.log_length in
+  let crashes = ref 0 and failures = ref [] and total_rec = ref 0.0 in
+  (match clean.failures with
+  | [] -> ()
+  | fs -> failures := [ ("fault-free", fs) ]);
+  for k = 1 to boundaries do
+    let arm () = ignore (Fault.arm_name "wal.append" (Fault.Crash_nth k)) in
+    let r = run_once ~arm ~check_idempotent spec in
+    if r.crashed <> None then incr crashes;
+    total_rec := !total_rec +. r.recovery_s;
+    if r.failures <> [] then
+      failures := (Printf.sprintf "wal.append@%d" k, r.failures) :: !failures
+  done;
+  {
+    boundaries;
+    crashes = !crashes;
+    runs = boundaries + 1;
+    sweep_failures = List.rev !failures;
+    total_recovery_s = !total_rec;
+  }
+
+(* The site pool for seeded random crash schedules.  pager.torn_write
+   is deliberately absent: pages carry no checksums yet, so a torn page
+   is undetectable at rebuild time (see DESIGN.md); it is exercised by
+   the pager-level unit tests instead. *)
+let random_sites =
+  [|
+    "wal.append";
+    "wal.torn_write";
+    "wal.force";
+    "wal.after_force";
+    "pager.write_page";
+    "pool.flush_frame";
+    "pstore.write";
+  |]
+
+(* One seeded random-crash schedule: pick a site and a hit count from
+   the seed, vary the workload seed alongside, run, recover, check. *)
+let random_crash_schedule ?check_idempotent ~schedule_seed spec =
+  let rng = Rng.create (0x7073 + schedule_seed) in
+  let site = random_sites.(Rng.int rng (Array.length random_sites)) in
+  let nth = 1 + Rng.int rng 40 in
+  let gcs = if Rng.bool rng then 1 else 1 + Rng.int rng 4 in
+  let spec = { spec with seed = spec.seed + schedule_seed; group_commit_size = gcs } in
+  let arm () = ignore (Fault.arm_name site (Fault.Crash_nth nth)) in
+  let r = run_once ~arm ?check_idempotent spec in
+  (Printf.sprintf "%s@%d gcs=%d seed=%d" site nth gcs spec.seed, r)
+
+let random_crash_schedules ?check_idempotent ~n spec =
+  let crashes = ref 0 and failures = ref [] and total_rec = ref 0.0 in
+  for s = 1 to n do
+    let label, r = random_crash_schedule ?check_idempotent ~schedule_seed:s spec in
+    if r.crashed <> None then incr crashes;
+    total_rec := !total_rec +. r.recovery_s;
+    if r.failures <> [] then failures := (label, r.failures) :: !failures
+  done;
+  {
+    boundaries = 0;
+    crashes = !crashes;
+    runs = n;
+    sweep_failures = List.rev !failures;
+    total_recovery_s = !total_rec;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Fault-rate retry workload (bench E19)                               *)
+
+type retry_outcome = {
+  committed : int;
+  retries : int;
+  gave_up : int;
+  aborts : int;
+  duration_s : float;
+  conserved : bool; (* bank total intact after close + recovery *)
+}
+
+(* Run the transfer workload under a transient-failure rate with the
+   bounded-retry combinator, then close cleanly, recover, and verify
+   conservation.  [fault_rate] arms "workload.op" with a seeded
+   probability policy, so each attempt (including retries) may fail and
+   be retried. *)
+let run_retry_workload ?(fault_rate = 0.0) ?(max_retries = 3) spec =
+  Fault.reset_all ();
+  let pages_path, wal_path = fresh_paths () in
+  let ps = Pstore.create ~page_size:spec.page_size ~pool_capacity:spec.pool_capacity pages_path in
+  let store = Pstore.to_store ps in
+  for a = 1 to spec.accounts do
+    Store.write store (Bank.account a) (Value.of_int spec.balance)
+  done;
+  Store.flush store;
+  let log = Log.create_file wal_path in
+  let config = { E.default_config with group_commit_size = spec.group_commit_size } in
+  let db = E.create ~config ~log store in
+  let transfers = plan spec in
+  if fault_rate > 0.0 then
+    Fault.arm site_op (Fault.Fail_prob (fault_rate, Rng.create (spec.seed lxor 0x0fa17)));
+  let bodies =
+    Array.to_list
+      (Array.map
+         (fun tr () ->
+           Fault.hit site_op;
+           Bank.transfer db ~from_:tr.src ~to_:tr.dst ~amount:tr.amount ())
+         transfers)
+  in
+  let rng = Rng.create (spec.seed lxor 0x6b8b4567) in
+  let t0 = Unix.gettimeofday () in
+  let metrics = ref { Workload.r_committed = 0; r_retries = 0; r_gave_up = 0 } in
+  Runtime.run_exn db (fun () -> metrics := Workload.run_bodies_with_retry ~max_retries ~rng db bodies);
+  let duration_s = Unix.gettimeofday () -. t0 in
+  let aborts = List.assoc "aborts" (E.stats db) in
+  Fault.reset_all ();
+  Log.close log;
+  Pstore.crash_and_reopen ps;
+  let rlog = Log.load wal_path in
+  ignore (Recovery.recover rlog store);
+  let conserved =
+    let total = ref 0 in
+    for a = 1 to spec.accounts do
+      match Store.read store (Bank.account a) with
+      | Some v -> total := !total + Value.to_int v
+      | None -> ()
+    done;
+    !total = spec.accounts * spec.balance
+  in
+  Log.close rlog;
+  Pstore.close ps;
+  Sys.remove pages_path;
+  Sys.remove wal_path;
+  {
+    committed = !metrics.Workload.r_committed;
+    retries = !metrics.Workload.r_retries;
+    gave_up = !metrics.Workload.r_gave_up;
+    aborts;
+    duration_s;
+    conserved;
+  }

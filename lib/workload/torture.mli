@@ -1,0 +1,85 @@
+(** Crash-recovery torture harness.
+
+    Runs a deterministic bank-transfer workload over the fully
+    persistent stack (slotted pages + buffer pool + file WAL) with a
+    failpoint armed, simulates power loss when it fires (all volatile
+    state discarded, files reopened, {!Asset_wal.Recovery.recover}),
+    and checks the durability invariants: acknowledged commits durable,
+    loser effects invisible, bank balance conserved, and (optionally)
+    recovery idempotent. *)
+
+module Recovery = Asset_wal.Recovery
+module Tid = Asset_util.Id.Tid
+
+val site_op : Asset_fault.Fault.site
+(** Application-level failpoint fired at the top of every transfer body
+    — the transient-failure source for the retry workload. *)
+
+type spec = {
+  accounts : int;
+  balance : int;
+  n_txns : int;
+  seed : int;  (** drives the transfer plan and every random choice *)
+  group_commit_size : int;
+  page_size : int;
+  pool_capacity : int;
+}
+
+val default_spec : spec
+
+type transfer = { src : int; dst : int; amount : int }
+
+val plan : spec -> transfer array
+(** The scripted transfer plan, deterministic in [spec.seed]. *)
+
+type outcome = {
+  crashed : string option;  (** failpoint site of the simulated power loss *)
+  acked : bool array;  (** per transaction: [E.commit] returned true *)
+  tids : Tid.t array;
+  report : Recovery.report;
+  recovery_s : float;
+  log_length : int;  (** records in the recovered log *)
+  failures : string list;  (** violated durability invariants; empty = pass *)
+}
+
+val run_once : ?arm:(unit -> unit) -> ?check_idempotent:bool -> spec -> outcome
+(** One torture run: set up a clean bank in fresh temp files, call
+    [arm] (e.g. [Fault.arm_name "wal.append" (Crash_nth 5)]), run the
+    workload, simulate power loss if a crash fires, recover, check
+    invariants, clean up.  All failpoints are reset before and at
+    power-off. *)
+
+type sweep = {
+  boundaries : int;  (** WAL records in the fault-free reference run *)
+  crashes : int;  (** runs that actually lost power *)
+  runs : int;
+  sweep_failures : (string * string list) list;
+      (** (schedule label, violated invariants) per failing run *)
+  total_recovery_s : float;
+}
+
+val crash_at_every_boundary : ?check_idempotent:bool -> spec -> sweep
+(** Crash at the k-th WAL append for every k in the fault-free run's
+    record count — the exhaustive boundary sweep. *)
+
+val random_crash_schedule :
+  ?check_idempotent:bool -> schedule_seed:int -> spec -> string * outcome
+(** One seeded schedule: site, hit count and group-commit size drawn
+    from [schedule_seed]; the workload seed varies alongside. *)
+
+val random_crash_schedules : ?check_idempotent:bool -> n:int -> spec -> sweep
+
+type retry_outcome = {
+  committed : int;
+  retries : int;
+  gave_up : int;
+  aborts : int;
+  duration_s : float;
+  conserved : bool;  (** bank total intact after close + recovery *)
+}
+
+val run_retry_workload : ?fault_rate:float -> ?max_retries:int -> spec -> retry_outcome
+(** The transfer workload under a transient-failure rate
+    ("workload.op" armed with a seeded probability policy) and the
+    bounded-retry combinator; closes cleanly, recovers, verifies
+    conservation. *)

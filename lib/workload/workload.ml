@@ -96,6 +96,59 @@ let run_bodies db bodies =
 let run_batch db ~yield ?(rmw = false) txns =
   run_bodies db (List.map (body_of_ops db ~yield ~rmw) txns)
 
+(* ------------------------------------------------------------------ *)
+(* Bounded retry with seeded backoff                                   *)
+
+(* An abort is worth retrying when it was transient: a deadlock victim
+   (no failure recorded), a lock-wait timeout, or an injected/transient
+   I/O failure.  A real body failure (the application raised) is not. *)
+let retryable = function
+  | None -> true
+  | Some (E.Lock_timeout _) -> true
+  | Some (Asset_fault.Fault.Injected _) -> true
+  | Some (Asset_fault.Fault.Storage_error _) -> true
+  | Some _ -> false
+
+type retry_metrics = { r_committed : int; r_retries : int; r_gave_up : int }
+
+(* Run each body under its own driver fiber that retries transient
+   aborts up to [max_retries] times, backing off a seeded-random number
+   of scheduler steps (doubling the cap per attempt) so colliding
+   transactions don't re-collide in lockstep.  Retry counts surface in
+   [E.stats] via [note_retry]/[note_give_up]. *)
+let run_bodies_with_retry ?(max_retries = 3) ~rng db bodies =
+  let n = List.length bodies in
+  let finished = ref 0 and committed = ref 0 and retries = ref 0 and gave_up = ref 0 in
+  List.iteri
+    (fun i body ->
+      E.spawn db ~label:(Printf.sprintf "retry-driver-%d" i) (fun () ->
+          let rec attempt k =
+            let t = E.initiate db body in
+            if Asset_util.Id.Tid.is_null t || not (E.begin_ db t) then begin
+              incr gave_up;
+              E.note_give_up db
+            end
+            else if E.commit db t then incr committed
+            else if k < max_retries && retryable (E.failure_of db t) then begin
+              incr retries;
+              E.note_retry db;
+              let cap = min 64 (2 lsl k) in
+              for _ = 1 to Rng.int rng cap do
+                Asset_sched.Scheduler.yield ()
+              done;
+              attempt (k + 1)
+            end
+            else begin
+              incr gave_up;
+              E.note_give_up db
+            end
+          in
+          attempt 0;
+          incr finished))
+    bodies;
+  Asset_sched.Scheduler.wait_until ~reason:"await retry drivers" (fun () -> !finished = n);
+  { r_committed = !committed; r_retries = !retries; r_gave_up = !gave_up }
+
 let stat db name = List.assoc name (E.stats db)
 
 (* Full experiment: fresh store + engine, run the batch, return

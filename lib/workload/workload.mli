@@ -36,6 +36,21 @@ val run_bodies : E.t -> (unit -> unit) list -> int * int
 
 val run_batch : E.t -> yield:bool -> ?rmw:bool -> op list list -> int * int
 
+val retryable : exn option -> bool
+(** Is an abort with this {!E.failure_of} worth retrying?  True for
+    deadlock victims ([None]), lock-wait timeouts, and
+    injected/transient I/O failures; false for real body failures. *)
+
+type retry_metrics = { r_committed : int; r_retries : int; r_gave_up : int }
+
+val run_bodies_with_retry :
+  ?max_retries:int -> rng:Asset_util.Rng.t -> E.t -> (unit -> unit) list -> retry_metrics
+(** Like {!run_bodies}, but each body runs under a driver fiber that
+    retries {!retryable} aborts up to [max_retries] times with seeded
+    exponential backoff (in scheduler steps).  Retries and abandoned
+    transactions are also counted into [E.stats] (["retries"],
+    ["gave_up"]).  Must run inside a runtime fiber. *)
+
 type metrics = {
   committed : int;
   aborted : int;

@@ -1,0 +1,207 @@
+(* Crash-recovery torture: exhaustive WAL-boundary crashes, seeded
+   random crash schedules across every I/O failpoint, the group-commit
+   acknowledgment property, recovery idempotence, lock-wait timeouts
+   and bounded retry. *)
+
+module E = Asset_core.Engine
+module R = Asset_core.Runtime
+module Oid = Asset_util.Id.Oid
+module Value = Asset_storage.Value
+module Fault = Asset_fault.Fault
+module Torture = Asset_workload.Torture
+
+let oid = Oid.of_int
+
+let pp_sweep (s : Torture.sweep) =
+  String.concat "; "
+    (List.map
+       (fun (label, fs) -> Printf.sprintf "[%s: %s]" label (String.concat ", " fs))
+       s.Torture.sweep_failures)
+
+let check_sweep name (s : Torture.sweep) =
+  if s.Torture.sweep_failures <> [] then
+    Alcotest.failf "%s: %d runs violated invariants: %s" name
+      (List.length s.Torture.sweep_failures)
+      (pp_sweep s)
+
+(* --- crash at every WAL record boundary --- *)
+
+let test_boundary_sweep () =
+  let sweep = Torture.crash_at_every_boundary Torture.default_spec in
+  check_sweep "boundary sweep" sweep;
+  Alcotest.(check bool) "swept a real log" true (sweep.Torture.boundaries > 30);
+  (* The workload is deterministic, so the k-th append exists in every
+     run for k up to the reference count: every run must crash. *)
+  Alcotest.(check int) "every boundary crashed" sweep.Torture.boundaries sweep.Torture.crashes
+
+let test_boundary_sweep_group_commit () =
+  let spec = { Torture.default_spec with group_commit_size = 3; seed = 97 } in
+  let sweep = Torture.crash_at_every_boundary ~check_idempotent:true spec in
+  check_sweep "boundary sweep (group commit)" sweep;
+  Alcotest.(check int) "every boundary crashed" sweep.Torture.boundaries sweep.Torture.crashes
+
+(* --- seeded random crash schedules over every failpoint site --- *)
+
+let test_random_crash_schedules () =
+  let spec =
+    { Torture.default_spec with accounts = 8; n_txns = 10; pool_capacity = 2; page_size = 256 }
+  in
+  let sweep = Torture.random_crash_schedules ~n:500 spec in
+  check_sweep "random schedules" sweep;
+  Alcotest.(check int) "ran all schedules" 500 sweep.Torture.runs;
+  (* Sanity: the schedules actually inject — a decent fraction must
+     really lose power (the rest arm a site/count the run never hits). *)
+  Alcotest.(check bool) "faults fired" true (sweep.Torture.crashes > 100)
+
+(* --- group commit never acknowledges an unforced commit --- *)
+
+let test_group_commit_ack_requires_force () =
+  (* A batch size the workload never fills: commit records are staged
+     and only forced at quiescence — crash that very first force.  No
+     transaction may have been acknowledged, and recovery must find
+     only losers. *)
+  let spec = { Torture.default_spec with group_commit_size = 100 } in
+  let arm () = ignore (Fault.arm_name "wal.force" Fault.Crash_once) in
+  let r = Torture.run_once ~arm spec in
+  Alcotest.(check (option string)) "crashed at the force" (Some "wal.force") r.Torture.crashed;
+  Alcotest.(check bool) "invariants hold" true (r.Torture.failures = []);
+  Array.iteri
+    (fun i acked -> Alcotest.(check bool) (Printf.sprintf "txn %d not acked" i) false acked)
+    r.Torture.acked;
+  Alcotest.(check bool) "no winners" true (r.Torture.report.Torture.Recovery.winners = [])
+
+let test_crash_after_force_durable_but_unacked () =
+  (* Crash *after* the fsync: the batch is durable but nobody was told.
+     Recovery must keep the winners even though no commit was
+     acknowledged — allowed, since acked ⊆ winners is one-directional. *)
+  let spec = { Torture.default_spec with group_commit_size = 4 } in
+  let arm () = ignore (Fault.arm_name "wal.after_force" Fault.Crash_once) in
+  let r = Torture.run_once ~arm spec in
+  Alcotest.(check (option string)) "crashed after force" (Some "wal.after_force") r.Torture.crashed;
+  Alcotest.(check bool) "invariants hold" true (r.Torture.failures = []);
+  Alcotest.(check bool) "the forced batch won" true (r.Torture.report.Torture.Recovery.winners <> []);
+  Array.iter (fun acked -> Alcotest.(check bool) "not acked" false acked) r.Torture.acked
+
+(* --- recovery idempotence --- *)
+
+let test_recovery_idempotent_under_random_crashes () =
+  let spec = { Torture.default_spec with n_txns = 8; seed = 1234 } in
+  let sweep = Torture.random_crash_schedules ~check_idempotent:true ~n:60 spec in
+  check_sweep "idempotence" sweep
+
+(* --- lock-wait timeout --- *)
+
+let deadlock_pair db =
+  (* The classic crossed-order pair; with deadlock detection off they
+     would hang forever (Scheduler.Deadlock) without a timeout. *)
+  let mk a b () =
+    E.modify db (oid a) (fun _ -> Value.of_int 1);
+    Asset_sched.Scheduler.yield ();
+    E.modify db (oid b) (fun _ -> Value.of_int 2)
+  in
+  (E.initiate db (mk 1 2), E.initiate db (mk 2 1))
+
+let test_lock_timeout_breaks_stall () =
+  let config =
+    { E.default_config with deadlock_detection = false; lock_wait_timeout_steps = 8 }
+  in
+  let store = Asset_storage.Heap_store.store () in
+  Asset_storage.Heap_store.populate store ~n:2 ~value:(fun _ -> Value.of_int 0);
+  let db = E.create ~config store in
+  let t1 = ref Asset_util.Id.Tid.null and t2 = ref Asset_util.Id.Tid.null in
+  R.run_exn db (fun () ->
+      let a, b = deadlock_pair db in
+      t1 := a;
+      t2 := b;
+      ignore (E.begin_ db a);
+      ignore (E.begin_ db b);
+      E.spawn db ~label:"c1" (fun () -> ignore (E.commit db a));
+      E.spawn db ~label:"c2" (fun () -> ignore (E.commit db b));
+      E.await_terminated db [ a; b ]);
+  let aborted = List.filter (fun t -> E.is_aborted db !t) [ t1; t2 ] in
+  Alcotest.(check int) "exactly one victim" 1 (List.length aborted);
+  (match E.failure_of db !(List.hd aborted) with
+  | Some (E.Lock_timeout _) -> ()
+  | Some e -> Alcotest.failf "wrong failure: %s" (Printexc.to_string e)
+  | None -> Alcotest.fail "no failure recorded");
+  Alcotest.(check bool) "timeout counted" true (List.assoc "lock_timeouts" (E.stats db) >= 1);
+  Alcotest.(check int) "the other committed" 1
+    (List.length (List.filter (fun t -> E.is_committed db !t) [ t1; t2 ]))
+
+let test_timeout_off_still_deadlocks () =
+  (* Sanity for the guard: with both knobs off, the pair still
+     surfaces as Scheduler.Deadlock — the timeout path must not tick. *)
+  let config =
+    { E.default_config with deadlock_detection = false; lock_wait_timeout_steps = 0 }
+  in
+  let store = Asset_storage.Heap_store.store () in
+  Asset_storage.Heap_store.populate store ~n:2 ~value:(fun _ -> Value.of_int 0);
+  let db = E.create ~config store in
+  let outcome =
+    R.run db (fun () ->
+        let a, b = deadlock_pair db in
+        ignore (E.begin_ db a);
+        ignore (E.begin_ db b);
+        E.spawn db ~label:"c1" (fun () -> ignore (E.commit db a));
+        E.spawn db ~label:"c2" (fun () -> ignore (E.commit db b));
+        E.await_terminated db [ a; b ])
+  in
+  Alcotest.(check bool) "deadlocked" true outcome.R.deadlocked
+
+(* --- bounded retry with seeded backoff --- *)
+
+let test_retry_recovers_transient_faults () =
+  let spec = { Torture.default_spec with n_txns = 16; seed = 31 } in
+  let r = Torture.run_retry_workload ~fault_rate:0.4 ~max_retries:6 spec in
+  Alcotest.(check int) "all accounted for" 16 (r.Torture.committed + r.Torture.gave_up);
+  Alcotest.(check bool) "retries happened" true (r.Torture.retries > 0);
+  Alcotest.(check bool) "most eventually commit" true (r.Torture.committed >= 12);
+  Alcotest.(check bool) "balance conserved" true r.Torture.conserved
+
+let test_retry_deterministic () =
+  let spec = { Torture.default_spec with n_txns = 12; seed = 77 } in
+  let a = Torture.run_retry_workload ~fault_rate:0.3 ~max_retries:4 spec in
+  let b = Torture.run_retry_workload ~fault_rate:0.3 ~max_retries:4 spec in
+  Alcotest.(check int) "committed equal" a.Torture.committed b.Torture.committed;
+  Alcotest.(check int) "retries equal" a.Torture.retries b.Torture.retries;
+  Alcotest.(check int) "gave_up equal" a.Torture.gave_up b.Torture.gave_up
+
+let test_retry_zero_rate_all_commit () =
+  let spec = { Torture.default_spec with n_txns = 10; seed = 5 } in
+  let r = Torture.run_retry_workload ~fault_rate:0.0 spec in
+  Alcotest.(check int) "all commit" 10 r.Torture.committed;
+  Alcotest.(check int) "none gave up" 0 r.Torture.gave_up;
+  Alcotest.(check bool) "balance conserved" true r.Torture.conserved
+
+let () =
+  Alcotest.run "asset_torture"
+    [
+      ( "boundary",
+        [
+          Alcotest.test_case "crash at every WAL boundary" `Quick test_boundary_sweep;
+          Alcotest.test_case "crash at every boundary, group commit" `Quick
+            test_boundary_sweep_group_commit;
+        ] );
+      ( "random",
+        [
+          Alcotest.test_case "500 seeded crash schedules" `Slow test_random_crash_schedules;
+          Alcotest.test_case "recovery idempotent" `Quick
+            test_recovery_idempotent_under_random_crashes;
+        ] );
+      ( "group_commit",
+        [
+          Alcotest.test_case "unforced commit never acked" `Quick
+            test_group_commit_ack_requires_force;
+          Alcotest.test_case "crash after force: durable, unacked" `Quick
+            test_crash_after_force_durable_but_unacked;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "lock timeout breaks stall" `Quick test_lock_timeout_breaks_stall;
+          Alcotest.test_case "no timeout, still deadlocks" `Quick test_timeout_off_still_deadlocks;
+          Alcotest.test_case "retry recovers transient faults" `Quick
+            test_retry_recovers_transient_faults;
+          Alcotest.test_case "retry deterministic" `Quick test_retry_deterministic;
+          Alcotest.test_case "zero rate all commit" `Quick test_retry_zero_rate_all_commit;
+        ] );
+    ]
