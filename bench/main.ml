@@ -1465,6 +1465,132 @@ let e19_faults () =
   Format.printf "wrote %s@." path
 
 (* ------------------------------------------------------------------ *)
+(* E20: observability overhead (ISSUE 4) — the event recorder's cost on
+   the engine hot path.  Off mode is the acceptance gate: every hot
+   site guards its emit behind [Trace.on] (one load, one branch), so an
+   uninstalled recorder must price at a handful of ns and leave E17/E18
+   unmoved.  Ring-only and memory-sink modes price full tracing.
+   Emits BENCH_obs.json. *)
+
+module Trace = Asset_obs.Trace
+
+(* The guard exactly as the hot sites spell it: event construction sits
+   inside the branch, so Off mode allocates nothing. *)
+let obs_guard_case () =
+  if Trace.on () then Trace.emit (Trace.Op { tid = Tid.of_int 1; oid = oid 1; op = 'W' })
+
+let obs_start = function
+  | `Off -> ()
+  | `Ring -> Trace.start ~capacity:4096 ()
+  | `Memory ->
+      let _store, sink = Trace.memory_sink () in
+      Trace.start ~sinks:[ sink ] ()
+
+let obs_mode_label = function `Off -> "off" | `Ring -> "ring" | `Memory -> "memory sink"
+
+(* n sequential single-fiber transactions of k writes each: the densest
+   stream of emit sites (initiate/begin/lock/op/wal/commit) per unit of
+   real work the engine can produce. *)
+let obs_workload_case ~recorder ~n_txns ~writes =
+  let db = fresh_db ~objects:(writes + 1) () in
+  obs_start recorder;
+  let (), dt =
+    time_of (fun () ->
+        R.run_exn db (fun () ->
+            for _ = 1 to n_txns do
+              let t =
+                E.initiate db (fun () ->
+                    for i = 1 to writes do
+                      E.write db (oid i) (vi i)
+                    done)
+              in
+              ignore (E.begin_ db t);
+              ignore (E.commit db t)
+            done))
+  in
+  let events = Trace.seq () in
+  Trace.stop ();
+  (dt, events)
+
+let e20_obs () =
+  (* Guard cost per emit site, recorder uninstalled vs installed. *)
+  let micro_rows =
+    List.concat_map
+      (fun recorder ->
+        obs_start recorder;
+        let r = bechamel_measure [ (obs_mode_label recorder, obs_guard_case) ] in
+        Trace.stop ();
+        List.map (fun (name, ns) -> (name, ns)) r)
+      [ `Off; `Ring; `Memory ]
+  in
+  let t =
+    Table.create ~title:"E20a: per-site emit cost (guard + record when installed)"
+      ~header:[ "recorder"; "ns/site" ]
+  in
+  List.iter
+    (fun (name, ns) -> Table.add_row t [ name; Table.fmt_f ~digits:2 ns ])
+    micro_rows;
+  Table.print t;
+  (* End-to-end engine overhead. *)
+  let n_txns = if !smoke then 200 else 2_000 in
+  let writes = 8 in
+  (* One discarded pass so allocator/caches are warm before the off
+     baseline is taken. *)
+  ignore (obs_workload_case ~recorder:`Off ~n_txns ~writes);
+  let base, _ = obs_workload_case ~recorder:`Off ~n_txns ~writes in
+  let wl_rows =
+    List.map
+      (fun recorder ->
+        let dt, events = obs_workload_case ~recorder ~n_txns ~writes in
+        let us_per_txn = dt /. float_of_int n_txns *. 1e6 in
+        let overhead = (dt -. base) /. base *. 100. in
+        (obs_mode_label recorder, us_per_txn, events, overhead))
+      [ `Off; `Ring; `Memory ]
+  in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf "E20b: engine overhead, %d txns x %d writes (overhead vs off re-run)"
+           n_txns writes)
+      ~header:[ "recorder"; "us/txn"; "events"; "overhead %" ]
+  in
+  List.iter
+    (fun (name, us, events, ov) ->
+      Table.add_row t
+        [ name; Table.fmt_f ~digits:2 us; Table.fmt_i events; Table.fmt_f ~digits:1 ov ])
+    wl_rows;
+  Table.print t;
+  (* Machine-readable gate for the observability-overhead trajectory. *)
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"experiment\": \"E20-obs\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" !smoke);
+  Buffer.add_string buf "  \"emit_site\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"recorder\": \"%s\", \"ns_per_site\": %.2f}%s\n" name ns
+           (if i = List.length micro_rows - 1 then "" else ",")))
+    micro_rows;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"workload\": [\n";
+  List.iteri
+    (fun i (name, us, events, ov) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"recorder\": \"%s\", \"txns\": %d, \"writes_per_txn\": %d, \"us_per_txn\": \
+            %.3f, \"events\": %d, \"overhead_pct\": %.2f}%s\n"
+           name n_txns writes us events ov
+           (if i = List.length wl_rows - 1 then "" else ",")))
+    wl_rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let path = if !smoke then "BENCH_obs_smoke.json" else "BENCH_obs.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "wrote %s@." path
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1491,6 +1617,8 @@ let experiments =
     ("lockpath", e18_lockpath);
     ("e19", e19_faults);
     ("faults", e19_faults);
+    ("e20", e20_obs);
+    ("obs", e20_obs);
   ]
 
 let () =
@@ -1500,7 +1628,7 @@ let () =
       ( "--only",
         Arg.String
           (fun s -> only := !only @ String.split_on_char ',' (String.lowercase_ascii s)),
-        "KEYS  comma-separated experiment keys (f1, e1..e19, hotpath, lockpath, faults); default: all" );
+        "KEYS  comma-separated experiment keys (f1, e1..e20, hotpath, lockpath, faults, obs); default: all" );
       ("--smoke", Arg.Set smoke, "  tiny quotas for CI smoke runs");
     ]
   in
@@ -1511,7 +1639,9 @@ let () =
     match !only with
     | [] ->
         (* the eNN keys cover the aliases *)
-        List.filter (fun (k, _) -> k <> "hotpath" && k <> "lockpath" && k <> "faults") experiments
+        List.filter
+          (fun (k, _) -> k <> "hotpath" && k <> "lockpath" && k <> "faults" && k <> "obs")
+          experiments
     | keys ->
         List.map
           (fun k ->
@@ -1520,7 +1650,7 @@ let () =
             | None -> failwith ("unknown experiment: " ^ k))
           keys
   in
-  Format.printf "ASSET benchmark harness — experiments F1, E1-E19 (see DESIGN.md)%s@."
+  Format.printf "ASSET benchmark harness — experiments F1, E1-E20 (see DESIGN.md)%s@."
     (if !smoke then " [smoke]" else "");
   List.iter (fun (_, f) -> f ()) selected;
   Format.printf "@.done.@."

@@ -13,7 +13,18 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
-echo "== bench smoke (E1 + E17/hotpath + E18/lockpath + E19/faults) =="
-dune exec bench/main.exe -- --only e1,hotpath,lockpath,faults --smoke
+# Model-conformance shard (E20 harness, see DESIGN.md / EXPERIMENTS.md).
+# The fixed seed set [1, 200] per model already ran under dune runtest
+# above — that is the reproducible bar.  Here: one extra time-boxed run
+# from a fresh random base seed, hunting schedules the fixed set
+# misses.  Every failure message prints the model and exact seed, so a
+# red run is replayed with CONFORMANCE_BASE_SEED=<seed> CONFORMANCE_SEEDS=1.
+RANDOM_BASE=$(od -An -N3 -tu4 /dev/urandom | tr -d ' ')
+echo "== conformance: random base seed ${RANDOM_BASE} (time-boxed) =="
+CONFORMANCE_BASE_SEED="${RANDOM_BASE}" CONFORMANCE_SEEDS=50 \
+  timeout 120 dune exec test/test_conformance.exe
+
+echo "== bench smoke (E1 + E17/hotpath + E18/lockpath + E19/faults + E20/obs) =="
+dune exec bench/main.exe -- --only e1,hotpath,lockpath,faults,obs --smoke
 
 echo "CI OK"

@@ -8,7 +8,10 @@
    fails, the committed prefix is compensated in reverse order, each
    compensation retried until it commits.
 
-   Run with:  dune exec examples/saga_orders.exe *)
+   Run with:  dune exec examples/saga_orders.exe
+   Pass [--trace FILE] to dump the full event history as JSONL for
+   offline oracle replay (test/test_conformance.ml loads it back and
+   checks the history against the saga axioms). *)
 
 module E = Asset_core.Engine
 module Runtime = Asset_core.Runtime
@@ -54,6 +57,26 @@ let snapshot store =
   let v oid = Value.to_int (Store.read_exn store oid) in
   (v stock, v balance, v shipments, v confirmations)
 
+let trace_file =
+  let rec scan = function
+    | "--trace" :: f :: _ -> Some f
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan (Array.to_list Sys.argv)
+
+let with_trace f =
+  match trace_file with
+  | None -> f ()
+  | Some path ->
+      let oc = open_out path in
+      Asset_obs.Trace.start ~sinks:[ Asset_obs.Trace.jsonl_sink oc ] ();
+      Fun.protect
+        ~finally:(fun () ->
+          Asset_obs.Trace.stop ();
+          close_out oc)
+        f
+
 let () =
   let store = Asset_storage.Heap_store.store () in
   Store.write store stock (Value.of_int 5);
@@ -62,6 +85,7 @@ let () =
   Store.write store confirmations (Value.of_int 0);
   let db = E.create store in
 
+  with_trace @@ fun () ->
   Runtime.run_exn db (fun () ->
       (* A successful order: all four components commit in order. *)
       let r = Saga.run db (order db ~price:100 ~payment_ok:true ~shipper_ok:true) in

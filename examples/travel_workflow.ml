@@ -16,7 +16,11 @@
    patterns, including the hotel-full case that exercises flight
    compensation.
 
-   Run with:  dune exec examples/travel_workflow.exe *)
+   Run with:  dune exec examples/travel_workflow.exe
+   Pass [--trace FILE] to dump the first scenario's event history as
+   JSONL for offline oracle replay (one scenario per trace: each
+   scenario runs a fresh engine, so tids would collide across them).
+   test/test_conformance.ml loads it back through the oracle. *)
 
 module E = Asset_core.Engine
 module Runtime = Asset_core.Runtime
@@ -85,15 +89,37 @@ let bookings store =
       | _ -> None)
     vendors
 
-let scenario name world_spec =
+let trace_file =
+  let rec scan = function
+    | "--trace" :: f :: _ -> Some f
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan (Array.to_list Sys.argv)
+
+let with_trace_maybe traced f =
+  match if traced then trace_file else None with
+  | None -> f ()
+  | Some path ->
+      let oc = open_out path in
+      Asset_obs.Trace.start ~sinks:[ Asset_obs.Trace.jsonl_sink oc ] ();
+      Fun.protect
+        ~finally:(fun () ->
+          Asset_obs.Trace.stop ();
+          close_out oc)
+        f
+
+let scenario ?(traced = false) name world_spec =
   let store = Asset_storage.Heap_store.store () in
   let db = E.create store in
   let world = make_world world_spec in
   Format.printf "--- scenario: %s ---@." name;
-  Runtime.run_exn db (fun () ->
-      let outcome = Workflow.run db (x_conference db world) in
-      Format.printf "  activity %s@." (if outcome.Workflow.success then "SUCCEEDED" else "FAILED");
-      List.iter (fun e -> Format.printf "  . %a@." Workflow.pp_event e) outcome.Workflow.events);
+  with_trace_maybe traced (fun () ->
+      Runtime.run_exn db (fun () ->
+          let outcome = Workflow.run db (x_conference db world) in
+          Format.printf "  activity %s@."
+            (if outcome.Workflow.success then "SUCCEEDED" else "FAILED");
+          List.iter (fun e -> Format.printf "  . %a@." Workflow.pp_event e) outcome.Workflow.events));
   (match bookings store with
   | [] -> Format.printf "  final bookings: none@."
   | l -> List.iter (fun (v, n) -> Format.printf "  final booking: %s x%d@." v n) l);
@@ -101,7 +127,7 @@ let scenario name world_spec =
 
 let () =
   (* Everything available: Delta + Equator + a car. *)
-  let s1 = scenario "all available" [] in
+  let s1 = scenario ~traced:true "all available" [] in
   assert (bookings s1 |> List.mem_assoc "Delta");
   assert (bookings s1 |> List.mem_assoc "Equator");
 

@@ -23,6 +23,7 @@ module Log = Asset_wal.Log
 module Record = Asset_wal.Record
 module Sched = Asset_sched.Scheduler
 module Latch = Asset_latch.Latch
+module Trace = Asset_obs.Trace
 
 exception Txn_aborted of Tid.t
 (** Raised inside a transaction body whose transaction has been aborted
@@ -235,6 +236,7 @@ let initiate ?parent:parent_tid db body =
       }
     in
     Hashtbl.replace db.tds tid td;
+    if Trace.on () then Trace.emit (Trace.Initiate { tid; parent });
     td.tid
   end
 
@@ -285,6 +287,7 @@ let begin_ db tid =
       if masters <> [] && not (wait_bd ()) then false
       else begin
         td.status <- Status.Running;
+        if Trace.on () then Trace.emit (Trace.Begin { tid });
         Log.append db.log (Record.Begin tid) |> ignore;
         td.fid <- Sched.spawn (sched db) ~label:(Format.asprintf "%a" Tid.pp tid) (fun () -> run_body db td);
         bump db;
@@ -354,6 +357,7 @@ let read db oid =
   let td = current_td db in
   check_live td;
   acquire_lock db td oid Mode.Read;
+  if Trace.on () then Trace.emit (Trace.Op { tid = td.tid; oid; op = 'R' });
   Asset_util.Stats.Counter.incr db.reads;
   with_latch db oid Latch.S (fun () -> Store.read db.store oid)
 
@@ -366,6 +370,7 @@ let write db oid value =
   let td = current_td db in
   check_live td;
   acquire_lock db td oid Mode.Write;
+  if Trace.on () then Trace.emit (Trace.Op { tid = td.tid; oid; op = 'W' });
   Asset_util.Stats.Counter.incr db.writes;
   with_latch db oid Latch.X (fun () ->
       let before = Store.read db.store oid in
@@ -390,6 +395,7 @@ let increment db oid delta =
   let td = current_td db in
   check_live td;
   acquire_lock db td oid Mode.Increment;
+  if Trace.on () then Trace.emit (Trace.Op { tid = td.tid; oid; op = 'I' });
   Asset_util.Stats.Counter.incr db.writes;
   with_latch db oid Latch.X (fun () ->
       let current =
@@ -479,7 +485,7 @@ let delegate ?oids db ~from_ ~to_ =
   (* Keep newest-first ordering in the target by merging and sorting. *)
   to_td.updates <- List.sort (fun a b -> Int.compare b a) (moving @ to_td.updates);
   Log.append db.log (Record.Delegate { from_; to_; oids }) |> ignore;
-  ignore moved_oids;
+  if Trace.on () then Trace.emit (Trace.Delegate { from_; to_; moved = moved_oids });
   bump db
 
 (* ------------------------------------------------------------------ *)
@@ -495,6 +501,15 @@ let permit ?to_ ?oids ?ops db ~from_ =
     match oids with Some l -> l | None -> Lock.accessible_objects db.locks from_
   in
   List.iter (fun oid -> Lock.add_permit db.locks ~grantor:from_ ~grantee:to_ ~oid ~ops) objects;
+  if Trace.on () then
+    Trace.emit
+      (Trace.Permit
+         {
+           from_;
+           to_ = (match to_ with Some t -> t | None -> Tid.null);
+           oids = objects;
+           ops = Format.asprintf "%a" Mode.Ops.pp ops;
+         });
   bump db
 
 (* ------------------------------------------------------------------ *)
@@ -503,6 +518,8 @@ let permit ?to_ ?oids ?ops db ~from_ =
 let form_dependency db dtype ti tj =
   match Dep.add db.deps dtype ~master:ti ~dependent:tj with
   | () ->
+      if Trace.on () then
+        Trace.emit (Trace.Dep { dtype = Dep_type.to_string dtype; master = ti; dependent = tj });
       bump db;
       true
   | exception Dep.Cycle_rejected _ -> false
@@ -517,6 +534,10 @@ let form_dependency db dtype ti tj =
 let abort_many_ref : (t -> Tid.t list -> unit) ref = ref (fun _ _ -> assert false)
 
 let rec finalize_abort db (td : td) =
+  (* The abort is observable from here on (status is already Aborting),
+     so the trace event precedes the undo and the lock releases — the
+     oracle's strictness clause counts releases after it as legal. *)
+  if Trace.on () then Trace.emit (Trace.Abort { tid = td.tid });
   (* Step 2: install before images for each update t_i is responsible
      for, newest first.  "This implies that subsequent updates done by
      cooperating transactions will also be lost."  Every installation
@@ -661,6 +682,10 @@ let commit_group db group =
      up to [group_commit_size] commit records (plus a flush at every
      scheduler quiescence point, so nothing waits indefinitely). *)
   let commit_lsn = Log.append ~force_commit:false db.log (Record.Commit group) in
+  (* The whole group commits atomically here: one trace event carrying
+     every member, emitted before any member's locks drop so the
+     oracle's strictness clause sees commit-then-release. *)
+  if Trace.on () then Trace.emit (Trace.Commit { tids = group });
   db.unforced_commit_records <- db.unforced_commit_records + 1;
   db.unforced_commit_txns <- db.unforced_commit_txns + List.length group;
   if db.unforced_commit_records >= max 1 db.config.group_commit_size then
@@ -873,6 +898,28 @@ let attach_scheduler db s =
    next to the engine's own counters). *)
 let note_retry db = Asset_util.Stats.Counter.incr db.retries
 let note_give_up db = Asset_util.Stats.Counter.incr db.gave_up
+
+(* Statistics discipline: [stats] (and every per-layer [stats]) is a
+   pure read — no counter is ever reset by reading it.  This is the one
+   explicit reset point, clearing the engine's own counters and the
+   lock/dependency managers' through their own [reset_stats]. *)
+let reset_stats db =
+  List.iter Asset_util.Stats.Counter.reset
+    [
+      db.commits;
+      db.aborts;
+      db.group_commits;
+      db.lock_waits;
+      db.commit_retries;
+      db.deadlock_victims;
+      db.lock_timeouts;
+      db.retries;
+      db.gave_up;
+      db.reads;
+      db.writes;
+    ];
+  Lock.reset_stats db.locks;
+  Dep.reset_stats db.deps
 
 let stats db =
   [

@@ -229,4 +229,14 @@ val note_give_up : t -> unit
     (["gave_up"] in {!stats}). *)
 
 val stats : t -> (string * int) list
+(** Engine counters plus the lock manager's (["lock."] prefix) and the
+    dependency graph's (["deps."] prefix).  A pure read: no counter is
+    ever reset by reading — [reset_stats] is the one reset point. *)
+
+val reset_stats : t -> unit
+(** Reset every statistics counter — the engine's own and, through
+    their [reset_stats], the lock manager's and dependency graph's.
+    Gauges ([lock.waits_edges], [deps.live_edges]) track live data
+    structures and are not touched. *)
+
 val pp_stats : Format.formatter -> t -> unit

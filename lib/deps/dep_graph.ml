@@ -178,6 +178,10 @@ let bd_masters t tid =
 let all_edges t =
   Hashtbl.fold (fun _ l acc -> !l @ acc) t.by_master []
 
+(* Counters reset only here, never on read; [live_edges] is a gauge
+   tracking the graph's actual edge population and is left alone. *)
+let reset_stats t = List.iter Asset_util.Stats.Counter.reset [ t.formed; t.rejected ]
+
 let stats t =
   [
     ("formed", Asset_util.Stats.Counter.get t.formed);

@@ -67,6 +67,13 @@ val exc_partners : t -> Tid.t -> Tid.t list
 val bd_masters : t -> Tid.t -> Tid.t list
 
 val all_edges : t -> edge list
+
 val stats : t -> (string * int) list
+(** A pure read: no counter is reset by reading. *)
+
+val reset_stats : t -> unit
+(** Reset the [formed]/[rejected] counters; [live_edges] is a gauge
+    over the actual edge population and is left untouched. *)
+
 val pp_edge : Format.formatter -> edge -> unit
 val pp : Format.formatter -> t -> unit

@@ -29,6 +29,14 @@
 
 module Tid = Asset_util.Id.Tid
 module Oid = Asset_util.Id.Oid
+module Trace = Asset_obs.Trace
+
+let mode_char = function Mode.Read -> 'R' | Mode.Write -> 'W' | Mode.Increment -> 'I'
+
+(* Lock-transition trace events ([Trace.on] gates every call site, so
+   the untraced cost is one load and one branch). *)
+let trace_lock action tid oid mode =
+  Trace.emit (Trace.Lock { tid; oid; mode = mode_char mode; action })
 
 type lock_status = Granted | Suspended | Pending | Upgrading
 
@@ -384,6 +392,7 @@ let check_conflicts t obj tid mode =
     List.iter
       (fun gl ->
         gl.lrd_status <- Suspended;
+        if Trace.on () then trace_lock Trace.Suspend gl.lrd_tid obj.od_oid gl.lrd_mode;
         Asset_util.Stats.Counter.incr t.suspensions)
       !to_suspend;
     []
@@ -397,6 +406,7 @@ let acquire t tid oid mode =
       (* Step 1a: an unsuspended covering lock of our own. *)
       Acquired
   | existing -> (
+      if Trace.on () then trace_lock Trace.Request tid oid mode;
       match check_conflicts t obj tid mode with
       | [] ->
           (* Step 2: t_i can now lock ob. *)
@@ -404,8 +414,13 @@ let acquire t tid oid mode =
           (match existing with
           | Some gl ->
               (* 2b: change the lock mode / remove suspension. *)
-              if not (Mode.covers ~held:gl.lrd_mode ~requested:mode) then gl.lrd_mode <- mode;
+              let upgraded = not (Mode.covers ~held:gl.lrd_mode ~requested:mode) in
+              if upgraded then gl.lrd_mode <- mode;
+              let resumed = gl.lrd_status = Suspended in
               gl.lrd_status <- Granted;
+              if Trace.on () then
+                trace_lock (if upgraded then Trace.Upgrade else if resumed then Trace.Resume else Trace.Grant)
+                  tid oid gl.lrd_mode;
               Asset_util.Stats.Counter.incr t.acquires
           | None ->
               (* 2a: create an LRD and link it from the OD and the TD. *)
@@ -423,6 +438,7 @@ let acquire t tid oid mode =
               list_push obj.granted lrd;
               Hashtbl.replace obj.granted_idx tid lrd;
               Hashtbl.replace (txn_table t.by_txn tid) oid lrd;
+              if Trace.on () then trace_lock Trace.Grant tid oid mode;
               Asset_util.Stats.Counter.incr t.acquires);
           (* The new/upgraded grant (and any suspensions) may block
              other transactions' pending requests on this object. *)
@@ -458,6 +474,7 @@ let acquire t tid oid mode =
           (* The waits-for edges of this request are exactly the
              blockers just computed. *)
           set_blockers t p blockers;
+          if Trace.on () then trace_lock Trace.Block tid oid mode;
           Asset_util.Stats.Counter.incr t.blocks;
           Blocked_on blockers)
 
@@ -496,7 +513,10 @@ let resume_suspended obj =
               && Mode.conflicts gl.lrd_mode sl.lrd_mode)
             obj.granted
         in
-        if not conflicting then sl.lrd_status <- Granted
+        if not conflicting then begin
+          sl.lrd_status <- Granted;
+          if Trace.on () then trace_lock Trace.Resume sl.lrd_tid obj.od_oid sl.lrd_mode
+        end
       end)
     obj.granted
 
@@ -514,6 +534,7 @@ let od_remove_granted obj lrd =
   | _ -> ()
 
 let drop_lrd t lrd =
+  if Trace.on () then trace_lock Trace.Release lrd.lrd_tid lrd.lrd_oid lrd.lrd_mode;
   (match Hashtbl.find_opt t.objects lrd.lrd_oid with
   | Some obj ->
       od_remove_granted obj lrd;
@@ -678,6 +699,7 @@ let delegate t ~from_ ~to_ oids =
         refresh_waits t obj
       end)
     !touched;
+  if Trace.on () then List.iter (fun lrd -> trace_lock Trace.Transfer to_ lrd.lrd_oid lrd.lrd_mode) moving;
   List.map (fun lrd -> lrd.lrd_oid) moving
 
 (* ------------------------------------------------------------------ *)
@@ -788,6 +810,13 @@ let find_cycle_rebuild t =
   let roots = Hashtbl.fold (fun node _ acc -> node :: acc) adj [] in
   let succs node = match Hashtbl.find_opt adj node with Some l -> l | None -> [] in
   cycle_search roots succs
+
+(* Counters reset only here, never on read.  [waits_edges] is exempt:
+   it is a live gauge mirroring the refcounted waits-for adjacency, so
+   zeroing it outside the graph's own bookkeeping would corrupt it. *)
+let reset_stats t =
+  List.iter Asset_util.Stats.Counter.reset
+    [ t.acquires; t.blocks; t.suspensions; t.permit_grants; t.cycle_checks ]
 
 let stats t =
   [

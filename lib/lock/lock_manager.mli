@@ -114,7 +114,13 @@ val find_cycle_rebuild : t -> Tid.t list option
 
 val stats : t -> (string * int) list
 (** Includes [waits_edges] (live incremental-graph size) and
-    [cycle_checks] (deadlock searches run). *)
+    [cycle_checks] (deadlock searches run).  A pure read: no counter is
+    reset by reading. *)
+
+val reset_stats : t -> unit
+(** Reset every statistics {e counter} to zero.  [waits_edges] is a
+    live gauge over the refcounted waits-for adjacency, not a counter,
+    and is deliberately left untouched. *)
 
 val pp_od : t -> Format.formatter -> Oid.t -> unit
 (** Render an object descriptor in the shape of the paper's Figure 1. *)

@@ -1,0 +1,529 @@
+(* Post-hoc conformance checkers over a recorded [Trace] history.
+
+   Each checker replays one axiom of the paper's semantics against the
+   chronological event list and returns the violations it finds (empty
+   list = the history conforms).  The checkers are deliberately
+   independent of the engine: they see only public ids and event order,
+   so they can validate live runs, ring-buffer tails recovered after a
+   simulated power loss, and JSONL traces loaded from disk — and they
+   can be aimed at synthetic histories to prove they *would* catch a
+   broken implementation.
+
+   Model-specific legality matters: cursor stability and cooperative
+   histories are not conflict-serializable by design, so the harness
+   picks which checkers apply to which model.  [check_serializable]
+   deciding "not SR" is a *finding*, not always a failure. *)
+
+module Tid = Asset_util.Id.Tid
+module Oid = Asset_util.Id.Oid
+
+type violation = { check : string; detail : string }
+
+let violation check fmt = Format.kasprintf (fun detail -> { check; detail }) fmt
+let pp_violation ppf { check; detail } = Format.fprintf ppf "[%s] %s" check detail
+
+let pp_tids ppf tids =
+  Format.fprintf ppf "[%a]" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " ") Tid.pp) tids
+
+(* ------------------------------------------------------------------ *)
+(* Shared history digests. *)
+
+(* First Commit/Abort/Begin timestamps per transaction.  A Commit event
+   carries the whole atomically-committed group, so group members share
+   one commit timestamp — which is exactly what the GC checker wants to
+   observe. *)
+type times = {
+  commit_at : (Tid.t, int) Hashtbl.t;
+  abort_at : (Tid.t, int) Hashtbl.t;
+  begin_at : (Tid.t, int) Hashtbl.t;
+}
+
+let times entries =
+  let t = { commit_at = Hashtbl.create 32; abort_at = Hashtbl.create 32; begin_at = Hashtbl.create 32 } in
+  let first tbl k at = if not (Hashtbl.mem tbl k) then Hashtbl.add tbl k at in
+  List.iter
+    (fun { Trace.seq; ev } ->
+      match ev with
+      | Trace.Commit { tids } -> List.iter (fun tid -> first t.commit_at tid seq) tids
+      | Trace.Abort { tid } -> first t.abort_at tid seq
+      | Trace.Begin { tid } -> first t.begin_at tid seq
+      | _ -> ())
+    entries;
+  t
+
+let committed entries =
+  List.concat_map (fun e -> match e.Trace.ev with Trace.Commit { tids } -> tids | _ -> []) entries
+
+let aborted entries =
+  List.filter_map (fun e -> match e.Trace.ev with Trace.Abort { tid } -> Some tid | _ -> None) entries
+
+(* ------------------------------------------------------------------ *)
+(* Conflict-serializability of the committed projection.
+
+   Operations are re-attributed along [Delegate] events before
+   projection — a delegated update belongs to the delegatee, exactly as
+   recovery re-attributes responsibility — then a conflict graph is
+   built over the committed owners (R/R and I/I commute; every other
+   pair conflicts, per the lock table) and searched for a cycle. *)
+
+type op_rec = { mutable owner : Tid.t; oid : Oid.t; op : char; at : int }
+
+let conflicting a b = not ((a = 'R' && b = 'R') || (a = 'I' && b = 'I'))
+
+let check_serializable entries =
+  let ops = ref [] (* newest first *) in
+  let commit_set = Hashtbl.create 32 in
+  List.iter
+    (fun { Trace.seq; ev } ->
+      match ev with
+      | Trace.Op { tid; oid; op } -> ops := { owner = tid; oid; op; at = seq } :: !ops
+      | Trace.Delegate { from_; to_; moved } ->
+          List.iter
+            (fun r -> if Tid.equal r.owner from_ && List.exists (Oid.equal r.oid) moved then r.owner <- to_)
+            !ops
+      | Trace.Commit { tids } -> List.iter (fun tid -> Hashtbl.replace commit_set tid ()) tids
+      | _ -> ())
+    entries;
+  let ops = Array.of_list (List.rev !ops) in
+  let is_committed tid = Hashtbl.mem commit_set tid in
+  (* Conflict edges earlier-owner -> later-owner, committed owners only. *)
+  let adj : (Tid.t, (Tid.t, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 32 in
+  let add_edge a b =
+    let succs =
+      match Hashtbl.find_opt adj a with
+      | Some s -> s
+      | None ->
+          let s = Hashtbl.create 4 in
+          Hashtbl.add adj a s;
+          s
+    in
+    Hashtbl.replace succs b ()
+  in
+  let n = Array.length ops in
+  for i = 0 to n - 1 do
+    let a = ops.(i) in
+    if is_committed a.owner then
+      for j = i + 1 to n - 1 do
+        let b = ops.(j) in
+        if
+          Oid.equal a.oid b.oid
+          && (not (Tid.equal a.owner b.owner))
+          && is_committed b.owner
+          && conflicting a.op b.op
+        then add_edge a.owner b.owner
+      done
+  done;
+  (* DFS cycle search over the conflict graph. *)
+  let color : (Tid.t, [ `Grey | `Black ]) Hashtbl.t = Hashtbl.create 32 in
+  let exception Cycle of Tid.t list in
+  let rec dfs path tid =
+    match Hashtbl.find_opt color tid with
+    | Some `Black -> ()
+    | Some `Grey ->
+        (* Trim the path to the cycle proper. *)
+        let rec trim = function
+          | [] -> [ tid ]
+          | t :: rest -> if Tid.equal t tid then [ t ] else t :: trim rest
+        in
+        raise (Cycle (List.rev (tid :: trim path)))
+    | None ->
+        Hashtbl.replace color tid `Grey;
+        (match Hashtbl.find_opt adj tid with
+        | Some succs -> Hashtbl.iter (fun succ () -> dfs (tid :: path) succ) succs
+        | None -> ());
+        Hashtbl.replace color tid `Black
+  in
+  match Hashtbl.iter (fun tid _ -> dfs [] tid) adj with
+  | () -> []
+  | exception Cycle cycle ->
+      [ violation "serializable" "conflict cycle in committed projection: %a" pp_tids cycle ]
+
+(* ------------------------------------------------------------------ *)
+(* Dependency-obligation discharge.
+
+   Obligations per [Dep_type] (timestamps from the Commit/Abort
+   events; a group commit gives its members one shared timestamp, and
+   "not before" admits equality):
+
+   - CD: the dependent commits only after the master has terminated.
+   - AD: the dependent commits only after the master has *committed*;
+     if the master aborts, the dependent must not commit.
+   - GC: both commit in the same atomic Commit event, or neither does.
+   - BD: the dependent begins only after the master commits; if the
+     master aborts, the dependent never begins.
+   - EXC: at most one of the two commits. *)
+
+let check_dependencies entries =
+  let t = times entries in
+  let commit_of tid = Hashtbl.find_opt t.commit_at tid in
+  let abort_of tid = Hashtbl.find_opt t.abort_at tid in
+  let begin_of tid = Hashtbl.find_opt t.begin_at tid in
+  let deps =
+    List.filter_map
+      (fun e ->
+        match e.Trace.ev with Trace.Dep { dtype; master; dependent } -> Some (dtype, master, dependent) | _ -> None)
+      entries
+  in
+  List.concat_map
+    (fun (dtype, m, d) ->
+      let pair = Format.asprintf "%s %a->%a" dtype Tid.pp m Tid.pp d in
+      match dtype with
+      | "CD" -> (
+          match commit_of d with
+          | None -> []
+          | Some dc -> (
+              match (commit_of m, abort_of m) with
+              | Some mc, _ when mc <= dc -> []
+              | _, Some ma when ma < dc -> []
+              | _ -> [ violation "dependencies" "%s: dependent committed before master terminated" pair ]))
+      | "AD" ->
+          let abort_clause =
+            match (abort_of m, commit_of d) with
+            | Some _, Some _ -> [ violation "dependencies" "%s: master aborted but dependent committed" pair ]
+            | _ -> []
+          in
+          let commit_clause =
+            match commit_of d with
+            | None -> []
+            | Some dc -> (
+                match commit_of m with
+                | Some mc when mc <= dc -> []
+                | Some _ -> [ violation "dependencies" "%s: dependent committed before master" pair ]
+                | None ->
+                    if abort_of m = None then
+                      [ violation "dependencies" "%s: dependent committed, master never committed" pair ]
+                    else [] (* covered by abort_clause *))
+          in
+          abort_clause @ commit_clause
+      | "GC" -> (
+          match (commit_of m, commit_of d) with
+          | Some mc, Some dc when mc = dc -> []
+          | Some _, Some _ -> [ violation "dependencies" "%s: group members committed in separate events" pair ]
+          | None, None -> []
+          | Some _, None | None, Some _ ->
+              [ violation "dependencies" "%s: one group-commit member committed without the other" pair ])
+      | "BD" -> (
+          match begin_of d with
+          | None -> []
+          | Some db -> (
+              match (commit_of m, abort_of m) with
+              | Some mc, _ when mc < db -> []
+              | _, Some ma when ma < db ->
+                  [ violation "dependencies" "%s: dependent began after master aborted" pair ]
+              | _ -> [ violation "dependencies" "%s: dependent began before master committed" pair ]))
+      | "EXC" -> (
+          match (commit_of m, commit_of d) with
+          | Some _, Some _ -> [ violation "dependencies" "%s: both members of an exclusion group committed" pair ]
+          | _ -> [])
+      | _ -> [ violation "dependencies" "%s: unknown dependency type" pair ])
+    deps
+
+(* ------------------------------------------------------------------ *)
+(* Delegation / lock-ownership bookkeeping.
+
+   Grants establish ownership; [Delegate] moves it; a release (or
+   upgrade, or suspension) is legal only from the current owner.  In
+   particular a delegated lock must never be released by the delegator
+   — section 4's delegate algorithm moves the LRD wholesale. *)
+
+let mode_rank = function 'R' -> 1 | 'I' -> 2 | 'W' -> 3 | _ -> 0
+
+let check_lock_ownership entries =
+  let holders : (Oid.t, (Tid.t, char) Hashtbl.t) Hashtbl.t = Hashtbl.create 32 in
+  let of_oid oid =
+    match Hashtbl.find_opt holders oid with
+    | Some h -> h
+    | None ->
+        let h = Hashtbl.create 4 in
+        Hashtbl.add holders oid h;
+        h
+  in
+  let violations = ref [] in
+  let bad fmt = Format.kasprintf (fun detail -> violations := { check = "lock-ownership"; detail } :: !violations) fmt
+  in
+  List.iter
+    (fun { Trace.seq; ev } ->
+      match ev with
+      | Trace.Lock { tid; oid; mode; action } -> (
+          let h = of_oid oid in
+          match action with
+          | Trace.Grant | Trace.Resume -> Hashtbl.replace h tid mode
+          | Trace.Upgrade ->
+              if Hashtbl.mem h tid then Hashtbl.replace h tid mode
+              else bad "seq %d: %a upgrades %a without holding it" seq Tid.pp tid Oid.pp oid
+          | Trace.Release ->
+              if Hashtbl.mem h tid then Hashtbl.remove h tid
+              else bad "seq %d: %a releases %a without owning it" seq Tid.pp tid Oid.pp oid
+          | Trace.Suspend ->
+              if not (Hashtbl.mem h tid) then
+                bad "seq %d: %a suspended on %a without owning it" seq Tid.pp tid Oid.pp oid
+          | Trace.Request | Trace.Block | Trace.Transfer -> ())
+      | Trace.Delegate { from_; to_; moved } ->
+          List.iter
+            (fun oid ->
+              let h = of_oid oid in
+              match Hashtbl.find_opt h from_ with
+              | None -> bad "seq %d: delegation %a->%a moves %a which the delegator does not hold" seq Tid.pp from_ Tid.pp to_ Oid.pp oid
+              | Some mode ->
+                  Hashtbl.remove h from_;
+                  let merged =
+                    match Hashtbl.find_opt h to_ with
+                    | Some m when mode_rank m >= mode_rank mode -> m
+                    | _ -> mode
+                  in
+                  Hashtbl.replace h to_ merged)
+            moved
+      | _ -> ())
+    entries;
+  List.rev !violations
+
+(* ------------------------------------------------------------------ *)
+(* Two-phase and strictness.
+
+   2PL: once a transaction has released any granted lock it acquires no
+   further ones.  Strictness (the engine holds all locks to
+   termination): a release is legal only after the transaction's
+   Commit/Abort event.  Histories that cooperate via permits keep their
+   locks (conflicting grants are *suspended*, not released), so this
+   checker applies to permit-using models too — but the harness leaves
+   it opt-in per model for clarity. *)
+
+let check_two_phase ?(strict = true) entries =
+  let t = times entries in
+  let term_at tid =
+    match (Hashtbl.find_opt t.commit_at tid, Hashtbl.find_opt t.abort_at tid) with
+    | Some c, Some a -> Some (min c a)
+    | (Some _ as s), None | None, (Some _ as s) -> s
+    | None, None -> None
+  in
+  let first_release : (Tid.t, int) Hashtbl.t = Hashtbl.create 32 in
+  let violations = ref [] in
+  let bad check fmt = Format.kasprintf (fun detail -> violations := { check; detail } :: !violations) fmt in
+  List.iter
+    (fun { Trace.seq; ev } ->
+      match ev with
+      | Trace.Lock { tid; oid; action = Trace.Release; _ } ->
+          if not (Hashtbl.mem first_release tid) then Hashtbl.add first_release tid seq;
+          if strict then begin
+            match term_at tid with
+            | Some term when term <= seq -> ()
+            | _ -> bad "strictness" "seq %d: %a released %a before terminating" seq Tid.pp tid Oid.pp oid
+          end
+      | Trace.Lock { tid; oid; action = Trace.Grant | Trace.Upgrade; _ } -> (
+          match Hashtbl.find_opt first_release tid with
+          | Some rel when rel < seq ->
+              bad "two-phase" "seq %d: %a acquired %a after its first release (seq %d)" seq Tid.pp tid Oid.pp oid rel
+          | _ -> ())
+      | _ -> ())
+    entries;
+  List.rev !violations
+
+(* ------------------------------------------------------------------ *)
+(* Visibility: an operation that touches another transaction's
+   uncommitted ("dirty") data is legal only if the writer sanctioned it
+   with a prior [permit] covering that object and that operation — the
+   paper's non-blocking cooperation rule.  Increments are the
+   section-5 exception: I/I commutes by lock table, so concurrent
+   increments need no permit.  Delegation moves the dirty attribution
+   with the responsibility; commit and abort clear it (abort's undo
+   happens before the locks drop, so post-abort readers see
+   pre-images). *)
+
+let check_visibility entries =
+  let dirty : (Oid.t, Tid.t * char) Hashtbl.t = Hashtbl.create 32 in
+  let permits = ref [] (* (from_, to_, oids, ops, at), newest first *) in
+  (* Initiate parentage: a subtransaction "may access any object
+     currently accessed by an ancestor" (section 3.1.4), so data
+     dirtied by an ancestor is visible down the tree even when the
+     explicit permit chain only covers the immediate parent. *)
+  let parent : (Tid.t, Tid.t) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun { Trace.ev; _ } ->
+      match ev with
+      | Trace.Initiate { tid; parent = p } when not (Tid.is_null p) -> Hashtbl.replace parent tid p
+      | _ -> ())
+    entries;
+  let rec is_ancestor a tid =
+    match Hashtbl.find_opt parent tid with
+    | Some p -> Tid.equal p a || is_ancestor a p
+    | None -> false
+  in
+  let clear_tid tid =
+    let gone = Hashtbl.fold (fun oid (w, _) acc -> if Tid.equal w tid then oid :: acc else acc) dirty [] in
+    List.iter (Hashtbl.remove dirty) gone
+  in
+  let sanctioned ~writer ~reader ~oid ~op ~at =
+    List.exists
+      (fun (from_, to_, oids, ops, p_at) ->
+        p_at < at
+        && Tid.equal from_ writer
+        && (Tid.is_null to_ || Tid.equal to_ reader)
+        && (oids = [] || List.exists (Oid.equal oid) oids)
+        && String.contains ops op)
+      !permits
+  in
+  let violations = ref [] in
+  let bad fmt = Format.kasprintf (fun detail -> violations := { check = "visibility"; detail } :: !violations) fmt in
+  List.iter
+    (fun { Trace.seq; ev } ->
+      match ev with
+      | Trace.Op { tid; oid; op } ->
+          (match Hashtbl.find_opt dirty oid with
+          | Some (writer, dop) when not (Tid.equal writer tid) ->
+              if
+                (not (op = 'I' && dop = 'I'))
+                && (not (is_ancestor writer tid))
+                && not (sanctioned ~writer ~reader:tid ~oid ~op ~at:seq)
+              then
+                bad "seq %d: %a %c-accesses %a dirtied by %a without a covering permit" seq Tid.pp tid op Oid.pp
+                  oid Tid.pp writer
+          | _ -> ());
+          if op = 'W' || op = 'I' then Hashtbl.replace dirty oid (tid, op)
+      | Trace.Permit { from_; to_; oids; ops } -> permits := (from_, to_, oids, ops, seq) :: !permits
+      | Trace.Delegate { from_; to_; moved } ->
+          List.iter
+            (fun oid ->
+              match Hashtbl.find_opt dirty oid with
+              | Some (w, dop) when Tid.equal w from_ && List.exists (Oid.equal oid) moved ->
+                  Hashtbl.replace dirty oid (to_, dop)
+              | _ -> ())
+            moved
+      | Trace.Commit { tids } -> List.iter clear_tid tids
+      | Trace.Abort { tid } -> clear_tid tid
+      | _ -> ())
+    entries;
+  List.rev !violations
+
+(* ------------------------------------------------------------------ *)
+(* Model-contract checkers: the caller states the structure the model
+   was supposed to build (its groups, its compensation pairs) and the
+   oracle verifies the history honoured it.  Aiming these at a
+   deliberately mis-built model is how the negative tests prove the
+   oracle has teeth. *)
+
+(* Every listed group commits atomically: all members in one Commit
+   event, or no member at all. *)
+let check_group_atomicity ~groups entries =
+  let t = times entries in
+  List.concat_map
+    (fun group ->
+      let outcomes = List.map (fun tid -> (tid, Hashtbl.find_opt t.commit_at tid)) group in
+      let committed = List.filter (fun (_, c) -> c <> None) outcomes in
+      if committed = [] then []
+      else if List.length committed <> List.length group then
+        [
+          violation "group-atomicity" "group %a committed only %a" pp_tids group pp_tids
+            (List.map fst committed);
+        ]
+      else
+        match List.sort_uniq compare (List.filter_map snd outcomes) with
+        | [ _ ] -> []
+        | _ -> [ violation "group-atomicity" "group %a committed across separate events" pp_tids group ]
+    )
+    groups
+
+(* Saga discipline over (component, compensation) pairs, given in the
+   saga's forward order: a compensation commits only if its component
+   did, and committed compensations run in reverse component order. *)
+let check_compensation_order ~pairs entries =
+  let t = times entries in
+  let commit_of tid = Hashtbl.find_opt t.commit_at tid in
+  let orphan =
+    List.concat_map
+      (fun (comp, compensation) ->
+        match (commit_of comp, commit_of compensation) with
+        | None, Some _ ->
+            [
+              violation "compensation-order" "compensation %a committed for uncommitted component %a" Tid.pp
+                compensation Tid.pp comp;
+            ]
+        | _ -> [])
+      pairs
+  in
+  let committed_pairs =
+    List.filter_map
+      (fun (comp, compensation) ->
+        match (commit_of comp, commit_of compensation) with
+        | Some c, Some k -> Some (comp, compensation, c, k)
+        | _ -> None)
+      pairs
+  in
+  let rec ordered = function
+    | [] -> []
+    | p1 :: rest ->
+        List.concat_map
+          (fun p2 ->
+            let (_, _, cc1, _), (_, _, cc2, _) = (p1, p2) in
+            let (_, k_early, _, kc_early), (_, k_late, _, kc_late) = if cc1 < cc2 then (p1, p2) else (p2, p1) in
+            (* the later-committed component must be compensated first *)
+            if kc_late < kc_early then []
+            else
+              [
+                violation "compensation-order"
+                  "compensations %a (seq %d) and %a (seq %d) did not run in reverse component order" Tid.pp
+                  k_late kc_late Tid.pp k_early kc_early;
+              ])
+          rest
+        @ ordered rest
+  in
+  orphan @ ordered committed_pairs
+
+(* ------------------------------------------------------------------ *)
+(* Recovery x dependencies: given the winners reported by
+   [Recovery.recover] after a crash, no dependency obligation recorded
+   in the pre-crash trace tail may be left half-discharged in the
+   durable state.  GC groups are both-or-neither, AD dependents cannot
+   outlive an un-committed master (the master's commit record precedes
+   the dependent's in the WAL, and recovery keeps prefixes), and a CD
+   dependent can survive only a terminated master. *)
+
+let check_recovered_obligations ~winners entries =
+  let winner tid = List.exists (Tid.equal tid) winners in
+  let t = times entries in
+  let master_aborted m = Hashtbl.mem t.abort_at m in
+  let deps =
+    List.filter_map
+      (fun e ->
+        match e.Trace.ev with Trace.Dep { dtype; master; dependent } -> Some (dtype, master, dependent) | _ -> None)
+      entries
+  in
+  List.concat_map
+    (fun (dtype, m, d) ->
+      let pair = Format.asprintf "%s %a->%a" dtype Tid.pp m Tid.pp d in
+      match dtype with
+      | "GC" ->
+          if winner m = winner d then []
+          else
+            [
+              violation "recovered-obligations" "%s: group-commit pair recovered half-committed (winners: %a)"
+                pair pp_tids (List.filter winner [ m; d ]);
+            ]
+      | "AD" ->
+          if winner d && not (winner m) then
+            [ violation "recovered-obligations" "%s: dependent survived recovery without its master" pair ]
+          else []
+      | "CD" ->
+          if winner d && (not (winner m)) && not (master_aborted m) then
+            [
+              violation "recovered-obligations" "%s: dependent survived recovery, master never terminated" pair;
+            ]
+          else []
+      | "EXC" ->
+          if winner m && winner d then
+            [ violation "recovered-obligations" "%s: both exclusion-group members survived recovery" pair ]
+          else []
+      | _ -> [])
+    deps
+
+(* ------------------------------------------------------------------ *)
+(* Convenience bundle for fully-isolated models (no permits): SR +
+   dependency discharge + lock bookkeeping + strict 2PL. *)
+
+let check_strict_history entries =
+  check_serializable entries @ check_dependencies entries @ check_lock_ownership entries
+  @ check_two_phase ~strict:true entries @ check_visibility entries
+
+(* Cooperative bundle (permits in play): everything except global SR
+   and the strictness clause that permits deliberately relax. *)
+let check_cooperative_history entries =
+  check_dependencies entries @ check_lock_ownership entries @ check_visibility entries

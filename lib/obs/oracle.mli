@@ -1,0 +1,80 @@
+(** Post-hoc conformance checkers over a recorded {!Trace} history.
+
+    Each checker replays one axiom of the paper's semantics against the
+    chronological entry list and returns the violations it finds (empty
+    list = the history conforms).  The checkers see only public ids and
+    event order, so they work equally on live memory-sink runs, on the
+    ring tail surviving a simulated power loss, and on JSONL traces
+    loaded from disk — and they can be aimed at synthetic histories to
+    prove they would catch a broken implementation.
+
+    Model-specific legality matters: cursor-stability and cooperative
+    histories are not conflict-serializable by design, so the harness
+    picks which checkers apply to which model. *)
+
+module Tid = Asset_util.Id.Tid
+
+type violation = { check : string; detail : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val committed : Trace.entry list -> Tid.t list
+(** Every transaction named in a [Commit] event, in event order. *)
+
+val aborted : Trace.entry list -> Tid.t list
+(** Every transaction with an [Abort] event, in event order. *)
+
+val check_serializable : Trace.entry list -> violation list
+(** Conflict-serializability of the committed projection: operations
+    re-attributed along [Delegate] events, R/R and I/I commuting, cycle
+    search over the resulting conflict graph. *)
+
+val check_dependencies : Trace.entry list -> violation list
+(** Discharge of every [Dep] obligation: CD — dependent commits only
+    after the master terminated; AD — dependent commits only after the
+    master committed, and never if it aborted; GC — both commit in one
+    atomic [Commit] event or neither; BD — dependent begins only after
+    the master commits; EXC — at most one commits. *)
+
+val check_lock_ownership : Trace.entry list -> violation list
+(** Grants establish ownership, [Delegate] moves it (stronger mode
+    wins on merge), and upgrade/release/suspend are legal only from
+    the current owner. *)
+
+val check_two_phase : ?strict:bool -> Trace.entry list -> violation list
+(** 2PL: no grant/upgrade after a transaction's first release.  With
+    [strict] (default), a release is additionally legal only after the
+    transaction's Commit/Abort event. *)
+
+val check_visibility : Trace.entry list -> violation list
+(** An operation touching another transaction's uncommitted data is
+    legal only under a prior [Permit] covering that object and
+    operation — except increment-on-increment, which commutes without
+    a permit, and data dirtied by an ancestor per [Initiate]
+    parentage, which is visible down the transaction tree (section
+    3.1.4); delegation moves dirty attribution, commit/abort clear
+    it. *)
+
+val check_group_atomicity : groups:Tid.t list list -> Trace.entry list -> violation list
+(** Contract checker: every listed group commits all-or-nothing, in a
+    single [Commit] event. *)
+
+val check_compensation_order : pairs:(Tid.t * Tid.t) list -> Trace.entry list -> violation list
+(** Contract checker for sagas: [pairs] lists (component,
+    compensation) in the saga's forward order.  A compensation commits
+    only if its component did, and committed compensations run in
+    reverse component order. *)
+
+val check_recovered_obligations : winners:Tid.t list -> Trace.entry list -> violation list
+(** Given the winners reported by recovery after a crash and the
+    pre-crash trace tail: GC pairs survive both-or-neither, an AD
+    dependent cannot survive without its master, a CD dependent only
+    survives a terminated master, EXC members never both survive. *)
+
+val check_strict_history : Trace.entry list -> violation list
+(** Bundle for fully-isolated models: serializability + dependencies +
+    lock ownership + strict 2PL + visibility. *)
+
+val check_cooperative_history : Trace.entry list -> violation list
+(** Bundle for permit-using models: dependencies + lock ownership +
+    visibility (no global SR, no 2PL). *)

@@ -1,0 +1,465 @@
+(* Structured event traces: an append-only history of every ASSET
+   primitive invocation, lock transition and WAL/recovery milestone,
+   stamped with logical timestamps.
+
+   The recorder is a process-global flight recorder in the style of
+   [Fault]'s failpoint registry: instrumented sites guard their emit
+   with [if Trace.on () then Trace.emit (...)], so the production state
+   (recorder absent) costs one load and one branch per site and
+   allocates nothing — the E17/E18 benches pin this.  When a recorder
+   is installed, every event lands in a fixed-capacity ring (the tail
+   survives a simulated power loss, because the recorder lives above
+   the storage stack the torture harness discards) and is fanned out to
+   the pluggable sinks: [Memory] accumulates the full history for the
+   oracle, [Jsonl] streams one JSON object per line for offline
+   analysis.
+
+   Events name transactions and objects by their public ids and carry
+   no engine state, so the trace is a pure observation: replaying it
+   through [Oracle] cannot perturb the run it describes. *)
+
+module Tid = Asset_util.Id.Tid
+module Oid = Asset_util.Id.Oid
+
+type lock_action =
+  | Request (* lock asked for, outcome not yet known *)
+  | Grant (* request (or upgrade) granted *)
+  | Block (* requester enqueued behind conflicting holders *)
+  | Upgrade (* granted lock strengthened in place *)
+  | Release (* granted lock dropped *)
+  | Suspend (* granted lock suspended by a permit-driven conflict *)
+  | Resume (* suspended lock re-granted *)
+  | Transfer (* ownership moved by delegation *)
+
+type event =
+  | Initiate of { tid : Tid.t; parent : Tid.t } (* parent = Tid.null for top level *)
+  | Begin of { tid : Tid.t }
+  | Commit of { tids : Tid.t list } (* whole group-commit set, atomically *)
+  | Abort of { tid : Tid.t }
+  | Op of { tid : Tid.t; oid : Oid.t; op : char } (* 'R' | 'W' | 'I' *)
+  | Delegate of { from_ : Tid.t; to_ : Tid.t; moved : Oid.t list }
+  | Permit of { from_ : Tid.t; to_ : Tid.t; oids : Oid.t list; ops : string }
+    (* to_ = Tid.null means "any transaction"; ops is a subset of "RWI" *)
+  | Dep of { dtype : string; master : Tid.t; dependent : Tid.t }
+  | Lock of { tid : Tid.t; oid : Oid.t; mode : char; action : lock_action }
+  | Wal_append of { lsn : int; kind : string }
+  | Wal_force of { lsn : int }
+  | Recovery_start
+  | Recovery_done of { winners : Tid.t list; losers : Tid.t list }
+  | Sched_spawn of { fid : int; label : string }
+  | Sched_stall
+
+type entry = { seq : int; ev : event }
+(* [seq] is the logical timestamp: a strictly increasing integer
+   assigned at emit time.  The scheduler is cooperative, so emit order
+   is the real interleaving order. *)
+
+type sink = Memory of entry list ref (* newest first *) | Jsonl of out_channel
+
+type t = {
+  mutable seq : int;
+  ring : entry array;
+  cap : int;
+  sinks : sink list;
+}
+
+let dummy = { seq = 0; ev = Sched_stall }
+let current : t option ref = ref None
+
+(* The hot-path guard: one load, one compare-with-immediate. *)
+let on () = !current <> None
+
+let lock_action_to_string = function
+  | Request -> "request"
+  | Grant -> "grant"
+  | Block -> "block"
+  | Upgrade -> "upgrade"
+  | Release -> "release"
+  | Suspend -> "suspend"
+  | Resume -> "resume"
+  | Transfer -> "transfer"
+
+let lock_action_of_string = function
+  | "request" -> Request
+  | "grant" -> Grant
+  | "block" -> Block
+  | "upgrade" -> Upgrade
+  | "release" -> Release
+  | "suspend" -> Suspend
+  | "resume" -> Resume
+  | "transfer" -> Transfer
+  | s -> invalid_arg ("Trace.lock_action_of_string: " ^ s)
+
+(* ------------------------------------------------------------------ *)
+(* JSONL codec.  The subset of JSON we need: objects, arrays, ints,
+   strings, with standard escapes.  Hand-rolled so the library stays on
+   the preinstalled package set. *)
+
+module Json = struct
+  type v = Int of int | Str of string | List of v list | Obj of (string * v) list
+
+  exception Parse_error of string
+
+  let buf_string b s =
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | '\r' -> Buffer.add_string b "\\r"
+        | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"'
+
+  let rec buf_v b = function
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Str s -> buf_string b s
+    | List vs ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i v ->
+            if i > 0 then Buffer.add_char b ',';
+            buf_v b v)
+          vs;
+        Buffer.add_char b ']'
+    | Obj fields ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char b ',';
+            buf_string b k;
+            Buffer.add_char b ':';
+            buf_v b v)
+          fields;
+        Buffer.add_char b '}'
+
+  let to_string v =
+    let b = Buffer.create 64 in
+    buf_v b v;
+    Buffer.contents b
+
+  (* Recursive-descent parser. *)
+  let parse (s : string) : v =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at %d in %S" msg !pos s)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let skip_ws () =
+      while !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\t' || s.[!pos] = '\n' || s.[!pos] = '\r') do
+        advance ()
+      done
+    in
+    let expect c =
+      skip_ws ();
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected '%c'" c)
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec loop () =
+        if !pos >= n then fail "unterminated string";
+        let c = s.[!pos] in
+        advance ();
+        if c = '"' then Buffer.contents b
+        else if c = '\\' then begin
+          (if !pos >= n then fail "unterminated escape");
+          let e = s.[!pos] in
+          advance ();
+          (match e with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+              if !pos + 4 > n then fail "short \\u escape";
+              let hex = String.sub s !pos 4 in
+              pos := !pos + 4;
+              let code = try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape" in
+              if code < 0x80 then Buffer.add_char b (Char.chr code)
+              else fail "non-ASCII \\u escape unsupported"
+          | _ -> fail "bad escape");
+          loop ()
+        end
+        else begin
+          Buffer.add_char b c;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let parse_int () =
+      skip_ws ();
+      let start = !pos in
+      if peek () = Some '-' then advance ();
+      while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do
+        advance ()
+      done;
+      if !pos = start then fail "expected integer";
+      int_of_string (String.sub s start (!pos - start))
+    in
+    let rec parse_v () =
+      skip_ws ();
+      match peek () with
+      | Some '"' -> Str (parse_string ())
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let rec fields acc =
+              skip_ws ();
+              let k = parse_string () in
+              expect ':';
+              let v = parse_v () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  fields ((k, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  List.rev ((k, v) :: acc)
+              | _ -> fail "expected ',' or '}'"
+            in
+            Obj (fields [])
+          end
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            List []
+          end
+          else begin
+            let rec items acc =
+              let v = parse_v () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  items (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  List.rev (v :: acc)
+              | _ -> fail "expected ',' or ']'"
+            in
+            List (items [])
+          end
+      | Some ('-' | '0' .. '9') -> Int (parse_int ())
+      | _ -> fail "expected value"
+    in
+    let v = parse_v () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let member name = function
+    | Obj fields -> (
+        match List.assoc_opt name fields with
+        | Some v -> v
+        | None -> raise (Parse_error ("missing field " ^ name)))
+    | _ -> raise (Parse_error "not an object")
+
+  let to_int = function Int i -> i | _ -> raise (Parse_error "expected int")
+  let to_str = function Str s -> s | _ -> raise (Parse_error "expected string")
+  let to_list = function List l -> l | _ -> raise (Parse_error "expected array")
+end
+
+exception Parse_error = Json.Parse_error
+
+let tid_j t = Json.Int (Tid.to_int t)
+let oid_j o = Json.Int (Oid.to_int o)
+let tids_j ts = Json.List (List.map tid_j ts)
+let oids_j os = Json.List (List.map oid_j os)
+
+let event_fields = function
+  | Initiate { tid; parent } -> [ ("ev", Json.Str "initiate"); ("tid", tid_j tid); ("parent", tid_j parent) ]
+  | Begin { tid } -> [ ("ev", Json.Str "begin"); ("tid", tid_j tid) ]
+  | Commit { tids } -> [ ("ev", Json.Str "commit"); ("tids", tids_j tids) ]
+  | Abort { tid } -> [ ("ev", Json.Str "abort"); ("tid", tid_j tid) ]
+  | Op { tid; oid; op } ->
+      [ ("ev", Json.Str "op"); ("tid", tid_j tid); ("oid", oid_j oid); ("op", Json.Str (String.make 1 op)) ]
+  | Delegate { from_; to_; moved } ->
+      [ ("ev", Json.Str "delegate"); ("from", tid_j from_); ("to", tid_j to_); ("moved", oids_j moved) ]
+  | Permit { from_; to_; oids; ops } ->
+      [ ("ev", Json.Str "permit"); ("from", tid_j from_); ("to", tid_j to_); ("oids", oids_j oids); ("ops", Json.Str ops) ]
+  | Dep { dtype; master; dependent } ->
+      [ ("ev", Json.Str "dep"); ("dtype", Json.Str dtype); ("master", tid_j master); ("dependent", tid_j dependent) ]
+  | Lock { tid; oid; mode; action } ->
+      [
+        ("ev", Json.Str "lock");
+        ("tid", tid_j tid);
+        ("oid", oid_j oid);
+        ("mode", Json.Str (String.make 1 mode));
+        ("action", Json.Str (lock_action_to_string action));
+      ]
+  | Wal_append { lsn; kind } -> [ ("ev", Json.Str "wal_append"); ("lsn", Json.Int lsn); ("kind", Json.Str kind) ]
+  | Wal_force { lsn } -> [ ("ev", Json.Str "wal_force"); ("lsn", Json.Int lsn) ]
+  | Recovery_start -> [ ("ev", Json.Str "recovery_start") ]
+  | Recovery_done { winners; losers } ->
+      [ ("ev", Json.Str "recovery_done"); ("winners", tids_j winners); ("losers", tids_j losers) ]
+  | Sched_spawn { fid; label } -> [ ("ev", Json.Str "sched_spawn"); ("fid", Json.Int fid); ("label", Json.Str label) ]
+  | Sched_stall -> [ ("ev", Json.Str "sched_stall") ]
+
+let entry_to_json (e : entry) = Json.to_string (Json.Obj (("seq", Json.Int e.seq) :: event_fields e.ev))
+
+let char_of_field j name =
+  let s = Json.to_str (Json.member name j) in
+  if String.length s <> 1 then raise (Json.Parse_error ("bad one-char field " ^ name));
+  s.[0]
+
+let event_of_json j =
+  let tid name = Tid.of_int (Json.to_int (Json.member name j)) in
+  let oid name = Oid.of_int (Json.to_int (Json.member name j)) in
+  let tids name = List.map (fun v -> Tid.of_int (Json.to_int v)) (Json.to_list (Json.member name j)) in
+  let oids name = List.map (fun v -> Oid.of_int (Json.to_int v)) (Json.to_list (Json.member name j)) in
+  let str name = Json.to_str (Json.member name j) in
+  let int name = Json.to_int (Json.member name j) in
+  match str "ev" with
+  | "initiate" -> Initiate { tid = tid "tid"; parent = tid "parent" }
+  | "begin" -> Begin { tid = tid "tid" }
+  | "commit" -> Commit { tids = tids "tids" }
+  | "abort" -> Abort { tid = tid "tid" }
+  | "op" -> Op { tid = tid "tid"; oid = oid "oid"; op = char_of_field j "op" }
+  | "delegate" -> Delegate { from_ = tid "from"; to_ = tid "to"; moved = oids "moved" }
+  | "permit" -> Permit { from_ = tid "from"; to_ = tid "to"; oids = oids "oids"; ops = str "ops" }
+  | "dep" -> Dep { dtype = str "dtype"; master = tid "master"; dependent = tid "dependent" }
+  | "lock" ->
+      Lock { tid = tid "tid"; oid = oid "oid"; mode = char_of_field j "mode"; action = lock_action_of_string (str "action") }
+  | "wal_append" -> Wal_append { lsn = int "lsn"; kind = str "kind" }
+  | "wal_force" -> Wal_force { lsn = int "lsn" }
+  | "recovery_start" -> Recovery_start
+  | "recovery_done" -> Recovery_done { winners = tids "winners"; losers = tids "losers" }
+  | "sched_spawn" -> Sched_spawn { fid = int "fid"; label = str "label" }
+  | "sched_stall" -> Sched_stall
+  | ev -> raise (Json.Parse_error ("unknown event kind " ^ ev))
+
+let entry_of_json line =
+  let j = Json.parse line in
+  { seq = Json.to_int (Json.member "seq" j); ev = event_of_json j }
+
+let load_jsonl path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec loop acc =
+        match input_line ic with
+        | exception End_of_file -> List.rev acc
+        | "" -> loop acc
+        | line -> loop (entry_of_json line :: acc)
+      in
+      loop [])
+
+(* ------------------------------------------------------------------ *)
+(* Recorder lifecycle. *)
+
+let start ?(capacity = 4096) ?(sinks = []) () =
+  if capacity <= 0 then invalid_arg "Trace.start: capacity must be positive";
+  current := Some { seq = 0; ring = Array.make capacity dummy; cap = capacity; sinks }
+
+let stop () =
+  (match !current with
+  | None -> ()
+  | Some r -> List.iter (function Jsonl oc -> flush oc | Memory _ -> ()) r.sinks);
+  current := None
+
+let seq () = match !current with None -> 0 | Some r -> r.seq
+
+let emit ev =
+  match !current with
+  | None -> ()
+  | Some r ->
+      r.seq <- r.seq + 1;
+      let e = { seq = r.seq; ev } in
+      r.ring.((r.seq - 1) mod r.cap) <- e;
+      List.iter
+        (function
+          | Memory l -> l := e :: !l
+          | Jsonl oc ->
+              output_string oc (entry_to_json e);
+              output_char oc '\n')
+        r.sinks
+
+(* The retained tail of the history, oldest first: the last [cap]
+   events (or all of them, if fewer were emitted). *)
+let recent () =
+  match !current with
+  | None -> []
+  | Some r ->
+      let first = max 1 (r.seq - r.cap + 1) in
+      let rec collect s acc = if s < first then acc else collect (s - 1) (r.ring.((s - 1) mod r.cap) :: acc) in
+      collect r.seq []
+
+let memory_sink () =
+  let l = ref [] in
+  (l, Memory l)
+
+let jsonl_sink oc = Jsonl oc
+
+(* Collected entries of a memory sink, oldest first. *)
+let entries l = List.rev !l
+
+(* Run [f] under a fresh memory-sink recorder; restore the previous
+   recorder (almost always: none) afterwards, even on exception. *)
+let with_memory ?capacity f =
+  let l, sink = memory_sink () in
+  let saved = !current in
+  start ?capacity ~sinks:[ sink ] ();
+  Fun.protect
+    ~finally:(fun () ->
+      stop ();
+      current := saved)
+    (fun () ->
+      let v = f () in
+      (v, entries l))
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing for test failure messages. *)
+
+let pp_event ppf = function
+  | Initiate { tid; parent } ->
+      if Tid.is_null parent then Format.fprintf ppf "initiate %a" Tid.pp tid
+      else Format.fprintf ppf "initiate %a parent=%a" Tid.pp tid Tid.pp parent
+  | Begin { tid } -> Format.fprintf ppf "begin %a" Tid.pp tid
+  | Commit { tids } -> Format.fprintf ppf "commit [%a]" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " ") Tid.pp) tids
+  | Abort { tid } -> Format.fprintf ppf "abort %a" Tid.pp tid
+  | Op { tid; oid; op } -> Format.fprintf ppf "%c(%a,%a)" op Tid.pp tid Oid.pp oid
+  | Delegate { from_; to_; moved } ->
+      Format.fprintf ppf "delegate %a->%a [%a]" Tid.pp from_ Tid.pp to_
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " ") Oid.pp)
+        moved
+  | Permit { from_; to_; oids; ops } ->
+      Format.fprintf ppf "permit %a->%a ops=%s [%a]" Tid.pp from_ Tid.pp to_ ops
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " ") Oid.pp)
+        oids
+  | Dep { dtype; master; dependent } -> Format.fprintf ppf "dep %s %a->%a" dtype Tid.pp master Tid.pp dependent
+  | Lock { tid; oid; mode; action } ->
+      Format.fprintf ppf "lock %s %a %a %c" (lock_action_to_string action) Tid.pp tid Oid.pp oid mode
+  | Wal_append { lsn; kind } -> Format.fprintf ppf "wal_append lsn=%d %s" lsn kind
+  | Wal_force { lsn } -> Format.fprintf ppf "wal_force lsn=%d" lsn
+  | Recovery_start -> Format.fprintf ppf "recovery_start"
+  | Recovery_done { winners; losers } ->
+      Format.fprintf ppf "recovery_done winners=[%a] losers=[%a]"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " ") Tid.pp)
+        winners
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " ") Tid.pp)
+        losers
+  | Sched_spawn { fid; label } -> Format.fprintf ppf "sched_spawn %d %s" fid label
+  | Sched_stall -> Format.fprintf ppf "sched_stall"
+
+let pp_entry ppf (e : entry) = Format.fprintf ppf "@[%6d %a@]" e.seq pp_event e.ev

@@ -224,6 +224,7 @@ let spawn t ~label body =
   t.next_fid <- fid + 1;
   let fiber = { fid; label; resume = (fun () -> ()) } in
   fiber.resume <- (fun () -> Effect.Deep.match_with body () (handler t fiber));
+  if Asset_obs.Trace.on () then Asset_obs.Trace.emit (Asset_obs.Trace.Sched_spawn { fid; label });
   log_event t fid ("spawn: " ^ label);
   enqueue t fiber;
   fid
@@ -303,7 +304,13 @@ let run t =
         t.on_quiesce ();
         if no_parked t then () (* all fibers done *)
         else if wake_ready t then loop ()
-        else if t.on_stall () then begin
+        else if begin
+          (* Stall: nothing runnable, nothing wakeable — the moment the
+             deadlock-resolution hook observes. *)
+          if Asset_obs.Trace.on () then Asset_obs.Trace.emit Asset_obs.Trace.Sched_stall;
+          t.on_stall ()
+        end
+        then begin
           ignore (wake_ready t);
           if Ring.is_empty t.runnable && not (wake_ready t) then
             raise

@@ -22,6 +22,17 @@
    multi-sector write. *)
 
 module Fault = Asset_fault.Fault
+module Trace = Asset_obs.Trace
+
+let record_kind = function
+  | Record.Begin _ -> "begin"
+  | Record.Update _ -> "update"
+  | Record.Commit _ -> "commit"
+  | Record.Abort _ -> "abort"
+  | Record.Delegate _ -> "delegate"
+  | Record.Increment _ -> "increment"
+  | Record.Clr _ -> "clr"
+  | Record.Checkpoint -> "checkpoint"
 
 let site_append = Fault.register "wal.append"
 let site_force = Fault.register "wal.force"
@@ -118,6 +129,7 @@ let force t =
          before anyone was told: durable yet unacknowledged. *)
       Fault.hit_io site_after_force);
   t.forced_lsn <- t.len - 1;
+  if Trace.on () then Trace.emit (Trace.Wal_force { lsn = t.forced_lsn });
   t.forces <- t.forces + 1
 
 let append ?(force_commit = true) t record =
@@ -126,6 +138,7 @@ let append ?(force_commit = true) t record =
   t.records.(t.len) <- record;
   let lsn = t.len in
   t.len <- t.len + 1;
+  if Trace.on () then Trace.emit (Trace.Wal_append { lsn; kind = record_kind record });
   (match t.sink with
   | None -> ()
   | Some sink ->

@@ -114,6 +114,7 @@ let analyze ?(from_checkpoint = true) log =
   (updates, redo, List.sort Tid.compare winners, List.sort Tid.compare losers, resolved, !scanned_from)
 
 let recover ?(from_checkpoint = true) log store =
+  if Asset_obs.Trace.on () then Asset_obs.Trace.emit Asset_obs.Trace.Recovery_start;
   let updates, redo, winners, losers, resolved, from = analyze ~from_checkpoint log in
   let winner tid = List.exists (Tid.equal tid) winners in
   (* Redo: repeat history, including the undo writes (CLRs) of aborts
@@ -142,6 +143,7 @@ let recover ?(from_checkpoint = true) log store =
           | None -> ()))
     (List.rev loser_updates);
   Store.flush store;
+  if Asset_obs.Trace.on () then Asset_obs.Trace.emit (Asset_obs.Trace.Recovery_done { winners; losers });
   {
     winners;
     losers;

@@ -151,6 +151,21 @@ let test_counter () =
   Alcotest.(check int) "reset" 0 (Stats.Counter.get c);
   Alcotest.(check string) "name" "c" (Stats.Counter.name c)
 
+let test_counter_get_is_pure () =
+  (* The repo-wide discipline: reading a counter never resets it —
+     [reset] is the one explicit reset point (see Engine.reset_stats
+     and its lock-manager/dep-graph counterparts). *)
+  let c = Stats.Counter.create "pure" in
+  Stats.Counter.add c 7;
+  Alcotest.(check int) "first read" 7 (Stats.Counter.get c);
+  Alcotest.(check int) "second read unchanged" 7 (Stats.Counter.get c);
+  Stats.Counter.incr c;
+  Alcotest.(check int) "still accumulating" 8 (Stats.Counter.get c);
+  Stats.Counter.reset c;
+  Alcotest.(check int) "explicit reset zeroes" 0 (Stats.Counter.get c);
+  Stats.Counter.incr c;
+  Alcotest.(check int) "counts again after reset" 1 (Stats.Counter.get c)
+
 let test_summary () =
   let s = Stats.Summary.create "s" in
   List.iter (Stats.Summary.observe s) [ 1.0; 2.0; 3.0; 4.0 ];
@@ -278,6 +293,7 @@ let () =
       ( "stats",
         [
           Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "counter get is pure" `Quick test_counter_get_is_pure;
           Alcotest.test_case "summary" `Quick test_summary;
           Alcotest.test_case "summary empty" `Quick test_summary_empty;
           Alcotest.test_case "histogram" `Quick test_histogram;
