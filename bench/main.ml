@@ -1591,6 +1591,130 @@ let e20_obs () =
   Format.printf "wrote %s@." path
 
 (* ------------------------------------------------------------------ *)
+(* E21: systematic schedule exploration (lib/check).  State-space size
+   and sleep-set reduction per canned scenario, plus the mutation
+   self-validation matrix.  Emits BENCH_check.json. *)
+
+let e21_check () =
+  let module C = Asset_check.Explore in
+  let module Scen = Asset_check.Scenario in
+  let scenarios =
+    if !smoke then
+      List.filter_map Scen.by_name [ "handoff"; "cross-locks"; "cd-chain" ]
+    else Scen.all
+  in
+  (* Naive (no-POR) comparison only where the unreduced tree is small
+     enough to finish; elsewhere report the POR-only numbers. *)
+  let naive_set = [ "handoff"; "cross-locks"; "cd-chain" ] in
+  let rows =
+    List.map
+      (fun (s : Scen.t) ->
+        let (r : C.report), dt = time_of (fun () -> C.explore s) in
+        let naive =
+          if List.mem s.name naive_set then
+            Some (C.explore ~options:{ C.default_options with por = false } s)
+          else None
+        in
+        (s.name, r, dt, naive))
+      scenarios
+  in
+  let t =
+    Table.create ~title:"E21: systematic schedule exploration (sleep-set POR)"
+      ~header:[ "scenario"; "schedules"; "pruned"; "choice pts"; "naive"; "ratio"; "s" ]
+  in
+  List.iter
+    (fun (name, (r : C.report), dt, naive) ->
+      Table.add_row t
+        [
+          name;
+          Table.fmt_i r.schedules;
+          Table.fmt_i r.pruned;
+          Table.fmt_i r.choice_points;
+          (match naive with Some (n : C.report) -> Table.fmt_i n.schedules | None -> "-");
+          (match naive with
+          | Some n ->
+              Table.fmt_f ~digits:1
+                (float_of_int n.schedules /. float_of_int (max 1 r.schedules))
+          | None -> "-");
+          Table.fmt_f ~digits:2 dt;
+        ])
+    rows;
+  Table.print t;
+  let kills =
+    List.map
+      (fun m ->
+        let scen = C.mutate m (C.kill_scenario m) in
+        let (r : C.report), dt = time_of (fun () -> C.explore scen) in
+        (scen.name, r, dt))
+      C.mutations
+  in
+  let mt =
+    Table.create ~title:"E21b: mutation self-validation"
+      ~header:[ "mutation"; "killed"; "schedules"; "counterexample"; "minimized"; "s" ]
+  in
+  List.iter
+    (fun (name, (r : C.report), dt) ->
+      let killed, sched, min_ =
+        match r.failure with
+        | Some f ->
+            (true, C.choices_to_string f.schedule, C.choices_to_string f.minimized)
+        | None -> (false, "-", "-")
+      in
+      Table.add_row mt
+        [
+          name;
+          (if killed then "yes" else "NO");
+          Table.fmt_i r.schedules;
+          (if sched = "" then "(default)" else sched);
+          (if killed && min_ = "" then "(default)" else min_);
+          Table.fmt_f ~digits:2 dt;
+        ])
+    kills;
+  Table.print mt;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"experiment\": \"E21-check\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" !smoke);
+  Buffer.add_string buf "  \"scenarios\": [\n";
+  List.iteri
+    (fun i (name, (r : C.report), dt, naive) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"scenario\": \"%s\", \"schedules\": %d, \"pruned\": %d, \
+            \"choice_points\": %d, \"completed\": %b, \"naive_schedules\": %s, \
+            \"seconds\": %.3f}%s\n"
+           name r.schedules r.pruned r.choice_points r.completed
+           (match naive with
+           | Some (n : C.report) -> string_of_int n.schedules
+           | None -> "null")
+           dt
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"mutations\": [\n";
+  List.iteri
+    (fun i (name, (r : C.report), dt) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"mutation\": \"%s\", \"killed\": %b, \"schedules\": %d, \
+            \"minimized_len\": %s, \"seconds\": %.3f}%s\n"
+           name
+           (r.failure <> None)
+           r.schedules
+           (match r.failure with
+           | Some f -> string_of_int (List.length f.minimized)
+           | None -> "null")
+           dt
+           (if i = List.length kills - 1 then "" else ",")))
+    kills;
+  Buffer.add_string buf "  ]\n}\n";
+  let path = if !smoke then "BENCH_check_smoke.json" else "BENCH_check.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "wrote %s@." path
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1619,6 +1743,8 @@ let experiments =
     ("faults", e19_faults);
     ("e20", e20_obs);
     ("obs", e20_obs);
+    ("e21", e21_check);
+    ("check", e21_check);
   ]
 
 let () =
@@ -1628,7 +1754,7 @@ let () =
       ( "--only",
         Arg.String
           (fun s -> only := !only @ String.split_on_char ',' (String.lowercase_ascii s)),
-        "KEYS  comma-separated experiment keys (f1, e1..e20, hotpath, lockpath, faults, obs); default: all" );
+        "KEYS  comma-separated experiment keys (f1, e1..e21, hotpath, lockpath, faults, obs, check); default: all" );
       ("--smoke", Arg.Set smoke, "  tiny quotas for CI smoke runs");
     ]
   in
@@ -1640,7 +1766,8 @@ let () =
     | [] ->
         (* the eNN keys cover the aliases *)
         List.filter
-          (fun (k, _) -> k <> "hotpath" && k <> "lockpath" && k <> "faults" && k <> "obs")
+          (fun (k, _) ->
+            k <> "hotpath" && k <> "lockpath" && k <> "faults" && k <> "obs" && k <> "check")
           experiments
     | keys ->
         List.map
@@ -1650,7 +1777,7 @@ let () =
             | None -> failwith ("unknown experiment: " ^ k))
           keys
   in
-  Format.printf "ASSET benchmark harness — experiments F1, E1-E20 (see DESIGN.md)%s@."
+  Format.printf "ASSET benchmark harness — experiments F1, E1-E21 (see DESIGN.md)%s@."
     (if !smoke then " [smoke]" else "");
   List.iter (fun (_, f) -> f ()) selected;
   Format.printf "@.done.@."

@@ -24,7 +24,21 @@ echo "== conformance: random base seed ${RANDOM_BASE} (time-boxed) =="
 CONFORMANCE_BASE_SEED="${RANDOM_BASE}" CONFORMANCE_SEEDS=50 \
   timeout 120 dune exec test/test_conformance.exe
 
-echo "== bench smoke (E1 + E17/hotpath + E18/lockpath + E19/faults + E20/obs) =="
-dune exec bench/main.exe -- --only e1,hotpath,lockpath,faults,obs --smoke
+# Explorer smoke shard (E21 harness, see DESIGN.md §9).  The full
+# canned-scenario matrix already ran under dune runtest above; this
+# re-runs the small scenarios plus the complete mutation kill matrix
+# through the bench entry point, and fails if any mutation survives.
+echo "== explorer smoke (small scenarios + mutation kill matrix) =="
+dune exec bench/main.exe -- --only check --smoke | tee /tmp/check_smoke.out
+if grep -q "| NO " /tmp/check_smoke.out; then
+  echo "explorer smoke: a seeded mutation was NOT killed" >&2
+  exit 1
+fi
+
+echo "== bench smoke (E1 + E17/hotpath + E18/lockpath + E19/faults + E20/obs + E21/check) =="
+dune exec bench/main.exe -- --only e1,hotpath,lockpath,faults,obs,check --smoke
+
+echo "== bench artifact sanity (BENCH_*.json schemas) =="
+dune exec bin/bench_sanity.exe
 
 echo "CI OK"

@@ -70,6 +70,13 @@ type config = {
       (* cross-check the lock manager's incremental waits-for graph
          against a from-scratch rebuild on every lock operation and
          deadlock search — expensive, for tests only *)
+  mutation_skip_remove_permits : bool;
+      (* seeded bug for checker self-validation: terminated transactions
+         leave their permits behind instead of dropping them *)
+  mutation_drop_cd_edge : bool;
+      (* seeded bug for checker self-validation: form_dependency reports
+         a CD edge as formed (trace event included) without recording
+         it, so commit never waits on the master *)
 }
 
 let default_config =
@@ -81,6 +88,8 @@ let default_config =
     group_commit_size = 1;
     lock_wait_timeout_steps = 0;
     debug_invariants = false;
+    mutation_skip_remove_permits = false;
+    mutation_drop_cd_edge = false;
   }
 
 type t = {
@@ -516,13 +525,22 @@ let permit ?to_ ?oids ?ops db ~from_ =
 (* form_dependency                                                     *)
 
 let form_dependency db dtype ti tj =
-  match Dep.add db.deps dtype ~master:ti ~dependent:tj with
-  | () ->
-      if Trace.on () then
-        Trace.emit (Trace.Dep { dtype = Dep_type.to_string dtype; master = ti; dependent = tj });
-      bump db;
-      true
-  | exception Dep.Cycle_rejected _ -> false
+  if db.config.mutation_drop_cd_edge && dtype = Dep_type.CD then begin
+    (* Seeded bug: claim the CD edge was formed (trace event and all)
+       but never record it, so commit ordering is silently lost. *)
+    if Trace.on () then
+      Trace.emit (Trace.Dep { dtype = Dep_type.to_string dtype; master = ti; dependent = tj });
+    bump db;
+    true
+  end
+  else
+    match Dep.add db.deps dtype ~master:ti ~dependent:tj with
+    | () ->
+        if Trace.on () then
+          Trace.emit (Trace.Dep { dtype = Dep_type.to_string dtype; master = ti; dependent = tj });
+        bump db;
+        true
+    | exception Dep.Cycle_rejected _ -> false
 
 (* ------------------------------------------------------------------ *)
 (* abort: the section 4.2 algorithm                                    *)
@@ -568,7 +586,7 @@ let rec finalize_abort db (td : td) =
   (* Step 3: release all locks (and any pending requests). *)
   ignore (Lock.release_all db.locks td.tid);
   Lock.cancel_pending_all db.locks td.tid;
-  Lock.remove_permits db.locks td.tid;
+  if not db.config.mutation_skip_remove_permits then Lock.remove_permits db.locks td.tid;
   (* Step 4: dependencies incoming to t_i (t_i is the master) force
      AD/GC dependents to abort.  A group-commit dependency is symmetric
      ("either both commit or neither"), so GC edges where t_i is the
@@ -701,7 +719,7 @@ let commit_group db group =
          permissions. *)
       Dep.remove_involving db.deps tid;
       ignore (Lock.release_all db.locks tid);
-      Lock.remove_permits db.locks tid)
+      if not db.config.mutation_skip_remove_permits then Lock.remove_permits db.locks tid)
     group;
   (* Exclusion: committing excludes every EXC partner of each member.
      Partners were collected before edges were dropped — but since

@@ -65,6 +65,17 @@ type config = {
           against a from-scratch rebuild after every lock operation and
           at every deadlock search, failing loudly on divergence.
           Expensive — intended for tests.  Default [false]. *)
+  mutation_skip_remove_permits : bool;
+      (** Seeded bug for checker self-validation ({!Asset_check}):
+          commit and abort skip [Lock.remove_permits], so a terminated
+          grantor's permits stay live and can sanction later conflicting
+          operations.  Default [false]; never enable outside tests. *)
+  mutation_drop_cd_edge : bool;
+      (** Seeded bug for checker self-validation: {!form_dependency}
+          reports a commit dependency as formed — trace event emitted,
+          [true] returned — without recording the edge, so commit never
+          waits for the master.  Default [false]; never enable outside
+          tests. *)
 }
 
 val default_config : config

@@ -27,6 +27,21 @@ let pp ppf = function
 let conflicts a b =
   match (a, b) with Read, Read -> false | Increment, Increment -> false | _ -> true
 
+(* The same conflict relation on the single-character operation tags
+   used by trace events ('R', 'W', 'I').  Unknown tags conservatively
+   conflict with everything — a sound default for consumers (like the
+   schedule explorer) that prune commuting steps. *)
+let of_op_char = function
+  | 'R' -> Some Read
+  | 'W' -> Some Write
+  | 'I' -> Some Increment
+  | _ -> None
+
+let conflicts_ops a b =
+  match (of_op_char a, of_op_char b) with
+  | Some ma, Some mb -> conflicts ma mb
+  | _ -> true
+
 (* "gl covers the requested lock": a Write lock allows any operation. *)
 let covers ~held ~requested =
   match (held, requested) with

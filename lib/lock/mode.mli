@@ -14,6 +14,15 @@ val conflicts : t -> t -> bool
 (** Conflict matrix: R/R and I/I are compatible; everything else
     conflicts. *)
 
+val of_op_char : char -> t option
+(** Decode the single-character operation tag used by trace events
+    ('R', 'W', 'I'); [None] for anything else. *)
+
+val conflicts_ops : char -> char -> bool
+(** {!conflicts} lifted to trace-event operation tags.  Unknown tags
+    conservatively conflict with everything, so independence judgements
+    built on this relation stay sound. *)
+
 val covers : held:t -> requested:t -> bool
 (** Whether a lock held in [held] already satisfies a request for
     [requested] (a Write lock covers everything). *)

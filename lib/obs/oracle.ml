@@ -327,11 +327,23 @@ let check_two_phase ?(strict = true) entries =
    increments need no permit.  Delegation moves the dirty attribution
    with the responsibility; commit and abort clear it (abort's undo
    happens before the locks drop, so post-abort readers see
-   pre-images). *)
+   pre-images).
+
+   The permit model mirrors the lock manager's exactly:
+   - sanction is *transitive* (rule 3): writer permits t1, t1 permits
+     the reader — each hop covering the object and the operation — is
+     as good as a direct permit, and a wildcard grantee reaches anyone;
+   - permits *expire* when either endpoint terminates ([remove_permits]
+     runs at commit and abort), so a chain through a dead grantor
+     sanctions nothing — the clause that catches an engine whose
+     cleanup is broken;
+   - [delegate] re-grants the delegator's permits from the delegatee on
+     the moved objects, just as the lock manager rewrites its permit
+     descriptors. *)
 
 let check_visibility entries =
   let dirty : (Oid.t, Tid.t * char) Hashtbl.t = Hashtbl.create 32 in
-  let permits = ref [] (* (from_, to_, oids, ops, at), newest first *) in
+  let permits = ref [] (* live (from_, to_, oids, ops, at), newest first *) in
   (* Initiate parentage: a subtransaction "may access any object
      currently accessed by an ancestor" (section 3.1.4), so data
      dirtied by an ancestor is visible down the tree even when the
@@ -350,17 +362,35 @@ let check_visibility entries =
   in
   let clear_tid tid =
     let gone = Hashtbl.fold (fun oid (w, _) acc -> if Tid.equal w tid then oid :: acc else acc) dirty [] in
-    List.iter (Hashtbl.remove dirty) gone
+    List.iter (Hashtbl.remove dirty) gone;
+    (* remove_permits: a terminated transaction neither grants nor
+       holds permission any longer. *)
+    permits :=
+      List.filter (fun (f, t_, _, _, _) -> not (Tid.equal f tid || Tid.equal t_ tid)) !permits
   in
+  (* Rule-3 transitive sanction: a chain of live permits from the dirty
+     writer to the reader, every hop granted before [at] and covering
+     [oid] and [op] (the intersection of the hop operation sets contains
+     [op] iff every hop's set does).  A wildcard grantee reaches the
+     reader directly.  [visited] is sound because the per-hop test does
+     not depend on the path taken. *)
   let sanctioned ~writer ~reader ~oid ~op ~at =
-    List.exists
-      (fun (from_, to_, oids, ops, p_at) ->
-        p_at < at
-        && Tid.equal from_ writer
-        && (Tid.is_null to_ || Tid.equal to_ reader)
-        && (oids = [] || List.exists (Oid.equal oid) oids)
-        && String.contains ops op)
-      !permits
+    let visited : (Tid.t, unit) Hashtbl.t = Hashtbl.create 8 in
+    let rec reach from_ =
+      (not (Hashtbl.mem visited from_))
+      && begin
+           Hashtbl.add visited from_ ();
+           List.exists
+             (fun (f, t_, oids, ops, p_at) ->
+               p_at < at
+               && Tid.equal f from_
+               && (oids = [] || List.exists (Oid.equal oid) oids)
+               && String.contains ops op
+               && (Tid.is_null t_ || Tid.equal t_ reader || reach t_))
+             !permits
+         end
+    in
+    reach writer
   in
   let violations = ref [] in
   let bad fmt = Format.kasprintf (fun detail -> violations := { check = "visibility"; detail } :: !violations) fmt in
@@ -387,7 +417,23 @@ let check_visibility entries =
               | Some (w, dop) when Tid.equal w from_ && List.exists (Oid.equal oid) moved ->
                   Hashtbl.replace dirty oid (to_, dop)
               | _ -> ())
-            moved
+            moved;
+          (* The lock manager rewrites permit descriptors granted by the
+             delegator on moved objects to be granted by the delegatee.
+             A permit with an explicit oid list splits along the moved
+             boundary; an object-wildcard permit (synthetic traces only
+             — the engine always expands) conservatively stays with the
+             delegator *and* is re-granted on the moved objects. *)
+          permits :=
+            List.concat_map
+              (fun ((f, t_, oids, ops, p_at) as p) ->
+                if not (Tid.equal f from_) then [ p ]
+                else if oids = [] then [ p; (to_, t_, moved, ops, p_at) ]
+                else
+                  let m, keep = List.partition (fun o -> List.exists (Oid.equal o) moved) oids in
+                  (if m = [] then [] else [ (to_, t_, m, ops, p_at) ])
+                  @ if keep = [] then [] else [ (f, t_, keep, ops, p_at) ])
+              !permits
       | Trace.Commit { tids } -> List.iter clear_tid tids
       | Trace.Abort { tid } -> clear_tid tid
       | _ -> ())

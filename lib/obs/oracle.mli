@@ -53,7 +53,11 @@ val check_visibility : Trace.entry list -> violation list
     a permit, and data dirtied by an ancestor per [Initiate]
     parentage, which is visible down the transaction tree (section
     3.1.4); delegation moves dirty attribution, commit/abort clear
-    it. *)
+    it.  Permits follow the lock manager's semantics exactly: sanction
+    is transitive with a wildcard grantee reaching anyone (rule 3),
+    permits expire when either endpoint terminates (the engine's
+    [remove_permits] at commit/abort), and [Delegate] re-grants the
+    delegator's permits from the delegatee on the moved objects. *)
 
 val check_group_atomicity : groups:Tid.t list list -> Trace.entry list -> violation list
 (** Contract checker: every listed group commits all-or-nothing, in a

@@ -30,7 +30,12 @@
    victim); if the hook makes no progress, [Deadlock] is raised with the
    parked fibers' reasons. *)
 
-type policy = Fifo | Random_seeded of int
+type candidate = { cfid : int; clabel : string }
+
+type policy =
+  | Fifo
+  | Random_seeded of int
+  | Controlled of (candidate array -> int)
 
 type fiber = {
   fid : int;
@@ -101,6 +106,20 @@ module Ring = struct
     r.size <- r.size - 1;
     x
 
+  (* Order-preserving removal for the controlled policy: elements after
+     [i] shift forward one slot, so the queue order the chooser saw is
+     exactly the order the remaining candidates keep.  O(n), but
+     controlled runs are bounded scenarios where n is tiny. *)
+  let remove_at r i =
+    let x = get r i in
+    let cap = Array.length r.buf in
+    for j = i to r.size - 2 do
+      r.buf.((r.head + j) land (cap - 1)) <- r.buf.((r.head + j + 1) land (cap - 1))
+    done;
+    r.buf.((r.head + r.size - 1) land (cap - 1)) <- r.dummy;
+    r.size <- r.size - 1;
+    x
+
   (* Front-to-back fold, newest last. *)
   let fold r ~init ~f =
     let acc = ref init in
@@ -126,6 +145,7 @@ type t = {
   mutable steps : int;
   max_steps : int;
   rng : Asset_util.Rng.t option;
+  chooser : (candidate array -> int) option;
   mutable on_stall : unit -> bool;
   mutable on_quiesce : unit -> unit;
   mutable clock : (unit -> int) option;
@@ -146,7 +166,8 @@ let create ?(policy = Fifo) ?(max_steps = 10_000_000) ?(record_trace = false) ()
     current = None;
     steps = 0;
     max_steps;
-    rng = (match policy with Fifo -> None | Random_seeded seed -> Some (Asset_util.Rng.create seed));
+    rng = (match policy with Random_seeded seed -> Some (Asset_util.Rng.create seed) | Fifo | Controlled _ -> None);
+    chooser = (match policy with Controlled f -> Some f | Fifo | Random_seeded _ -> None);
     on_stall = (fun () -> false);
     on_quiesce = (fun () -> ());
     clock = None;
@@ -172,11 +193,28 @@ let pop_runnable t =
   let n = Ring.size t.runnable in
   if n = 0 then None
   else
-    match t.rng with
-    | None -> Some (Ring.pop_front t.runnable)
-    | Some rng ->
-        let i = Asset_util.Rng.int rng n in
-        Some (Ring.swap_remove t.runnable (n - 1 - i))
+    match t.chooser with
+    | Some choose ->
+        (* Choice point: the strategy sees every runnable fiber in
+           stable (queue) order and picks one.  Invoked even when n = 1
+           so a systematic explorer observes every scheduling segment
+           boundary, not just the branching ones. *)
+        let cands =
+          Array.init n (fun i ->
+              let f = Ring.get t.runnable i in
+              { cfid = f.fid; clabel = f.label })
+        in
+        let i = choose cands in
+        if i < 0 || i >= n then
+          invalid_arg
+            (Printf.sprintf "Scheduler: controlled choice %d out of range [0, %d)" i n);
+        Some (Ring.remove_at t.runnable i)
+    | None -> (
+        match t.rng with
+        | None -> Some (Ring.pop_front t.runnable)
+        | Some rng ->
+            let i = Asset_util.Rng.int rng n in
+            Some (Ring.swap_remove t.runnable (n - 1 - i)))
 
 let current_fid t = match t.current with Some f -> f.fid | None -> -1
 

@@ -18,7 +18,20 @@
     (the engine uses it to abort a deadlock victim); if it makes no
     progress, {!Deadlock} is raised with the parked fibers' reasons. *)
 
-type policy = Fifo | Random_seeded of int
+type candidate = { cfid : int; clabel : string }
+(** One runnable fiber presented to a {!Controlled} strategy at a
+    choice point, in stable run-queue order. *)
+
+type policy =
+  | Fifo
+  | Random_seeded of int
+  | Controlled of (candidate array -> int)
+      (** Pluggable strategy: at every scheduling step the function is
+          given the runnable fibers (stable order) and returns the index
+          to run next — the hook systematic explorers drive to
+          enumerate every interleaving.  Called even when only one
+          fiber is runnable, so strategies observe every segment
+          boundary.  An out-of-range return raises [Invalid_argument]. *)
 
 type t
 

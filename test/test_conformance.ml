@@ -12,8 +12,11 @@
    n from CONFORMANCE_SEEDS (default 200 — the acceptance bar) and
    base from CONFORMANCE_BASE_SEED (default 1; CI's time-boxed random
    shard sets a random base).  Every failure message names the model,
-   the seed and the variant, so any run is reproducible with
-   CONFORMANCE_BASE_SEED=<seed> CONFORMANCE_SEEDS=1. *)
+   the failing seed, the variant and the run's base seed, and ends
+   with a copy-pasteable reproduction recipe.  CONF_SEED=<seed> is
+   the one-stop override: it pins the base to exactly that seed and
+   forces a single iteration, so `CONF_SEED=1234 dune exec
+   test/test_conformance.exe` reruns one failing schedule. *)
 
 module E = Asset_core.Engine
 module R = Asset_core.Runtime
@@ -40,8 +43,19 @@ let env_int name default =
   | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> default)
   | None -> default
 
-let seeds_per_model = env_int "CONFORMANCE_SEEDS" 200
-let base_seed = env_int "CONFORMANCE_BASE_SEED" 1
+(* CONF_SEED pins a single exact seed (reproduction mode); otherwise
+   the range is [CONFORMANCE_BASE_SEED, + CONFORMANCE_SEEDS). *)
+let conf_seed = Option.bind (Sys.getenv_opt "CONF_SEED") int_of_string_opt
+
+let seeds_per_model =
+  match conf_seed with Some _ -> 1 | None -> env_int "CONFORMANCE_SEEDS" 200
+
+let base_seed =
+  match conf_seed with Some s -> s | None -> env_int "CONFORMANCE_BASE_SEED" 1
+
+let repro seed =
+  Printf.sprintf "base seed %d; reproduce: CONF_SEED=%d dune exec test/test_conformance.exe"
+    base_seed seed
 
 (* The transient-failure source for faulted runs: every generated
    transaction body hits this site, and the faulted variant arms it
@@ -284,16 +298,16 @@ let run_conformance model ~faulted seed =
         with
         | (), entries -> entries
         | exception exn ->
-            Alcotest.failf "%s seed %d%s: raised %s" model.name seed
+            Alcotest.failf "%s seed %d%s: raised %s (%s)" model.name seed
               (if faulted then " (faulted)" else "")
-              (Printexc.to_string exn))
+              (Printexc.to_string exn) (repro seed))
   in
   match model.checks entries with
   | [] -> ()
   | vs ->
-      Alcotest.failf "%s seed %d%s: %d violation(s):@\n%s" model.name seed
+      Alcotest.failf "%s seed %d%s (%s): %d violation(s):@\n%s" model.name seed
         (if faulted then " (faulted)" else "")
-        (List.length vs)
+        (repro seed) (List.length vs)
         (String.concat "\n" (List.map (Format.asprintf "%a" Oracle.pp_violation) vs))
 
 let conformance_case model ~faulted () =

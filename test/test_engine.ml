@@ -429,6 +429,51 @@ let test_delegate_to_terminated_rejected () =
          | exception Invalid_argument _ -> ignore (E.abort db t1)
          | () -> Alcotest.fail "expected rejection"))
 
+let test_delegate_withdraws_pending_requests () =
+  (* Regression (PR 2): delegating an object while the delegator's
+     lock request for it is still queued must withdraw that pending
+     request — otherwise the delegator is granted a lock for work it
+     no longer owns, or wedges the queue.  End-to-end: holder holds
+     W(o1); t1's body blocks requesting it; the main fiber delegates
+     o1 from t1 to t3 while the request is pending; the history must
+     still pass the cooperative oracle. *)
+  let pending_has db tid =
+    List.exists
+      (fun (t, _, _) -> Tid.equal t tid)
+      (Asset_lock.Lock_manager.pending_of (E.locks db) (oid 1))
+  in
+  let (), entries =
+    Asset_obs.Trace.with_memory (fun () ->
+        ignore
+          (with_db (fun db ->
+               let holder = E.initiate db (fun () -> E.write db (oid 1) (vi 9)) in
+               let t1 = E.initiate db (fun () -> E.write db (oid 1) (vi 1)) in
+               let t3 = E.initiate db (fun () -> ()) in
+               ignore (E.begin_ db holder);
+               ignore (E.wait db holder);
+               ignore (E.begin_ db t1);
+               (* Let t1's body run until it parks on the held lock. *)
+               Sched.yield ();
+               Sched.yield ();
+               Alcotest.(check bool) "t1 queued behind holder" true (pending_has db t1);
+               E.delegate db ~from_:t1 ~to_:t3 ~oids:[ oid 1 ];
+               Alcotest.(check bool)
+                 "pending request withdrawn by delegation" false (pending_has db t1);
+               ignore (E.begin_ db t3);
+               (* Holder commits, releasing the lock; t1's body re-requests,
+                  acquires, finishes; everyone terminates cleanly. *)
+               Alcotest.(check bool) "holder commits" true (E.commit db holder);
+               ignore (E.wait db t1);
+               Alcotest.(check bool) "t1 commits" true (E.commit db t1);
+               Alcotest.(check bool) "t3 commits" true (E.commit db t3))))
+  in
+  match Asset_obs.Oracle.check_cooperative_history entries with
+  | [] -> ()
+  | vs ->
+      Alcotest.failf "oracle: %d violation(s): %s" (List.length vs)
+        (String.concat "; "
+           (List.map (Format.asprintf "%a" Asset_obs.Oracle.pp_violation) vs))
+
 (* ------------------------------------------------------------------ *)
 (* permit                                                              *)
 
@@ -1082,6 +1127,8 @@ let () =
             test_delegatee_abort_undoes_delegated_updates;
           Alcotest.test_case "partial delegation" `Quick test_partial_delegation;
           Alcotest.test_case "delegate to initiated" `Quick test_delegate_to_initiated_transaction;
+          Alcotest.test_case "delegate withdraws pending requests" `Quick
+            test_delegate_withdraws_pending_requests;
           Alcotest.test_case "delegate to terminated rejected" `Quick
             test_delegate_to_terminated_rejected;
         ] );

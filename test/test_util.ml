@@ -1,8 +1,10 @@
-(* Tests for asset_util: identifiers, the deterministic RNG, the Zipf
-   sampler, counters/summaries/histograms and table rendering. *)
+(* Tests for asset_util: identifiers, the deterministic RNG (including
+   SplitMix64 reference vectors), CRC-32 published test vectors, the
+   Zipf sampler, counters/summaries/histograms and table rendering. *)
 
 module Id = Asset_util.Id
 module Rng = Asset_util.Rng
+module Crc32 = Asset_util.Crc32
 module Zipf = Asset_util.Zipf
 module Stats = Asset_util.Stats
 module Table = Asset_util.Table
@@ -96,6 +98,55 @@ let test_rng_copy () =
   let c = Rng.copy r in
   Alcotest.(check int) "copy continues identically" (Rng.int r 1_000_000) (Rng.int c 1_000_000)
 
+let test_rng_splitmix64_reference () =
+  (* First outputs of SplitMix64 from seed 0, per the reference
+     implementation in Steele, Lea & Flood (OOPSLA 2014) — the same
+     vectors Java's SplittableRandom and the xoshiro seeding docs
+     publish.  Pins the generator against accidental algorithm
+     drift, which would silently change every seeded schedule and
+     workload in the repository. *)
+  let r = Rng.create 0 in
+  List.iter
+    (fun expected ->
+      Alcotest.(check string) "splitmix64(seed 0) stream" expected
+        (Printf.sprintf "0x%016Lx" (Rng.next_int64 r)))
+    [ "0xe220a8397b1dcdaf"; "0x6e789e6aa1b965f4"; "0x06c45d188009454f" ]
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32                                                              *)
+
+let test_crc32_published_vectors () =
+  (* IEEE 802.3 (polynomial 0xEDB88320, reflected) check values. *)
+  List.iter
+    (fun (s, expected) ->
+      Alcotest.(check string)
+        (Printf.sprintf "crc32(%S)" s)
+        (Printf.sprintf "0x%08x" expected)
+        (Printf.sprintf "0x%08x" (Crc32.string s)))
+    [
+      ("", 0x00000000);
+      ("a", 0xE8B7BE43);
+      ("abc", 0x352441C2);
+      ("123456789", 0xCBF43926);
+      ("The quick brown fox jumps over the lazy dog", 0x414FA339);
+    ]
+
+let test_crc32_update_chunked () =
+  (* Incremental update over arbitrary chunk boundaries must agree
+     with the one-shot checksum — the WAL writes records through the
+     incremental interface. *)
+  let s = "0123456789abcdefghijklmnopqrstuvwxyz" in
+  let full = Crc32.string s in
+  let len = String.length s in
+  for cut1 = 0 to len do
+    let cut2 = (cut1 + 7) mod (len + 1) in
+    let lo = min cut1 cut2 and hi = max cut1 cut2 in
+    let crc = Crc32.update 0 s 0 lo in
+    let crc = Crc32.update crc s lo (hi - lo) in
+    let crc = Crc32.update crc s hi (len - hi) in
+    Alcotest.(check int) (Printf.sprintf "chunked at %d/%d" lo hi) full crc
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Zipf                                                                *)
 
@@ -137,6 +188,37 @@ let test_zipf_invalid_args () =
       ignore (Zipf.create ~n:0 ~theta:1.0 ~rng));
   Alcotest.check_raises "negative theta" (Invalid_argument "Zipf.create: theta must be >= 0")
     (fun () -> ignore (Zipf.create ~n:5 ~theta:(-1.0) ~rng))
+
+let test_zipf_theta_near_one_boundary () =
+  (* theta -> 1 is where a closed-form generalized-harmonic sampler
+     would divide by (1 - theta); the cumulative-array construction
+     must stay finite and continuous across the boundary.  Sample
+     distributions just below, at, and just above 1 and check each is
+     valid and monotonically more skewed. *)
+  let head_share theta =
+    let rng = Rng.create 97 in
+    let z = Zipf.create ~n:50 ~theta ~rng in
+    let head = ref 0 in
+    for _ = 1 to 20_000 do
+      let i = Zipf.sample z in
+      Alcotest.(check bool) "in range" true (i >= 0 && i < 50);
+      if i = 0 then incr head
+    done;
+    !head
+  in
+  let below = head_share 0.999 and at = head_share 1.0 and above = head_share 1.001 in
+  (* Continuity: the three shares are within a few percent of each
+     other (theta differs by 1e-3), far from degenerate. *)
+  List.iter
+    (fun (name, v) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s head share sane (%d)" name v)
+        true
+        (v > 2_000 && v < 10_000))
+    [ ("theta=0.999", below); ("theta=1.0", at); ("theta=1.001", above) ];
+  let near a b = abs (a - b) < 600 in
+  Alcotest.(check bool) "continuous below->at" true (near below at);
+  Alcotest.(check bool) "continuous at->above" true (near at above)
 
 (* ------------------------------------------------------------------ *)
 (* Stats                                                               *)
@@ -225,6 +307,39 @@ let test_table_rows_in_insertion_order () =
   in
   Alcotest.(check bool) "order preserved" true (first_idx < second_idx)
 
+let test_table_growth_and_alignment () =
+  (* Many rows with growing cell widths: every rendered row must
+     survive (no silent truncation as the internal row list grows)
+     and all lines must be padded to one consistent width once the
+     widest cell has been seen. *)
+  let t = Table.create ~title:"growth" ~header:[ "k"; "v" ] in
+  let n = 200 in
+  for i = 1 to n do
+    Table.add_row t [ string_of_int i; String.make (i mod 37) 'x' ]
+  done;
+  let s = Format.asprintf "%a" Table.pp t in
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  (* title + header + rule + n rows *)
+  Alcotest.(check bool)
+    (Printf.sprintf "all %d rows rendered (%d lines)" n (List.length lines))
+    true
+    (List.length lines >= n + 2);
+  let row_lines =
+    (* Rows start with a digit; header/rule/title do not. *)
+    List.filter (fun l -> l.[0] >= '0' && l.[0] <= '9') lines
+  in
+  Alcotest.(check int) "every row present" n (List.length row_lines)
+
+let test_table_fmt_roundtrip () =
+  Alcotest.(check string) "fmt_i" "42" (Table.fmt_i 42);
+  Alcotest.(check string) "fmt_f default 2 digits" "3.14" (Table.fmt_f 3.14159);
+  Alcotest.(check string) "fmt_f digits 0" "3" (Table.fmt_f ~digits:0 3.14159);
+  (* Round-trip: parsing the rendering recovers the value at the
+     rendered precision. *)
+  Alcotest.(check (float 0.01)) "fmt_f parses back" 3.14
+    (float_of_string (Table.fmt_f 3.14159));
+  Alcotest.(check int) "fmt_i parses back" (-7) (int_of_string (Table.fmt_i (-7)))
+
 (* ------------------------------------------------------------------ *)
 (* Property tests                                                      *)
 
@@ -279,8 +394,14 @@ let () =
           Alcotest.test_case "split independent" `Quick test_rng_split_independent;
           Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
           Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "splitmix64 reference vectors" `Quick test_rng_splitmix64_reference;
           QCheck_alcotest.to_alcotest prop_rng_int_in_bounds;
           QCheck_alcotest.to_alcotest prop_shuffle_preserves_elements;
+        ] );
+      ( "crc32",
+        [
+          Alcotest.test_case "published vectors" `Quick test_crc32_published_vectors;
+          Alcotest.test_case "chunked update equivalence" `Quick test_crc32_update_chunked;
         ] );
       ( "zipf",
         [
@@ -288,6 +409,7 @@ let () =
           Alcotest.test_case "skew at theta 1" `Quick test_zipf_skew;
           Alcotest.test_case "range" `Quick test_zipf_range;
           Alcotest.test_case "invalid args" `Quick test_zipf_invalid_args;
+          Alcotest.test_case "theta near 1 boundary" `Quick test_zipf_theta_near_one_boundary;
           QCheck_alcotest.to_alcotest prop_zipf_in_range;
         ] );
       ( "stats",
@@ -304,5 +426,7 @@ let () =
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "row width checked" `Quick test_table_row_width_checked;
           Alcotest.test_case "insertion order" `Quick test_table_rows_in_insertion_order;
+          Alcotest.test_case "growth and alignment" `Quick test_table_growth_and_alignment;
+          Alcotest.test_case "fmt helpers roundtrip" `Quick test_table_fmt_roundtrip;
         ] );
     ]
