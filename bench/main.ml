@@ -1715,6 +1715,240 @@ let e21_check () =
   Format.printf "wrote %s@." path
 
 (* ------------------------------------------------------------------ *)
+(* E22: semantic concurrency — multi-version snapshot reads vs 2PL
+   readers under write interference, escrow vs increment vs RMW on the
+   hot counter, and version-chain GC.  Emits BENCH_mvcc.json. *)
+
+let e22_mvcc () =
+  let accounts = if !smoke then 8 else 16 in
+  let n_readers = if !smoke then 16 else 64 in
+  (* Readers scan every account; writers are a continuous background
+     load of deadlock-prone RMW transfers that stops once the last
+     reader finishes, so elapsed time measures reader progress under
+     constant interference.  `2pl` runs the scans as ordinary
+     transactions (read locks, upgrade deadlocks, retries); `snapshot`
+     runs them read-only against begin-timestamp snapshots. *)
+  let run_readers mode =
+    let store = Heap.store () in
+    Bank.setup store ~accounts ~balance:1_000;
+    let db = E.create store in
+    let reader_commits = ref 0 and reader_aborts = ref 0 in
+    let writer_commits = ref 0 in
+    let _, dt =
+      time_of (fun () ->
+          R.run_exn db (fun () ->
+              let stop = ref false in
+              let finished = ref 0 in
+              let rng = Rng.create 4242 in
+              for w = 1 to 4 do
+                E.spawn db ~label:(Printf.sprintf "writer-%d" w) (fun () ->
+                    while not !stop do
+                      let t = E.initiate db (Bank.random_transfer db ~accounts ~rng) in
+                      if (not (Tid.is_null t)) && E.begin_ db t && E.commit db t then
+                        incr writer_commits;
+                      Sched.yield ()
+                    done)
+              done;
+              let scan () =
+                for a = 1 to accounts do
+                  ignore (E.read db (Bank.account a));
+                  Sched.yield ()
+                done
+              in
+              for r = 1 to n_readers do
+                E.spawn db ~label:(Printf.sprintf "reader-%d" r) (fun () ->
+                    let rec attempt () =
+                      let t =
+                        match mode with
+                        | `Two_pl -> E.initiate db scan
+                        | `Snapshot -> E.initiate ~read_only:true db scan
+                      in
+                      if (not (Tid.is_null t)) && E.begin_ db t && E.commit db t then
+                        incr reader_commits
+                      else begin
+                        incr reader_aborts;
+                        attempt ()
+                      end
+                    in
+                    attempt ();
+                    incr finished)
+              done;
+              Sched.wait_until ~reason:"await readers" (fun () -> !finished = n_readers);
+              stop := true))
+    in
+    (db, !reader_commits, !reader_aborts, !writer_commits, dt)
+  in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E22a: %d read-only scans of %d accounts under continuous RMW transfers"
+           n_readers accounts)
+      ~header:
+        [ "mode"; "readers"; "aborts"; "writer txns"; "lock waits"; "victims"; "snap reads"; "ms"; "readers/s" ]
+  in
+  let readonly_rows =
+    List.map
+      (fun mode ->
+        let db, commits, aborts, wcommits, dt = run_readers mode in
+        let name = match mode with `Two_pl -> "2pl" | `Snapshot -> "snapshot" in
+        let per_s = float_of_int commits /. dt in
+        Table.add_row t
+          [
+            name;
+            Table.fmt_i commits;
+            Table.fmt_i aborts;
+            Table.fmt_i wcommits;
+            Table.fmt_i (stat db "lock_waits");
+            Table.fmt_i (stat db "deadlock_victims");
+            Table.fmt_i (stat db "snapshot_reads");
+            Table.fmt_f ~digits:2 (dt *. 1000.);
+            Table.fmt_f ~digits:0 per_s;
+          ];
+        (name, commits, aborts, wcommits, dt, per_s))
+      [ `Two_pl; `Snapshot ]
+  in
+  Table.print t;
+  let speedup =
+    match readonly_rows with
+    | [ (_, _, _, _, _, base); (_, _, _, _, _, snap) ] -> snap /. base
+    | _ -> 0.
+  in
+  Format.printf "read-only speedup (snapshot vs 2pl): %.1fx@." speedup;
+  (* E22b: the E13 hot counter with the escrow path alongside.  Escrow
+     with a slack bound must match the increment row (same commuting
+     lock mode, one extra admission test); the tight bound shows the
+     admission test refusing exactly the overdraft. *)
+  let et =
+    Table.create
+      ~title:"E22b: hot counter — escrow vs increment vs rmw (4 ops/txn)"
+      ~header:[ "txns"; "mode"; "committed"; "victims"; "lock waits"; "violations"; "final ok"; "ms" ]
+  in
+  let escrow_rows = ref [] in
+  let run_counter ~n_txns ~mode =
+    let db = fresh_db ~objects:4 () in
+    let _, dt =
+      time_of (fun () ->
+          R.run_exn db (fun () ->
+              let body () =
+                for _ = 1 to 4 do
+                  (match mode with
+                  | `Increment -> E.increment db (oid 1) 1
+                  | `Escrow -> E.escrow db (oid 1) 1 ~lo:0 ~hi:max_int
+                  | `Escrow_tight -> E.escrow db (oid 1) 1 ~lo:0 ~hi:8
+                  | `Rmw -> E.modify db (oid 1) (fun v -> Value.incr_int (Option.get v) 1));
+                  Sched.yield ()
+                done
+              in
+              let tids = List.init n_txns (fun _ -> E.initiate db body) in
+              List.iter (fun x -> ignore (E.begin_ db x)) tids;
+              List.iter (fun x -> E.spawn db ~label:"c" (fun () -> ignore (E.commit db x))) tids;
+              E.await_terminated db tids))
+    in
+    let committed = stat db "commits" in
+    let violations = stat db "escrow_violations" in
+    let final = Value.to_int (Store.read_exn (E.store db) (oid 1)) in
+    let final_ok =
+      match mode with
+      | `Escrow_tight -> final = committed * 4 && final <= 8
+      | _ -> final = committed * 4
+    in
+    let name =
+      match mode with
+      | `Increment -> "increment"
+      | `Escrow -> "escrow"
+      | `Escrow_tight -> "escrow[0,8]"
+      | `Rmw -> "rmw-2pl"
+    in
+    escrow_rows :=
+      (name, n_txns, committed, violations, final_ok, dt) :: !escrow_rows;
+    Table.add_row et
+      [
+        Table.fmt_i n_txns;
+        name;
+        Table.fmt_i committed;
+        Table.fmt_i (stat db "deadlock_victims");
+        Table.fmt_i (stat db "lock_waits");
+        Table.fmt_i violations;
+        string_of_bool final_ok;
+        Table.fmt_f ~digits:2 (dt *. 1000.);
+      ]
+  in
+  List.iter
+    (fun n_txns ->
+      List.iter (fun mode -> run_counter ~n_txns ~mode) [ `Rmw; `Increment; `Escrow; `Escrow_tight ])
+    [ 4; 16 ];
+  Table.print et;
+  (* E22c: version-chain GC.  A pinned snapshot holds every version a
+     writer burst creates; closing it collapses the chain back to the
+     committed head. *)
+  let writes = if !smoke then 50 else 200 in
+  let store = Heap.store () in
+  Heap.populate store ~n:1 ~value:(fun _ -> vi 0);
+  let db = E.create store in
+  let pinned_chain = ref 0 and pinned_versions = ref 0 in
+  R.run_exn db (fun () ->
+      let release = ref false in
+      let reader =
+        E.initiate ~read_only:true db (fun () ->
+            ignore (E.read db (oid 1));
+            Sched.wait_until ~reason:"pin snapshot" (fun () -> !release))
+      in
+      ignore (E.begin_ db reader);
+      for i = 1 to writes do
+        let w = E.initiate db (fun () -> E.write db (oid 1) (vi i)) in
+        ignore (E.begin_ db w);
+        ignore (E.commit db w)
+      done;
+      pinned_chain := E.mvcc_max_chain db;
+      pinned_versions := E.mvcc_version_count db;
+      release := true;
+      ignore (E.commit db reader));
+  let after_chain = E.mvcc_max_chain db and after_versions = E.mvcc_version_count db in
+  Format.printf
+    "E22c: %d committed writes — chain pinned by snapshot: %d (%d versions); after close: %d (%d versions)@."
+    writes !pinned_chain !pinned_versions after_chain after_versions;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"experiment\": \"E22-mvcc\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" !smoke);
+  Buffer.add_string buf "  \"readonly\": [\n";
+  List.iteri
+    (fun i (name, commits, aborts, wcommits, dt, per_s) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"mode\": \"%s\", \"readers\": %d, \"reader_aborts\": %d, \
+            \"writer_txns\": %d, \"seconds\": %.4f, \"readers_per_s\": %.0f}%s\n"
+           name commits aborts wcommits dt per_s
+           (if i = List.length readonly_rows - 1 then "" else ",")))
+    readonly_rows;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf (Printf.sprintf "  \"readonly_speedup\": %.2f,\n" speedup);
+  Buffer.add_string buf "  \"escrow\": [\n";
+  let er = List.rev !escrow_rows in
+  List.iteri
+    (fun i (name, n_txns, committed, violations, final_ok, dt) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"mode\": \"%s\", \"txns\": %d, \"committed\": %d, \
+            \"violations\": %d, \"final_ok\": %b, \"seconds\": %.4f}%s\n"
+           name n_txns committed violations final_ok dt
+           (if i = List.length er - 1 then "" else ",")))
+    er;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"gc\": {\"writes\": %d, \"chain_pinned\": %d, \"versions_pinned\": %d, \
+        \"chain_after_close\": %d, \"versions_after_close\": %d}\n"
+       writes !pinned_chain !pinned_versions after_chain after_versions);
+  Buffer.add_string buf "}\n";
+  let path = if !smoke then "BENCH_mvcc_smoke.json" else "BENCH_mvcc.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "wrote %s@." path
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1745,6 +1979,8 @@ let experiments =
     ("obs", e20_obs);
     ("e21", e21_check);
     ("check", e21_check);
+    ("e22", e22_mvcc);
+    ("mvcc", e22_mvcc);
   ]
 
 let () =
@@ -1754,7 +1990,7 @@ let () =
       ( "--only",
         Arg.String
           (fun s -> only := !only @ String.split_on_char ',' (String.lowercase_ascii s)),
-        "KEYS  comma-separated experiment keys (f1, e1..e21, hotpath, lockpath, faults, obs, check); default: all" );
+        "KEYS  comma-separated experiment keys (f1, e1..e22, hotpath, lockpath, faults, obs, check, mvcc); default: all" );
       ("--smoke", Arg.Set smoke, "  tiny quotas for CI smoke runs");
     ]
   in
@@ -1767,7 +2003,8 @@ let () =
         (* the eNN keys cover the aliases *)
         List.filter
           (fun (k, _) ->
-            k <> "hotpath" && k <> "lockpath" && k <> "faults" && k <> "obs" && k <> "check")
+            k <> "hotpath" && k <> "lockpath" && k <> "faults" && k <> "obs" && k <> "check"
+            && k <> "mvcc")
           experiments
     | keys ->
         List.map
@@ -1777,7 +2014,7 @@ let () =
             | None -> failwith ("unknown experiment: " ^ k))
           keys
   in
-  Format.printf "ASSET benchmark harness — experiments F1, E1-E21 (see DESIGN.md)%s@."
+  Format.printf "ASSET benchmark harness — experiments F1, E1-E22 (see DESIGN.md)%s@."
     (if !smoke then " [smoke]" else "");
   List.iter (fun (_, f) -> f ()) selected;
   Format.printf "@.done.@."

@@ -294,6 +294,38 @@ let schemas =
               ("seconds", Fnum);
             ] );
       ] );
+    ( "E22-mvcc",
+      [
+        ( "readonly",
+          Arr_of
+            [
+              ("mode", Fstr);
+              ("readers", Fnum);
+              ("reader_aborts", Fnum);
+              ("writer_txns", Fnum);
+              ("seconds", Fnum);
+              ("readers_per_s", Fnum);
+            ] );
+        ( "escrow",
+          Arr_of
+            [
+              ("mode", Fstr);
+              ("txns", Fnum);
+              ("committed", Fnum);
+              ("violations", Fnum);
+              ("final_ok", Fbool);
+              ("seconds", Fnum);
+            ] );
+        ( "gc",
+          One_of
+            [
+              ("writes", Fnum);
+              ("chain_pinned", Fnum);
+              ("versions_pinned", Fnum);
+              ("chain_after_close", Fnum);
+              ("versions_after_close", Fnum);
+            ] );
+      ] );
   ]
 
 let errors = ref 0

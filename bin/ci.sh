@@ -35,8 +35,23 @@ if grep -q "| NO " /tmp/check_smoke.out; then
   exit 1
 fi
 
-echo "== bench smoke (E1 + E17/hotpath + E18/lockpath + E19/faults + E20/obs + E21/check) =="
-dune exec bench/main.exe -- --only e1,hotpath,lockpath,faults,obs,check --smoke
+# Semantic-concurrency smoke shard (E22, see DESIGN.md §10).  Beyond
+# the schema check below, assert the two structural invariants the
+# full run must also show: zero read-only aborts in snapshot mode, and
+# the version chain collapsing once the pinning snapshot closes.
+echo "== mvcc smoke (snapshot readers + escrow + version GC) =="
+dune exec bench/main.exe -- --only mvcc --smoke | tee /tmp/mvcc_smoke.out
+if ! grep -Eq "^snapshot \| +[0-9]+ +\| 0 " /tmp/mvcc_smoke.out; then
+  echo "mvcc smoke: snapshot readers aborted (expected zero)" >&2
+  exit 1
+fi
+if ! grep -Eq "after close: 1 " /tmp/mvcc_smoke.out; then
+  echo "mvcc smoke: version chain did not collapse after snapshot close" >&2
+  exit 1
+fi
+
+echo "== bench smoke (E1 + E17/hotpath + E18/lockpath + E19/faults + E20/obs + E21/check + E22/mvcc) =="
+dune exec bench/main.exe -- --only e1,hotpath,lockpath,faults,obs,check,mvcc --smoke
 
 echo "== bench artifact sanity (BENCH_*.json schemas) =="
 dune exec bin/bench_sanity.exe

@@ -277,6 +277,55 @@ let delegate_pending =
       ignore (E.commit db holder);
       E.await_terminated db [ holder; t1; t3 ])
 
+(* Escrow bounds forcing a conflict: a counter bounded to [0, 10] with
+   two +6 escrow deltas in flight.  The worst case — both committing —
+   escapes the bound, so whichever transaction runs its escrow op
+   second aborts with [Escrow_violation]: in every schedule exactly one
+   of the two commits.  Exercises the 'E' footprint tag end to end —
+   escrow ops on one object are schedule-relevant (reordering flips
+   which transaction aborts), so the sleep sets must not commute
+   them. *)
+let escrow_bounds =
+  make ~name:"escrow-bounds" ~objects:1 ~checks:Oracle.check_strict_history (fun db ->
+      let esc () =
+        E.escrow db (Oid.of_int 0) 6 ~lo:0 ~hi:10;
+        Sched.yield ()
+      in
+      let t1 = E.initiate db esc and t2 = E.initiate db esc in
+      ignore (E.begin_many db [ t1; t2 ]);
+      E.spawn db ~label:"committer-1" (fun () -> ignore (E.commit db t1));
+      E.spawn db ~label:"committer-2" (fun () -> ignore (E.commit db t2));
+      E.await_terminated db [ t1; t2 ];
+      let committed = List.filter (fun t -> E.is_committed db t) [ t1; t2 ] in
+      if List.length committed <> 1 then
+        Fmt.failwith "escrow-bounds: %d committed, expected exactly 1" (List.length committed))
+
+(* A read-only snapshot reader racing two writers: the reader takes no
+   locks, so no schedule can block, deadlock, or abort it, and the
+   snapshot-visibility axiom pins exactly what each of its reads may
+   return — the newest version committed before its begin.  The 'S'
+   footprint tag commutes with everything, so POR prunes hardest
+   here. *)
+let snapshot_reader =
+  make ~name:"snapshot-reader" ~objects:2 ~checks:Oracle.check_strict_history (fun db ->
+      let writers =
+        List.map (fun steps -> E.initiate db (body db steps)) [ [ W (0, 1); Y ]; [ W (1, 2); Y ] ]
+      in
+      let reader =
+        E.initiate ~read_only:true db (fun () ->
+            ignore (E.read db (Oid.of_int 0));
+            Sched.yield ();
+            ignore (E.read db (Oid.of_int 1)))
+      in
+      let tids = writers @ [ reader ] in
+      ignore (E.begin_many db tids);
+      List.iteri
+        (fun i tid ->
+          E.spawn db ~label:(Printf.sprintf "committer-%d" i) (fun () -> ignore (E.commit db tid)))
+        tids;
+      E.await_terminated db tids;
+      if not (E.is_committed db reader) then failwith "snapshot-reader: reader did not commit")
+
 let all =
   [
     handoff;
@@ -289,6 +338,8 @@ let all =
     cd_chain;
     stale_permit_chain;
     delegate_pending;
+    escrow_bounds;
+    snapshot_reader;
   ]
 
 let by_name name = List.find_opt (fun s -> String.equal s.name name) all

@@ -92,5 +92,13 @@ val delegate_pending : t
 (** Delegation racing a pending lock request (the PR-2
     withdraw-pending behaviour), end-to-end. *)
 
+val escrow_bounds : t
+(** Two escrow deltas whose worst case escapes the bound: exactly one
+    commits in every schedule; the 'E' footprint workout. *)
+
+val snapshot_reader : t
+(** A read-only snapshot reader racing writers: never blocks or
+    aborts; the snapshot-visibility axiom and 'S' footprint workout. *)
+
 val all : t list
 val by_name : string -> t option

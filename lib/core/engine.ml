@@ -39,6 +39,18 @@ exception Lock_timeout of Tid.t * Oid.t
     the requester aborted itself with this as its failure reason —
     distinguishable from a deadlock victim (whose failure is [None]). *)
 
+exception Escrow_violation of Tid.t * Oid.t
+(** An escrow operation's worst-case bound analysis failed: no
+    completion order of the in-flight escrow deltas keeps the counter
+    inside the requested [lo, hi] interval.  Escrow is non-blocking by
+    design — waiting for escrow headroom is invisible to the lock-based
+    deadlock detector — so the operation aborts its transaction instead
+    (a transient, retryable failure). *)
+
+exception Read_only_txn of Tid.t
+(** A mutating operation (or explicit lock) was invoked by a
+    transaction opened with [~read_only:true]. *)
+
 type td = {
   tid : Tid.t;
   parent : Tid.t;
@@ -52,6 +64,12 @@ type td = {
   mutable begin_denied : bool;
       (* a BD master aborted before this transaction began: it may
          never begin (the dependency edge itself is gone by then) *)
+  read_only : bool;
+      (* opened with [~read_only]: all reads are lock-free snapshot
+         reads against the begin-timestamp version store; mutating
+         operations raise [Read_only_txn] *)
+  mutable snapshot_ts : int;
+      (* begin timestamp of the registered snapshot, -1 when none *)
 }
 
 type config = {
@@ -100,6 +118,12 @@ type t = {
   config : config;
   tds : (Tid.t, td) Hashtbl.t;
   tid_gen : Tid.gen;
+  (* escrow accounting: per-object in-flight escrow deltas as
+     (owner, delta) pairs.  Acceptance tests the worst case — every
+     in-flight delta of one sign committing, the others aborting —
+     against the requested bounds; entries move with delegation and
+     clear at commit/abort. *)
+  escrow_inflight : (Oid.t, (Tid.t * int) list) Hashtbl.t;
   latches : (Oid.t, Latch.t) Hashtbl.t;
   fiber_txn : (int, Tid.t) Hashtbl.t; (* scheduler fid -> tid *)
   mutable sched : Sched.t option;
@@ -120,10 +144,18 @@ type t = {
   gave_up : Asset_util.Stats.Counter.t;
   reads : Asset_util.Stats.Counter.t;
   writes : Asset_util.Stats.Counter.t;
+  snapshot_reads : Asset_util.Stats.Counter.t;
+  escrow_ops : Asset_util.Stats.Counter.t;
+  escrow_violations : Asset_util.Stats.Counter.t;
+  enqueues : Asset_util.Stats.Counter.t;
 }
 
 let create ?(config = default_config) ?log store =
   let log = match log with Some l -> l | None -> Log.in_memory () in
+  (* Every engine runs over a multi-version store: the wrapper
+     delegates the base surface untouched (2PL traffic is unaffected)
+     and adds the committed-version chains snapshot reads need. *)
+  let store = Asset_storage.Mvcc_store.wrap store in
   {
     store;
     log;
@@ -132,6 +164,7 @@ let create ?(config = default_config) ?log store =
     config;
     tds = Hashtbl.create 128;
     tid_gen = Tid.generator ();
+    escrow_inflight = Hashtbl.create 16;
     latches = Hashtbl.create 128;
     fiber_txn = Hashtbl.create 64;
     sched = None;
@@ -149,7 +182,37 @@ let create ?(config = default_config) ?log store =
     gave_up = Asset_util.Stats.Counter.create "engine.gave_up";
     reads = Asset_util.Stats.Counter.create "engine.reads";
     writes = Asset_util.Stats.Counter.create "engine.writes";
+    snapshot_reads = Asset_util.Stats.Counter.create "engine.snapshot_reads";
+    escrow_ops = Asset_util.Stats.Counter.create "engine.escrow_ops";
+    escrow_violations = Asset_util.Stats.Counter.create "engine.escrow_violations";
+    enqueues = Asset_util.Stats.Counter.create "engine.enqueues";
   }
+
+(* The version-store operations; present on every engine store by
+   construction (see [create]). *)
+let mvcc db =
+  match db.store.Store.mvcc with
+  | Some m -> m
+  | None -> assert false
+
+(* Drop every in-flight escrow reservation owned by [tid] (commit and
+   abort both end the reservation: the committed head then reflects the
+   delta, or the delta never happened). *)
+let clear_escrow db tid =
+  Hashtbl.filter_map_inplace
+    (fun _ entries ->
+      match List.filter (fun (t, _) -> not (Tid.equal t tid)) entries with
+      | [] -> None
+      | l -> Some l)
+    db.escrow_inflight
+
+(* Close a read-only transaction's snapshot so version GC can advance
+   past its begin timestamp.  Idempotent. *)
+let close_snapshot db (td : td) =
+  if td.snapshot_ts >= 0 then begin
+    (mvcc db).Store.end_snapshot td.snapshot_ts;
+    td.snapshot_ts <- -1
+  end
 
 let bump db = db.version <- db.version + 1
 
@@ -225,7 +288,7 @@ let check_live td =
 (* ------------------------------------------------------------------ *)
 (* initiate / begin                                                    *)
 
-let initiate ?parent:parent_tid db body =
+let initiate ?parent:parent_tid ?(read_only = false) db body =
   if Hashtbl.length db.tds >= db.config.max_transactions then Tid.null
   else begin
     let parent = match parent_tid with Some p -> p | None -> self db in
@@ -242,6 +305,8 @@ let initiate ?parent:parent_tid db body =
         failure = None;
         waiting_on = "";
         begin_denied = false;
+        read_only;
+        snapshot_ts = -1;
       }
     in
     Hashtbl.replace db.tds tid td;
@@ -297,6 +362,12 @@ let begin_ db tid =
       else begin
         td.status <- Status.Running;
         if Trace.on () then Trace.emit (Trace.Begin { tid });
+        (* A read-only transaction pins its snapshot at begin: every
+           read will see exactly the versions committed by now. *)
+        if td.read_only then begin
+          td.snapshot_ts <- (mvcc db).Store.begin_snapshot ();
+          if Trace.on () then Trace.emit (Trace.Snapshot { tid; ts = td.snapshot_ts })
+        end;
         Log.append db.log (Record.Begin tid) |> ignore;
         td.fid <- Sched.spawn (sched db) ~label:(Format.asprintf "%a" Tid.pp tid) (fun () -> run_body db td);
         bump db;
@@ -360,15 +431,28 @@ let with_latch db oid mode f =
 let lock db oid mode =
   let td = current_td db in
   check_live td;
+  if td.read_only then raise (Read_only_txn td.tid);
   acquire_lock db td oid mode
 
 let read db oid =
   let td = current_td db in
   check_live td;
-  acquire_lock db td oid Mode.Read;
-  if Trace.on () then Trace.emit (Trace.Op { tid = td.tid; oid; op = 'R' });
-  Asset_util.Stats.Counter.incr db.reads;
-  with_latch db oid Latch.S (fun () -> Store.read db.store oid)
+  if td.read_only then begin
+    (* Lock-free snapshot read: the newest version committed at or
+       before the begin timestamp.  No lock and no latch — versions at
+       or below an active snapshot's timestamp are immutable (commits
+       only prepend newer ones, and GC never trims past them). *)
+    let vts, value = (mvcc db).Store.read_at oid td.snapshot_ts in
+    if Trace.on () then Trace.emit (Trace.Snap_read { tid = td.tid; oid; ts = vts });
+    Asset_util.Stats.Counter.incr db.snapshot_reads;
+    value
+  end
+  else begin
+    acquire_lock db td oid Mode.Read;
+    if Trace.on () then Trace.emit (Trace.Op { tid = td.tid; oid; op = 'R' });
+    Asset_util.Stats.Counter.incr db.reads;
+    with_latch db oid Latch.S (fun () -> Store.read db.store oid)
+  end
 
 let read_exn db oid =
   match read db oid with
@@ -378,11 +462,16 @@ let read_exn db oid =
 let write db oid value =
   let td = current_td db in
   check_live td;
+  if td.read_only then raise (Read_only_txn td.tid);
   acquire_lock db td oid Mode.Write;
   if Trace.on () then Trace.emit (Trace.Op { tid = td.tid; oid; op = 'W' });
   Asset_util.Stats.Counter.incr db.writes;
   with_latch db oid Latch.X (fun () ->
       let before = Store.read db.store oid in
+      (* First engine write to this oid: [before] is still its
+         committed state — seed the version chain with it so snapshot
+         readers never see the dirty base value. *)
+      (mvcc db).Store.preserve oid before;
       let lsn = Log.append db.log (Record.Update { tid = td.tid; oid; before; after = value }) in
       td.updates <- lsn :: td.updates;
       Store.write db.store oid value)
@@ -403,15 +492,84 @@ let modify db oid f =
 let increment db oid delta =
   let td = current_td db in
   check_live td;
+  if td.read_only then raise (Read_only_txn td.tid);
   acquire_lock db td oid Mode.Increment;
   if Trace.on () then Trace.emit (Trace.Op { tid = td.tid; oid; op = 'I' });
   Asset_util.Stats.Counter.incr db.writes;
   with_latch db oid Latch.X (fun () ->
-      let current =
-        match Store.read db.store oid with Some v -> Value.to_int v | None -> 0
-      in
+      let before = Store.read db.store oid in
+      (mvcc db).Store.preserve oid before;
+      let current = match before with Some v -> Value.to_int v | None -> 0 in
       let after = Value.of_int (current + delta) in
       let lsn = Log.append db.log (Record.Increment { tid = td.tid; oid; delta; after }) in
+      td.updates <- lsn :: td.updates;
+      Store.write db.store oid after)
+
+(* Escrow update (the section-5 typed-object plan taken further): a
+   bounded counter delta that commits only if the counter provably
+   stays inside [lo, hi].  The test is against the *worst case* over
+   the in-flight escrow deltas — the committed value plus all positive
+   in-flight deltas (everyone else's decrements abort) must not exceed
+   [hi], and plus all negative deltas must not fall below [lo] — so
+   acceptance never depends on how concurrent transactions finish, and
+   the Escrow lock mode stays mutually compatible.  A failed test is a
+   transient condition (headroom returns when in-flight deltas
+   resolve), but waiting for it would be invisible to the lock-based
+   deadlock detector, so the operation aborts its transaction with the
+   retryable [Escrow_violation] instead of blocking. *)
+let escrow db oid delta ~lo ~hi =
+  let td = current_td db in
+  check_live td;
+  if td.read_only then raise (Read_only_txn td.tid);
+  acquire_lock db td oid Mode.Escrow;
+  if Trace.on () then Trace.emit (Trace.Op { tid = td.tid; oid; op = 'E' });
+  Asset_util.Stats.Counter.incr db.escrow_ops;
+  (* The bound analysis and the reservation are atomic: no yield point
+     separates them, so two candidates cannot both claim the last of
+     the headroom. *)
+  let committed =
+    match (mvcc db).Store.committed_head oid with Some v -> Value.to_int v | None -> 0
+  in
+  let inflight = Option.value (Hashtbl.find_opt db.escrow_inflight oid) ~default:[] in
+  let candidate = (td.tid, delta) :: inflight in
+  let pos = List.fold_left (fun acc (_, d) -> acc + max d 0) 0 candidate in
+  let neg = List.fold_left (fun acc (_, d) -> acc + min d 0) 0 candidate in
+  if committed + pos > hi || committed + neg < lo then begin
+    Asset_util.Stats.Counter.incr db.escrow_violations;
+    td.failure <- Some (Escrow_violation (td.tid, oid));
+    ignore (!abort_ref db td.tid)
+    (* unreachable: aborting oneself raises Txn_aborted *)
+  end;
+  Hashtbl.replace db.escrow_inflight oid candidate;
+  (* The physical update is an increment: same logical-undo CLR on
+     abort, same repeat-history treatment in recovery. *)
+  with_latch db oid Latch.X (fun () ->
+      let before = Store.read db.store oid in
+      (mvcc db).Store.preserve oid before;
+      let current = match before with Some v -> Value.to_int v | None -> 0 in
+      let after = Value.of_int (current + delta) in
+      let lsn = Log.append db.log (Record.Increment { tid = td.tid; oid; delta; after }) in
+      td.updates <- lsn :: td.updates;
+      Store.write db.store oid after)
+
+(* Enqueue on a queue-typed object: appends commute with appends (FIFO
+   order between uncommitted producers is decided at commit), so the
+   Enqueue lock mode is mutually compatible and producers never block
+   each other.  Undo is logical — remove the appended item — so an
+   abort never clobbers items enqueued concurrently by others. *)
+let enqueue db oid item =
+  let td = current_td db in
+  check_live td;
+  if td.read_only then raise (Read_only_txn td.tid);
+  acquire_lock db td oid Mode.Enqueue;
+  if Trace.on () then Trace.emit (Trace.Op { tid = td.tid; oid; op = 'Q' });
+  Asset_util.Stats.Counter.incr db.enqueues;
+  with_latch db oid Latch.X (fun () ->
+      let before = Store.read db.store oid in
+      (mvcc db).Store.preserve oid before;
+      let current = match before with Some v -> v | None -> Value.of_queue [] in
+      let after = Value.queue_push current item in
+      let lsn = Log.append db.log (Record.Enqueue { tid = td.tid; oid; item; after }) in
       td.updates <- lsn :: td.updates;
       Store.write db.store oid after)
 
@@ -450,6 +608,15 @@ let rollback_to db sp =
           let image = Value.of_int (current - delta) in
           Log.append db.log (Record.Clr { tid = td.tid; oid; image = Some image }) |> ignore;
           Store.write db.store oid image
+      | Record.Enqueue { oid; item; _ } ->
+          (* Logical undo: remove the appended item from the *current*
+             queue, preserving concurrent producers' appends. *)
+          let current =
+            match Store.read db.store oid with Some v -> v | None -> Value.of_queue []
+          in
+          let image = Value.queue_remove_last current item in
+          Log.append db.log (Record.Clr { tid = td.tid; oid; image = Some image }) |> ignore;
+          Store.write db.store oid image
       | _ -> ())
     (List.sort (fun a b -> Int.compare b a) undo);
   td.updates <- keep;
@@ -486,13 +653,22 @@ let delegate ?oids db ~from_ ~to_ =
     List.partition
       (fun lsn ->
         match Log.get db.log lsn with
-        | Record.Update { oid; _ } | Record.Increment { oid; _ } -> covers oid
+        | Record.Update { oid; _ } | Record.Increment { oid; _ } | Record.Enqueue { oid; _ } ->
+            covers oid
         | _ -> false)
       from_td.updates
   in
   from_td.updates <- staying;
   (* Keep newest-first ordering in the target by merging and sorting. *)
   to_td.updates <- List.sort (fun a b -> Int.compare b a) (moving @ to_td.updates);
+  (* Escrow reservations on the delegated objects follow the
+     responsibility for their deltas. *)
+  Hashtbl.filter_map_inplace
+    (fun oid entries ->
+      if covers oid then
+        Some (List.map (fun (t, d) -> if Tid.equal t from_ then (to_, d) else (t, d)) entries)
+      else Some entries)
+    db.escrow_inflight;
   Log.append db.log (Record.Delegate { from_; to_; oids }) |> ignore;
   if Trace.on () then Trace.emit (Trace.Delegate { from_; to_; moved = moved_oids });
   bump db
@@ -580,9 +756,22 @@ let rec finalize_abort db (td : td) =
           let image = Value.of_int (current - delta) in
           Log.append db.log (Record.Clr { tid = td.tid; oid; image = Some image }) |> ignore;
           Store.write db.store oid image
+      | Record.Enqueue { oid; item; _ } ->
+          (* Logical undo, like Increment: remove the appended item
+             from the current queue, preserving concurrent appends. *)
+          let current =
+            match Store.read db.store oid with Some v -> v | None -> Value.of_queue []
+          in
+          let image = Value.queue_remove_last current item in
+          Log.append db.log (Record.Clr { tid = td.tid; oid; image = Some image }) |> ignore;
+          Store.write db.store oid image
       | _ -> ())
     lsns;
   td.updates <- [];
+  (* Escrow reservations die with the transaction, and a read-only
+     transaction's snapshot closes so version GC can advance. *)
+  clear_escrow db td.tid;
+  close_snapshot db td;
   (* Step 3: release all locks (and any pending requests). *)
   ignore (Lock.release_all db.locks td.tid);
   Lock.cancel_pending_all db.locks td.tid;
@@ -696,6 +885,37 @@ let resolve_non_gc_deps db tid =
 (* Commit the whole [group] atomically (step 4 onward), "simultaneously
    executed for all the transactions in the group". *)
 let commit_group db group =
+  (* Publish the group's effects to the version store before the
+     commit becomes observable.  The members' log records are replayed
+     in LSN order over the newest *committed* versions: replaying the
+     deltas (rather than installing the raw after-images, which may
+     embed a concurrent transaction's uncommitted increments or
+     enqueues on the same object) guarantees only committed state ever
+     enters a chain. *)
+  let m = mvcc db in
+  let lsns =
+    List.concat_map (fun tid -> (td db tid).updates) group |> List.sort Int.compare
+  in
+  let images : (Oid.t, Value.t) Hashtbl.t = Hashtbl.create 8 in
+  let committed_base oid =
+    match Hashtbl.find_opt images oid with
+    | Some v -> Some v
+    | None -> m.Store.committed_head oid
+  in
+  List.iter
+    (fun lsn ->
+      match Log.get db.log lsn with
+      | Record.Update { oid; after; _ } -> Hashtbl.replace images oid after
+      | Record.Increment { oid; delta; _ } ->
+          let base = match committed_base oid with Some v -> Value.to_int v | None -> 0 in
+          Hashtbl.replace images oid (Value.of_int (base + delta))
+      | Record.Enqueue { oid; item; _ } ->
+          let base = match committed_base oid with Some v -> v | None -> Value.of_queue [] in
+          Hashtbl.replace images oid (Value.queue_push base item)
+      | _ -> ())
+    lsns;
+  let ts = m.Store.stamp_commit () in
+  Hashtbl.iter (fun oid v -> m.Store.publish oid ts v) images;
   (* Group commit: stage the commit record and share one force among
      up to [group_commit_size] commit records (plus a flush at every
      scheduler quiescence point, so nothing waits indefinitely). *)
@@ -703,7 +923,7 @@ let commit_group db group =
   (* The whole group commits atomically here: one trace event carrying
      every member, emitted before any member's locks drop so the
      oracle's strictness clause sees commit-then-release. *)
-  if Trace.on () then Trace.emit (Trace.Commit { tids = group });
+  if Trace.on () then Trace.emit (Trace.Commit { tids = group; ts });
   db.unforced_commit_records <- db.unforced_commit_records + 1;
   db.unforced_commit_txns <- db.unforced_commit_txns + List.length group;
   if db.unforced_commit_records >= max 1 db.config.group_commit_size then
@@ -714,6 +934,8 @@ let commit_group db group =
       td.status <- Status.Committed;
       td.commit_lsn <- commit_lsn;
       td.updates <- [];
+      clear_escrow db tid;
+      close_snapshot db td;
       Asset_util.Stats.Counter.incr db.commits;
       (* Step 5: drop dependency edges; step 6: release locks and
          permissions. *)
@@ -853,6 +1075,11 @@ let locks db = db.locks
 let deps db = db.deps
 let transaction_count db = Hashtbl.length db.tds
 
+(* Version-store introspection, for GC-bound tests and bench reports. *)
+let mvcc_current_ts db = (mvcc db).Store.current_ts ()
+let mvcc_max_chain db = (mvcc db).Store.max_chain ()
+let mvcc_version_count db = (mvcc db).Store.version_count ()
+
 (* Deadlock resolution hook for the scheduler: abort the youngest
    member of a waits-for cycle.  Returns true when it made progress. *)
 let resolve_deadlock db () =
@@ -935,6 +1162,10 @@ let reset_stats db =
       db.gave_up;
       db.reads;
       db.writes;
+      db.snapshot_reads;
+      db.escrow_ops;
+      db.escrow_violations;
+      db.enqueues;
     ];
   Lock.reset_stats db.locks;
   Dep.reset_stats db.deps
@@ -952,6 +1183,10 @@ let stats db =
     ("gave_up", Asset_util.Stats.Counter.get db.gave_up);
     ("reads", Asset_util.Stats.Counter.get db.reads);
     ("writes", Asset_util.Stats.Counter.get db.writes);
+    ("snapshot_reads", Asset_util.Stats.Counter.get db.snapshot_reads);
+    ("escrow_ops", Asset_util.Stats.Counter.get db.escrow_ops);
+    ("escrow_violations", Asset_util.Stats.Counter.get db.escrow_violations);
+    ("enqueues", Asset_util.Stats.Counter.get db.enqueues);
   ]
   @ List.map (fun (k, v) -> ("lock." ^ k, v)) (Lock.stats db.locks)
   @ List.map (fun (k, v) -> ("deps." ^ k, v)) (Dep.stats db.deps)

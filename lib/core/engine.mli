@@ -36,6 +36,19 @@ exception Lock_timeout of Tid.t * Oid.t
     — distinguishable from a deadlock victim (whose failure is
     [None]). *)
 
+exception Escrow_violation of Tid.t * Oid.t
+(** An {!escrow} operation's worst-case bound analysis failed: no
+    completion order of the in-flight escrow deltas keeps the counter
+    inside the requested interval.  The operation aborted its
+    transaction with this as its {!failure_of} reason — a transient,
+    retryable failure (headroom returns as in-flight deltas resolve);
+    escrow never blocks, because an escrow wait would be invisible to
+    the lock-based deadlock detector. *)
+
+exception Read_only_txn of Tid.t
+(** A mutating operation (or explicit {!lock}) was invoked by a
+    transaction opened with [~read_only:true]. *)
+
 type t
 
 type config = {
@@ -86,12 +99,19 @@ val create : ?config:config -> ?log:Asset_wal.Log.t -> Store.t -> t
 
 (** {2 Basic primitives (section 2.1)} *)
 
-val initiate : ?parent:Tid.t -> t -> (unit -> unit) -> Tid.t
+val initiate : ?parent:Tid.t -> ?read_only:bool -> t -> (unit -> unit) -> Tid.t
 (** Register a transaction that will execute the closure (the paper's
     [initiate(f, args)]: arguments are captured by the closure).
     [parent] defaults to the invoking transaction, or null at top
     level.  Returns the null tid when [max_transactions] is reached.
-    The transaction does not start executing until {!begin_}. *)
+    The transaction does not start executing until {!begin_}.
+
+    With [~read_only:true] the transaction runs against a multi-version
+    snapshot pinned at its begin: every {!read} is lock-free and
+    latch-free, returning the newest version committed at or before the
+    begin timestamp, so it can never block, deadlock, or be aborted by
+    the concurrency control.  Mutating operations raise
+    {!Read_only_txn}. *)
 
 val begin_ : t -> Tid.t -> bool
 (** Start execution (spawns the body's fiber).  False when the
@@ -156,7 +176,9 @@ val lock : t -> Oid.t -> Asset_lock.Mode.t -> unit
     upgrades. *)
 
 val read : t -> Oid.t -> Value.t option
-(** Read-lock (blocking), S-latch, read. *)
+(** Read-lock (blocking), S-latch, read.  In a [~read_only:true]
+    transaction: a lock-free snapshot read at the begin timestamp
+    instead. *)
 
 val read_exn : t -> Oid.t -> Value.t
 
@@ -172,6 +194,26 @@ val increment : t -> Oid.t -> int -> unit
     block each other, and undo is logical — an abort preserves other
     transactions' concurrent increments.  Creates a missing object at
     the delta. *)
+
+val escrow : t -> Oid.t -> int -> lo:int -> hi:int -> unit
+(** A bounded commuting increment under escrow locking: accepted only
+    when the committed value plus {e every} possible completion of the
+    in-flight escrow deltas stays inside [[lo, hi]] — all positive
+    deltas committing must not exceed [hi], all negative deltas
+    committing must not fall below [lo] — so acceptance is independent
+    of how concurrent transactions finish and Escrow locks stay
+    mutually compatible.  When the worst case escapes the bounds the
+    operation aborts its transaction with {!Escrow_violation} (raised
+    as {!Txn_aborted}; see {!failure_of}) rather than blocking.
+    Physically an increment: same logical undo, same recovery. *)
+
+val enqueue : t -> Oid.t -> string -> unit
+(** Append an item to a queue-typed object under the mutually
+    compatible Enqueue lock mode: concurrent producers never block each
+    other, and undo is logical (remove the item), so an abort preserves
+    items enqueued concurrently by others.  Creates a missing object as
+    a one-item queue.  Read the queue with {!read} +
+    [Value.to_queue]. *)
 
 (** {2 Savepoints}
 
@@ -224,6 +266,16 @@ val flush_pending_commits : t -> unit
 val active_transactions : t -> Tid.t list
 val transaction_count : t -> int
 val version : t -> int
+
+val mvcc_current_ts : t -> int
+(** The newest commit timestamp in the version store. *)
+
+val mvcc_max_chain : t -> int
+(** Longest per-object version chain — the GC-bound observable. *)
+
+val mvcc_version_count : t -> int
+(** Total stored versions across all chains. *)
+
 val store : t -> Store.t
 val log : t -> Asset_wal.Log.t
 val locks : t -> Asset_lock.Lock_manager.t

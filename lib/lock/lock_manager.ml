@@ -31,7 +31,13 @@ module Tid = Asset_util.Id.Tid
 module Oid = Asset_util.Id.Oid
 module Trace = Asset_obs.Trace
 
-let mode_char = function Mode.Read -> 'R' | Mode.Write -> 'W' | Mode.Increment -> 'I'
+let mode_char = function
+  | Mode.Read -> 'R'
+  | Mode.Write -> 'W'
+  | Mode.Increment -> 'I'
+  | Mode.Escrow -> 'E'
+  | Mode.Enqueue -> 'Q'
+  | Mode.Snapshot -> 'S'
 
 (* Lock-transition trace events ([Trace.on] gates every call site, so
    the untraced cost is one load and one branch). *)

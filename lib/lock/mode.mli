@@ -1,31 +1,46 @@
 (** Lock modes and operation sets.
 
-    Read and write are the paper's elementary operations; [Increment]
-    implements its section-5 plan to exploit operation semantics —
-    increments commute, so Increment locks are mutually compatible
-    while still conflicting with reads and writes. *)
+    Read and write are the paper's elementary operations; the remaining
+    modes implement its section-5 plan to exploit operation semantics,
+    with compatibility = commutativity (Malta & Martinez):
 
-type t = Read | Write | Increment
+    - [Increment] — unbounded commuting counter increments;
+    - [Escrow] — bounded increments/decrements against a [lo, hi]
+      interval, mutually compatible while the engine's escrow
+      accounting shows the bounds hold for every completion order;
+    - [Enqueue] — queue appends, mutually compatible on the multiset of
+      items;
+    - [Snapshot] — the virtual mode of a lock-free snapshot read by a
+      read-only transaction; never actually requested from the lock
+      manager, but present so trace op tags have a footprint entry. *)
+
+type t = Read | Write | Increment | Escrow | Enqueue | Snapshot
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
 
 val conflicts : t -> t -> bool
-(** Conflict matrix: R/R and I/I are compatible; everything else
-    conflicts. *)
+(** Lock-table conflict matrix: R/R, I/I, E/E and Q/Q are compatible,
+    Snapshot is compatible with everything; everything else conflicts
+    (in particular Escrow vs Increment). *)
 
 val of_op_char : char -> t option
 (** Decode the single-character operation tag used by trace events
-    ('R', 'W', 'I'); [None] for anything else. *)
+    ('R', 'W', 'I', 'E', 'Q', 'S'); [None] for anything else. *)
 
 val conflicts_ops : char -> char -> bool
-(** {!conflicts} lifted to trace-event operation tags.  Unknown tags
-    conservatively conflict with everything, so independence judgements
-    built on this relation stay sound. *)
+(** Schedule-commutation relation on trace-event operation tags, used
+    by the sleep-set explorer.  Deliberately stricter than {!conflicts}
+    for 'E'/'E' and 'Q'/'Q' (lock-compatible, but reordering is
+    observable: which escrow op hits the bound, concrete queue order);
+    'S' commutes with everything.  Unknown tags conservatively conflict
+    with everything, so independence judgements built on this relation
+    stay sound. *)
 
 val covers : held:t -> requested:t -> bool
 (** Whether a lock held in [held] already satisfies a request for
-    [requested] (a Write lock covers everything). *)
+    [requested] (a Write lock covers everything; anything covers
+    Snapshot). *)
 
 val as_op : t -> t
 (** The operation a lock mode enables, for permit checks. *)

@@ -44,7 +44,7 @@ let times entries =
   List.iter
     (fun { Trace.seq; ev } ->
       match ev with
-      | Trace.Commit { tids } -> List.iter (fun tid -> first t.commit_at tid seq) tids
+      | Trace.Commit { tids; _ } -> List.iter (fun tid -> first t.commit_at tid seq) tids
       | Trace.Abort { tid } -> first t.abort_at tid seq
       | Trace.Begin { tid } -> first t.begin_at tid seq
       | _ -> ())
@@ -52,7 +52,7 @@ let times entries =
   t
 
 let committed entries =
-  List.concat_map (fun e -> match e.Trace.ev with Trace.Commit { tids } -> tids | _ -> []) entries
+  List.concat_map (fun e -> match e.Trace.ev with Trace.Commit { tids; _ } -> tids | _ -> []) entries
 
 let aborted entries =
   List.filter_map (fun e -> match e.Trace.ev with Trace.Abort { tid } -> Some tid | _ -> None) entries
@@ -68,7 +68,14 @@ let aborted entries =
 
 type op_rec = { mutable owner : Tid.t; oid : Oid.t; op : char; at : int }
 
-let conflicting a b = not ((a = 'R' && b = 'R') || (a = 'I' && b = 'I'))
+(* Conflict relation over the *committed effects* of operations.  Two
+   committed deltas commute whatever their bounds were while in flight,
+   so increments and escrow ops ('I', 'E') are mutually non-conflicting;
+   committed enqueues ('Q') commute on the queue's abstract state (the
+   multiset of items — arrival order is the serialization order, per
+   the Enqueue/Enqueue lock compatibility). *)
+let delta_op c = c = 'I' || c = 'E'
+let conflicting a b = not ((a = 'R' && b = 'R') || (delta_op a && delta_op b) || (a = 'Q' && b = 'Q'))
 
 let check_serializable entries =
   let ops = ref [] (* newest first *) in
@@ -81,7 +88,7 @@ let check_serializable entries =
           List.iter
             (fun r -> if Tid.equal r.owner from_ && List.exists (Oid.equal r.oid) moved then r.owner <- to_)
             !ops
-      | Trace.Commit { tids } -> List.iter (fun tid -> Hashtbl.replace commit_set tid ()) tids
+      | Trace.Commit { tids; _ } -> List.iter (fun tid -> Hashtbl.replace commit_set tid ()) tids
       | _ -> ())
     entries;
   let ops = Array.of_list (List.rev !ops) in
@@ -226,7 +233,7 @@ let check_dependencies entries =
    particular a delegated lock must never be released by the delegator
    — section 4's delegate algorithm moves the LRD wholesale. *)
 
-let mode_rank = function 'R' -> 1 | 'I' -> 2 | 'W' -> 3 | _ -> 0
+let mode_rank = function 'R' -> 1 | 'I' | 'E' | 'Q' -> 2 | 'W' -> 3 | _ -> 0
 
 let check_lock_ownership entries =
   let holders : (Oid.t, (Tid.t, char) Hashtbl.t) Hashtbl.t = Hashtbl.create 32 in
@@ -398,17 +405,24 @@ let check_visibility entries =
     (fun { Trace.seq; ev } ->
       match ev with
       | Trace.Op { tid; oid; op } ->
+          (* Commuting-family exceptions to the dirty rule: concurrent
+             increments/escrow deltas need no permit over each other,
+             likewise concurrent enqueues (section-5 semantics — the
+             lock table grants them together). *)
+          let commutes_with_dirty dop =
+            (delta_op op && delta_op dop) || (op = 'Q' && dop = 'Q')
+          in
           (match Hashtbl.find_opt dirty oid with
           | Some (writer, dop) when not (Tid.equal writer tid) ->
               if
-                (not (op = 'I' && dop = 'I'))
+                (not (commutes_with_dirty dop))
                 && (not (is_ancestor writer tid))
                 && not (sanctioned ~writer ~reader:tid ~oid ~op ~at:seq)
               then
                 bad "seq %d: %a %c-accesses %a dirtied by %a without a covering permit" seq Tid.pp tid op Oid.pp
                   oid Tid.pp writer
           | _ -> ());
-          if op = 'W' || op = 'I' then Hashtbl.replace dirty oid (tid, op)
+          if op = 'W' || op = 'I' || op = 'E' || op = 'Q' then Hashtbl.replace dirty oid (tid, op)
       | Trace.Permit { from_; to_; oids; ops } -> permits := (from_, to_, oids, ops, seq) :: !permits
       | Trace.Delegate { from_; to_; moved } ->
           List.iter
@@ -434,11 +448,93 @@ let check_visibility entries =
                   (if m = [] then [] else [ (to_, t_, m, ops, p_at) ])
                   @ if keep = [] then [] else [ (f, t_, keep, ops, p_at) ])
               !permits
-      | Trace.Commit { tids } -> List.iter clear_tid tids
+      | Trace.Commit { tids; _ } -> List.iter clear_tid tids
       | Trace.Abort { tid } -> clear_tid tid
       | _ -> ())
     entries;
   List.rev !violations
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot visibility: a read-only transaction that began against the
+   snapshot at timestamp [b] (its [Snapshot] event) must, on every
+   [Snap_read], return exactly the newest version committed at or
+   before [b] — the version whose writer's [Commit] event carries the
+   largest timestamp <= [b] among committed writers of that object
+   (0 when no such writer exists: the initial, never-engine-written
+   state).  Writer ops are re-attributed along [Delegate] exactly as in
+   [check_serializable], so a delegated write counts for the
+   transaction finally responsible for it.
+
+   The axiom also pins the lock-free discipline itself: a transaction
+   that opened a snapshot never appears in a [Lock] event and performs
+   no locked data operation — that is what "never blocking, never
+   deadlocking" rests on. *)
+
+let check_snapshot_visibility entries =
+  let snapshot_ts : (Tid.t, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun { Trace.ev; _ } ->
+      match ev with
+      | Trace.Snapshot { tid; ts } ->
+          if not (Hashtbl.mem snapshot_ts tid) then Hashtbl.add snapshot_ts tid ts
+      | _ -> ())
+    entries;
+  if Hashtbl.length snapshot_ts = 0 then []
+  else begin
+    (* Writer ops with delegation re-attribution, plus each committed
+       transaction's commit timestamp. *)
+    let ops = ref [] in
+    let commit_ts : (Tid.t, int) Hashtbl.t = Hashtbl.create 32 in
+    List.iter
+      (fun { Trace.ev; seq } ->
+        match ev with
+        | Trace.Op { tid; oid; op } when op = 'W' || op = 'I' || op = 'E' || op = 'Q' ->
+            ops := { owner = tid; oid; op; at = seq } :: !ops
+        | Trace.Delegate { from_; to_; moved } ->
+            List.iter
+              (fun r -> if Tid.equal r.owner from_ && List.exists (Oid.equal r.oid) moved then r.owner <- to_)
+              !ops
+        | Trace.Commit { tids; ts } ->
+            if ts > 0 then
+              List.iter (fun tid -> if not (Hashtbl.mem commit_ts tid) then Hashtbl.add commit_ts tid ts) tids
+        | _ -> ())
+      entries;
+    let writes = !ops in
+    (* Newest committed version of [oid] visible at snapshot ts [b]. *)
+    let expected_at oid b =
+      List.fold_left
+        (fun acc r ->
+          if not (Oid.equal r.oid oid) then acc
+          else
+            match Hashtbl.find_opt commit_ts r.owner with
+            | Some cts when cts <= b -> max acc cts
+            | _ -> acc)
+        0 writes
+    in
+    let violations = ref [] in
+    let bad fmt =
+      Format.kasprintf (fun detail -> violations := { check = "snapshot-visibility"; detail } :: !violations) fmt
+    in
+    List.iter
+      (fun { Trace.seq; ev } ->
+        match ev with
+        | Trace.Snap_read { tid; oid; ts } -> (
+            match Hashtbl.find_opt snapshot_ts tid with
+            | None -> bad "seq %d: %a snapshot-reads %a without an open snapshot" seq Tid.pp tid Oid.pp oid
+            | Some b ->
+                let want = expected_at oid b in
+                if ts <> want then
+                  bad "seq %d: %a read %a at version ts=%d, newest committed before begin (ts=%d) is ts=%d"
+                    seq Tid.pp tid Oid.pp oid ts b want)
+        | Trace.Lock { tid; oid; action; _ } when Hashtbl.mem snapshot_ts tid ->
+            bad "seq %d: read-only %a entered the lock table (%s %a)" seq Tid.pp tid
+              (Trace.lock_action_to_string action) Oid.pp oid
+        | Trace.Op { tid; oid; op } when Hashtbl.mem snapshot_ts tid ->
+            bad "seq %d: read-only %a performed locked op %c on %a" seq Tid.pp tid op Oid.pp oid
+        | _ -> ())
+      entries;
+    List.rev !violations
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Model-contract checkers: the caller states the structure the model
@@ -568,8 +664,10 @@ let check_recovered_obligations ~winners entries =
 let check_strict_history entries =
   check_serializable entries @ check_dependencies entries @ check_lock_ownership entries
   @ check_two_phase ~strict:true entries @ check_visibility entries
+  @ check_snapshot_visibility entries
 
 (* Cooperative bundle (permits in play): everything except global SR
    and the strictness clause that permits deliberately relax. *)
 let check_cooperative_history entries =
   check_dependencies entries @ check_lock_ownership entries @ check_visibility entries
+  @ check_snapshot_visibility entries

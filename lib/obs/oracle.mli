@@ -26,8 +26,9 @@ val aborted : Trace.entry list -> Tid.t list
 
 val check_serializable : Trace.entry list -> violation list
 (** Conflict-serializability of the committed projection: operations
-    re-attributed along [Delegate] events, R/R and I/I commuting, cycle
-    search over the resulting conflict graph. *)
+    re-attributed along [Delegate] events; R/R, delta/delta ('I'/'E'
+    in any combination) and Q/Q commuting; cycle search over the
+    resulting conflict graph. *)
 
 val check_dependencies : Trace.entry list -> violation list
 (** Discharge of every [Dep] obligation: CD — dependent commits only
@@ -49,8 +50,9 @@ val check_two_phase : ?strict:bool -> Trace.entry list -> violation list
 val check_visibility : Trace.entry list -> violation list
 (** An operation touching another transaction's uncommitted data is
     legal only under a prior [Permit] covering that object and
-    operation — except increment-on-increment, which commutes without
-    a permit, and data dirtied by an ancestor per [Initiate]
+    operation — except within a commuting family (delta-on-delta:
+    'I'/'E'; enqueue-on-enqueue), which needs no permit,
+    and data dirtied by an ancestor per [Initiate]
     parentage, which is visible down the transaction tree (section
     3.1.4); delegation moves dirty attribution, commit/abort clear
     it.  Permits follow the lock manager's semantics exactly: sanction
@@ -58,6 +60,15 @@ val check_visibility : Trace.entry list -> violation list
     permits expire when either endpoint terminates (the engine's
     [remove_permits] at commit/abort), and [Delegate] re-grants the
     delegator's permits from the delegatee on the moved objects. *)
+
+val check_snapshot_visibility : Trace.entry list -> violation list
+(** Snapshot visibility: every [Snap_read] by a transaction that
+    opened a snapshot at timestamp [b] returns exactly the newest
+    version committed at or before [b] (writer ops re-attributed along
+    [Delegate]; 0 = the initial state), and a snapshot-opening
+    transaction never appears in a [Lock] event nor performs a locked
+    data operation.  Trivially passes histories with no [Snapshot]
+    events. *)
 
 val check_group_atomicity : groups:Tid.t list list -> Trace.entry list -> violation list
 (** Contract checker: every listed group commits all-or-nothing, in a
@@ -77,8 +88,8 @@ val check_recovered_obligations : winners:Tid.t list -> Trace.entry list -> viol
 
 val check_strict_history : Trace.entry list -> violation list
 (** Bundle for fully-isolated models: serializability + dependencies +
-    lock ownership + strict 2PL + visibility. *)
+    lock ownership + strict 2PL + visibility + snapshot visibility. *)
 
 val check_cooperative_history : Trace.entry list -> violation list
 (** Bundle for permit-using models: dependencies + lock ownership +
-    visibility (no global SR, no 2PL). *)
+    visibility + snapshot visibility (no global SR, no 2PL). *)

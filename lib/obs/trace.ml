@@ -34,9 +34,16 @@ type lock_action =
 type event =
   | Initiate of { tid : Tid.t; parent : Tid.t } (* parent = Tid.null for top level *)
   | Begin of { tid : Tid.t }
-  | Commit of { tids : Tid.t list } (* whole group-commit set, atomically *)
+  | Commit of { tids : Tid.t list; ts : int }
+    (* whole group-commit set, atomically; [ts] is the commit timestamp
+       stamped on the published versions (0 when versioning is off) *)
   | Abort of { tid : Tid.t }
-  | Op of { tid : Tid.t; oid : Oid.t; op : char } (* 'R' | 'W' | 'I' *)
+  | Op of { tid : Tid.t; oid : Oid.t; op : char } (* 'R' | 'W' | 'I' | 'E' | 'Q' *)
+  | Snapshot of { tid : Tid.t; ts : int }
+    (* a read-only transaction began against the snapshot at [ts] *)
+  | Snap_read of { tid : Tid.t; oid : Oid.t; ts : int }
+    (* lock-free snapshot read; [ts] is the commit timestamp of the
+       version returned (0 = the initial, never-engine-written state) *)
   | Delegate of { from_ : Tid.t; to_ : Tid.t; moved : Oid.t list }
   | Permit of { from_ : Tid.t; to_ : Tid.t; oids : Oid.t list; ops : string }
     (* to_ = Tid.null means "any transaction"; ops is a subset of "RWI" *)
@@ -289,10 +296,13 @@ let oids_j os = Json.List (List.map oid_j os)
 let event_fields = function
   | Initiate { tid; parent } -> [ ("ev", Json.Str "initiate"); ("tid", tid_j tid); ("parent", tid_j parent) ]
   | Begin { tid } -> [ ("ev", Json.Str "begin"); ("tid", tid_j tid) ]
-  | Commit { tids } -> [ ("ev", Json.Str "commit"); ("tids", tids_j tids) ]
+  | Commit { tids; ts } -> [ ("ev", Json.Str "commit"); ("tids", tids_j tids); ("ts", Json.Int ts) ]
   | Abort { tid } -> [ ("ev", Json.Str "abort"); ("tid", tid_j tid) ]
   | Op { tid; oid; op } ->
       [ ("ev", Json.Str "op"); ("tid", tid_j tid); ("oid", oid_j oid); ("op", Json.Str (String.make 1 op)) ]
+  | Snapshot { tid; ts } -> [ ("ev", Json.Str "snapshot"); ("tid", tid_j tid); ("ts", Json.Int ts) ]
+  | Snap_read { tid; oid; ts } ->
+      [ ("ev", Json.Str "snap_read"); ("tid", tid_j tid); ("oid", oid_j oid); ("ts", Json.Int ts) ]
   | Delegate { from_; to_; moved } ->
       [ ("ev", Json.Str "delegate"); ("from", tid_j from_); ("to", tid_j to_); ("moved", oids_j moved) ]
   | Permit { from_; to_; oids; ops } ->
@@ -332,9 +342,14 @@ let event_of_json j =
   match str "ev" with
   | "initiate" -> Initiate { tid = tid "tid"; parent = tid "parent" }
   | "begin" -> Begin { tid = tid "tid" }
-  | "commit" -> Commit { tids = tids "tids" }
+  | "commit" ->
+      (* Tolerate histories recorded before commit timestamps existed. *)
+      let ts = match j with Json.Obj fields when List.mem_assoc "ts" fields -> int "ts" | _ -> 0 in
+      Commit { tids = tids "tids"; ts }
   | "abort" -> Abort { tid = tid "tid" }
   | "op" -> Op { tid = tid "tid"; oid = oid "oid"; op = char_of_field j "op" }
+  | "snapshot" -> Snapshot { tid = tid "tid"; ts = int "ts" }
+  | "snap_read" -> Snap_read { tid = tid "tid"; oid = oid "oid"; ts = int "ts" }
   | "delegate" -> Delegate { from_ = tid "from"; to_ = tid "to"; moved = oids "moved" }
   | "permit" -> Permit { from_ = tid "from"; to_ = tid "to"; oids = oids "oids"; ops = str "ops" }
   | "dep" -> Dep { dtype = str "dtype"; master = tid "master"; dependent = tid "dependent" }
@@ -436,9 +451,13 @@ let pp_event ppf = function
       if Tid.is_null parent then Format.fprintf ppf "initiate %a" Tid.pp tid
       else Format.fprintf ppf "initiate %a parent=%a" Tid.pp tid Tid.pp parent
   | Begin { tid } -> Format.fprintf ppf "begin %a" Tid.pp tid
-  | Commit { tids } -> Format.fprintf ppf "commit [%a]" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " ") Tid.pp) tids
+  | Commit { tids; ts } ->
+      Format.fprintf ppf "commit [%a]" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " ") Tid.pp) tids;
+      if ts > 0 then Format.fprintf ppf " ts=%d" ts
   | Abort { tid } -> Format.fprintf ppf "abort %a" Tid.pp tid
   | Op { tid; oid; op } -> Format.fprintf ppf "%c(%a,%a)" op Tid.pp tid Oid.pp oid
+  | Snapshot { tid; ts } -> Format.fprintf ppf "snapshot %a ts=%d" Tid.pp tid ts
+  | Snap_read { tid; oid; ts } -> Format.fprintf ppf "S(%a,%a)@@%d" Tid.pp tid Oid.pp oid ts
   | Delegate { from_; to_; moved } ->
       Format.fprintf ppf "delegate %a->%a [%a]" Tid.pp from_ Tid.pp to_
         (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " ") Oid.pp)

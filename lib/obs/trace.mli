@@ -24,10 +24,18 @@ type event =
   | Initiate of { tid : Tid.t; parent : Tid.t }
       (** [parent] is [Tid.null] for top-level transactions. *)
   | Begin of { tid : Tid.t }
-  | Commit of { tids : Tid.t list }
-      (** The whole atomically-committed group in one event. *)
+  | Commit of { tids : Tid.t list; ts : int }
+      (** The whole atomically-committed group in one event; [ts] is
+          the commit timestamp stamped on the published versions (0
+          when versioning is off or the history predates it). *)
   | Abort of { tid : Tid.t }
-  | Op of { tid : Tid.t; oid : Oid.t; op : char }  (** ['R'] | ['W'] | ['I'] *)
+  | Op of { tid : Tid.t; oid : Oid.t; op : char }
+      (** ['R'] | ['W'] | ['I'] | ['E'] (escrow) | ['Q'] (enqueue) *)
+  | Snapshot of { tid : Tid.t; ts : int }
+      (** A read-only transaction began against the snapshot at [ts]. *)
+  | Snap_read of { tid : Tid.t; oid : Oid.t; ts : int }
+      (** Lock-free snapshot read; [ts] is the commit timestamp of the
+          version returned (0 = initial state). *)
   | Delegate of { from_ : Tid.t; to_ : Tid.t; moved : Oid.t list }
   | Permit of { from_ : Tid.t; to_ : Tid.t; oids : Oid.t list; ops : string }
       (** [to_ = Tid.null] permits any transaction; [ops] is a subset

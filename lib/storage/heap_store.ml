@@ -21,6 +21,7 @@ let to_store ?(name = "heap") (t : t) : Store.t =
     iter = (fun f -> Hashtbl.iter f t);
     size = (fun () -> Hashtbl.length t);
     flush = (fun () -> ());
+    mvcc = None;
   }
 
 let store ?name ?initial_size () = to_store ?name (create ?initial_size ())

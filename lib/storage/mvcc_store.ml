@@ -1,0 +1,135 @@
+(* Multi-version wrapper over any base store.
+
+   The base store keeps playing its existing role: it holds the
+   *working* latest state, which strict 2PL transactions read and
+   mutate in place (and which may therefore be dirty with uncommitted
+   data mid-transaction).  This wrapper adds per-OID chains of
+   *committed* versions stamped with commit timestamps, so read-only
+   transactions can read the newest version committed before their
+   begin timestamp without taking any lock.
+
+   Invariant: once an oid has a chain, the chain holds its full
+   committed history (trimmed from the back by GC, never past the
+   newest version at-or-below the GC watermark).  The engine seeds the
+   chain via [preserve] with the pre-image of the *first* engine write
+   to the oid — i.e. its committed state at that point — so a dirty
+   base value is never visible through [read_at].  An oid with no
+   chain has never been written through the engine, and its base value
+   is by construction committed (initial population), read as
+   timestamp 0.
+
+   GC: the watermark is the minimum begin timestamp among active
+   snapshots (or the current commit timestamp when none are active).
+   A chain is trimmed to the versions newer than the watermark plus
+   one anchor — the newest version at or below it, which some active
+   snapshot may still need.  With no readers the chain is exactly the
+   head.  Chains are trimmed opportunistically on [publish] and in
+   bulk when the oldest snapshot closes. *)
+
+module Oid = Asset_util.Id.Oid
+
+type version = { ts : int; value : Value.t option (* None = absent at this time *) }
+
+type t = {
+  chains : (Oid.t, version list) Hashtbl.t; (* newest first *)
+  snapshots : (int, int) Hashtbl.t; (* begin ts -> active reader count *)
+  mutable commit_ts : int;
+}
+
+let create () = { chains = Hashtbl.create 64; snapshots = Hashtbl.create 8; commit_ts = 0 }
+
+let watermark t = Hashtbl.fold (fun ts _ acc -> min ts acc) t.snapshots t.commit_ts
+
+(* Trim to versions newer than the watermark plus the anchor (newest
+   version at or below it). *)
+let rec trim wm = function
+  | [] -> []
+  | v :: rest -> if v.ts > wm then v :: trim wm rest else [ v ]
+
+let stamp_commit t =
+  t.commit_ts <- t.commit_ts + 1;
+  t.commit_ts
+
+let preserve t oid before =
+  if not (Hashtbl.mem t.chains oid) then Hashtbl.replace t.chains oid [ { ts = 0; value = before } ]
+
+let publish t oid ts value =
+  let value = Some value in
+  let chain =
+    match Hashtbl.find_opt t.chains oid with
+    | Some (head :: rest) when head.ts = ts ->
+        (* Another member of the same commit group already published
+           this oid; the replay of the later member subsumes it. *)
+        { ts; value } :: rest
+    | Some chain -> { ts; value } :: chain
+    | None -> [ { ts; value } ]
+  in
+  Hashtbl.replace t.chains oid (trim (watermark t) chain)
+
+let read_at base t oid ts =
+  match Hashtbl.find_opt t.chains oid with
+  | Some chain -> (
+      match List.find_opt (fun v -> v.ts <= ts) chain with
+      | Some v -> (v.ts, v.value)
+      | None ->
+          (* GC never trims past the newest version <= any active
+             snapshot, so this means the oid did not exist at [ts]. *)
+          (0, None))
+  | None ->
+      (* Never engine-written: the base value is the committed initial
+         state. *)
+      (0, Store.read base oid)
+
+let committed_head base t oid =
+  match Hashtbl.find_opt t.chains oid with
+  | Some (head :: _) -> head.value
+  | Some [] | None -> Store.read base oid
+
+let gc t =
+  let wm = watermark t in
+  let trimmed = Hashtbl.fold (fun oid chain acc -> (oid, trim wm chain) :: acc) t.chains [] in
+  List.iter (fun (oid, chain) -> Hashtbl.replace t.chains oid chain) trimmed
+
+let begin_snapshot t =
+  let ts = t.commit_ts in
+  let n = Option.value (Hashtbl.find_opt t.snapshots ts) ~default:0 in
+  Hashtbl.replace t.snapshots ts (n + 1);
+  ts
+
+let end_snapshot t ts =
+  (match Hashtbl.find_opt t.snapshots ts with
+  | Some n when n > 1 -> Hashtbl.replace t.snapshots ts (n - 1)
+  | Some _ -> Hashtbl.remove t.snapshots ts
+  | None -> ());
+  (* Only a departing minimum can move the watermark. *)
+  if not (Hashtbl.mem t.snapshots ts) then gc t
+
+let max_chain t = Hashtbl.fold (fun _ chain acc -> max (List.length chain) acc) t.chains 0
+let version_count t = Hashtbl.fold (fun _ chain acc -> acc + List.length chain) t.chains 0
+
+(* Wrap a base store: same name and base surface (so content-comparison
+   helpers and recovery are unaffected), plus the mvcc operations.
+   Idempotent on stores that already carry them. *)
+let wrap (base : Store.t) : Store.t =
+  match base.Store.mvcc with
+  | Some _ -> base
+  | None ->
+      let t = create () in
+      {
+        base with
+        Store.mvcc =
+          Some
+            {
+              Store.stamp_commit = (fun () -> stamp_commit t);
+              current_ts = (fun () -> t.commit_ts);
+              preserve = (fun oid before -> preserve t oid before);
+              publish = (fun oid ts v -> publish t oid ts v);
+              read_at = (fun oid ts -> read_at base t oid ts);
+              committed_head = (fun oid -> committed_head base t oid);
+              begin_snapshot = (fun () -> begin_snapshot t);
+              end_snapshot = (fun ts -> end_snapshot t ts);
+              gc = (fun () -> gc t);
+              max_chain = (fun () -> max_chain t);
+              version_count = (fun () -> version_count t);
+            };
+      }

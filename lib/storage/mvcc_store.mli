@@ -1,0 +1,10 @@
+(** Multi-version wrapper over any base store.
+
+    [wrap base] returns a store with the same base surface (reads and
+    writes still hit [base], which holds the working latest state) plus
+    {!Store.mvcc} operations: per-OID committed-version chains stamped
+    with commit timestamps, snapshot registration, and GC to the
+    minimum active snapshot's watermark.  Idempotent on stores already
+    carrying the extension. *)
+
+val wrap : Store.t -> Store.t

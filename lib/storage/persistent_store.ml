@@ -171,4 +171,5 @@ let to_store ?(name = "persistent") t : Store.t =
     iter = (fun f -> iter t f);
     size = (fun () -> size t);
     flush = (fun () -> flush t);
+    mvcc = None;
   }

@@ -5,6 +5,24 @@
 
 module Oid = Asset_util.Id.Oid
 
+(** Multi-version extension surfaced by {!Mvcc_store.wrap}: per-OID
+    committed-version chains stamped with commit timestamps, snapshot
+    registration, and GC to the minimum active snapshot.  Plain stores
+    carry [None]; the engine wraps them on creation. *)
+type mvcc = {
+  stamp_commit : unit -> int;
+  current_ts : unit -> int;
+  preserve : Oid.t -> Value.t option -> unit;
+  publish : Oid.t -> int -> Value.t -> unit;
+  read_at : Oid.t -> int -> int * Value.t option;
+  committed_head : Oid.t -> Value.t option;
+  begin_snapshot : unit -> int;
+  end_snapshot : int -> unit;
+  gc : unit -> unit;
+  max_chain : unit -> int;
+  version_count : unit -> int;
+}
+
 type t = {
   name : string;
   read : Oid.t -> Value.t option;
@@ -14,6 +32,7 @@ type t = {
   iter : (Oid.t -> Value.t -> unit) -> unit;
   size : unit -> int;
   flush : unit -> unit;
+  mvcc : mvcc option;
 }
 
 val name : t -> string
@@ -31,8 +50,9 @@ val size : t -> int
 val flush : t -> unit
 (** Make the current contents durable (no-op for the heap store). *)
 
-val snapshot : t -> (Oid.t * Value.t) list
-(** Contents as an oid-sorted association list; used by tests to
-    compare outcomes. *)
+val dump : t -> (Oid.t * Value.t) list
+(** Full contents as an oid-sorted association list; a debugging
+    iterator used by tests to compare outcomes (not a snapshot in the
+    MVCC sense — see {!mvcc}). *)
 
 val equal_content : t -> t -> bool

@@ -33,6 +33,48 @@ let to_int v =
 
 let incr_int v delta = of_int (to_int v + delta)
 
+(* Queue codec: a queue value is a sequence of length-prefixed items
+   (4-byte LE length, then the bytes).  Used by the engine's [enqueue]
+   operation; the empty value is the empty queue. *)
+
+let of_queue items =
+  let b = Buffer.create 64 in
+  List.iter
+    (fun item ->
+      let hdr = Bytes.create 4 in
+      Bytes.set_int32_le hdr 0 (Int32.of_int (String.length item));
+      Buffer.add_bytes b hdr;
+      Buffer.add_string b item)
+    items;
+  Buffer.contents b
+
+let to_queue v =
+  let n = String.length v in
+  let rec go pos acc =
+    if pos = n then List.rev acc
+    else if pos + 4 > n then invalid_arg "Value.to_queue: truncated item header"
+    else
+      let len = Int32.to_int (String.get_int32_le v pos) in
+      if len < 0 || pos + 4 + len > n then invalid_arg "Value.to_queue: truncated item"
+      else go (pos + 4 + len) (String.sub v (pos + 4) len :: acc)
+  in
+  go 0 []
+
+let queue_push v item = of_queue (to_queue v @ [ item ])
+
+(* Remove the last occurrence of [item] — the logical undo of an
+   append.  A no-op when the item is absent (the enqueue never
+   reached the store). *)
+let queue_remove_last v item =
+  let items = to_queue v in
+  let rec drop_last = function
+    | [] -> []
+    | x :: rest ->
+        if String.equal x item && not (List.exists (String.equal item) rest) then rest
+        else x :: drop_last rest
+  in
+  of_queue (drop_last items)
+
 (* Association-list codec for small record-like objects, e.g. the
    reservation objects in the travel-workflow example:
    "field=value;field=value".  Fields and values must not contain '=' or

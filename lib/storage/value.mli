@@ -24,6 +24,23 @@ val to_int : t -> int
 val incr_int : t -> int -> t
 (** [incr_int v d] is [of_int (to_int v + d)]. *)
 
+(** {2 Queue codec}
+
+    A queue value is a sequence of length-prefixed items; the empty
+    value is the empty queue.  Used by the engine's enqueue
+    operation. *)
+
+val of_queue : string list -> t
+val to_queue : t -> string list
+(** Raises [Invalid_argument] on a malformed queue value. *)
+
+val queue_push : t -> string -> t
+(** Append one item. *)
+
+val queue_remove_last : t -> string -> t
+(** Remove the last occurrence of an item — the logical undo of an
+    append; a no-op when the item is absent. *)
+
 (** {2 Field-list codec}
 
     Small record-like objects as ["k=v;k=v"].  Keys and values must not

@@ -31,6 +31,7 @@ let record_kind = function
   | Record.Abort _ -> "abort"
   | Record.Delegate _ -> "delegate"
   | Record.Increment _ -> "increment"
+  | Record.Enqueue _ -> "enqueue"
   | Record.Clr _ -> "clr"
   | Record.Checkpoint -> "checkpoint"
 

@@ -33,6 +33,12 @@ type t =
          supports *logical* undo — concurrent uncommitted increments by
          other transactions must survive this one's abort, so undo
          subtracts rather than installing a before image. *)
+  | Enqueue of { tid : Tid.t; oid : Oid.t; item : string; after : Value.t }
+      (* A commuting queue append.  Like [Increment], the [after] image
+         supports physical repeat-history redo while [item] supports
+         logical undo: concurrent uncommitted enqueues by other
+         transactions must survive this one's abort, so undo removes
+         this item rather than installing a before image. *)
   | Clr of { tid : Tid.t; oid : Oid.t; image : Value.t option }
       (* Compensation record: the abort algorithm installed [image]
          (None = the object is deleted) while undoing [tid].  Redo-only,
@@ -58,6 +64,8 @@ let pp ppf = function
   | Increment { tid; oid; delta; after } ->
       Format.fprintf ppf "INCR %a %a delta=%d after=%a" Tid.pp tid Oid.pp oid delta Value.pp
         after
+  | Enqueue { tid; oid; item; after } ->
+      Format.fprintf ppf "ENQ %a %a item=%S after=%a" Tid.pp tid Oid.pp oid item Value.pp after
   | Clr { tid; oid; image } ->
       Format.fprintf ppf "CLR %a %a image=%a" Tid.pp tid Oid.pp oid
         (Format.pp_print_option Value.pp)
@@ -77,6 +85,7 @@ let tag = function
   | Checkpoint -> 6
   | Clr _ -> 7
   | Increment _ -> 8
+  | Enqueue _ -> 9
 
 let put_int buf i =
   let b = Bytes.create 8 in
@@ -128,6 +137,11 @@ let encode t =
       put_tid buf tid;
       put_oid buf oid;
       put_int buf delta;
+      put_string buf (Value.to_string after)
+  | Enqueue { tid; oid; item; after } ->
+      put_tid buf tid;
+      put_oid buf oid;
+      put_string buf item;
       put_string buf (Value.to_string after)
   | Checkpoint -> ());
   Buffer.contents buf
@@ -199,4 +213,10 @@ let decode data =
       let delta = get_int c in
       let after = Value.of_string (get_string c) in
       Increment { tid; oid; delta; after }
+  | 9 ->
+      let tid = get_tid c in
+      let oid = get_oid c in
+      let item = get_string c in
+      let after = Value.of_string (get_string c) in
+      Enqueue { tid; oid; item; after }
   | n -> raise (Corrupt (Printf.sprintf "unknown record tag %d" n))

@@ -29,6 +29,10 @@ type t =
   | Increment of { tid : Tid.t; oid : Oid.t; delta : int; after : Value.t }
       (** A commuting increment: [after] supports physical
           repeat-history redo, [delta] supports logical undo. *)
+  | Enqueue of { tid : Tid.t; oid : Oid.t; item : string; after : Value.t }
+      (** A commuting queue append: [after] supports physical
+          repeat-history redo, [item] supports logical undo (remove
+          the item rather than install a before image). *)
   | Clr of { tid : Tid.t; oid : Oid.t; image : Value.t option }
       (** Compensation record written by the abort algorithm for each
           installed undo image ([None] = deletion).  Redo-only. *)

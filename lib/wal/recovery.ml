@@ -34,9 +34,10 @@ module Store = Asset_storage.Store
 module Value = Asset_storage.Value
 
 (* How an update is undone: physical installs the before image;
-   logical (increments) subtracts the delta from the *current* value so
-   that commuting updates by other transactions survive. *)
-type undo_kind = Physical of Value.t option | Logical_delta of int
+   logical (increments, enqueues) edits the *current* value — subtract
+   the delta, remove the item — so that commuting updates by other
+   transactions survive. *)
+type undo_kind = Physical of Value.t option | Logical_delta of int | Logical_dequeue of string
 
 type update = {
   lsn : int;
@@ -90,6 +91,10 @@ let analyze ?(from_checkpoint = true) log =
           Hashtbl.replace seen tid ();
           updates := { lsn; oid; undo = Logical_delta delta; after; responsible = tid } :: !updates;
           redo := Install (oid, after) :: !redo
+      | Record.Enqueue { tid; oid; item; after } ->
+          Hashtbl.replace seen tid ();
+          updates := { lsn; oid; undo = Logical_dequeue item; after; responsible = tid } :: !updates;
+          redo := Install (oid, after) :: !redo
       | Record.Clr { oid; image; _ } ->
           redo :=
             (match image with Some v -> Install (oid, v) | None -> Remove oid) :: !redo
@@ -140,6 +145,10 @@ let recover ?(from_checkpoint = true) log store =
       | Logical_delta delta -> (
           match Store.read store u.oid with
           | Some v -> Store.write store u.oid (Value.incr_int v (-delta))
+          | None -> ())
+      | Logical_dequeue item -> (
+          match Store.read store u.oid with
+          | Some v -> Store.write store u.oid (Value.queue_remove_last v item)
           | None -> ()))
     (List.rev loser_updates);
   Store.flush store;

@@ -17,13 +17,42 @@ let setup store ~accounts ~balance =
 
 (* A transfer body: subtract from one account, add to the other.  The
    [yield] between the two writes exposes the window a non-atomic
-   implementation would corrupt. *)
+   implementation would corrupt.
+
+   This is the read-modify-write variant: each side takes a Read lock
+   and upgrades it to Write, so colliding transfers deadlock — the
+   deadlock-detector tests and the E13/E14 baselines rely on exactly
+   that behaviour (and the scheduler's golden-trace test pins its
+   schedule byte for byte).  The semantic variants below are the
+   contention-free counterparts. *)
 let transfer ?(yield = true) db ~from_ ~to_ ~amount () =
   let debit v = Value.incr_int (Option.value v ~default:(Value.of_int 0)) (-amount) in
   let credit v = Value.incr_int (Option.value v ~default:(Value.of_int 0)) amount in
   E.modify db (account from_) debit;
   if yield then Asset_sched.Scheduler.yield ();
   E.modify db (account to_) credit
+
+(* ------------------------------------------------------------------ *)
+(* Semantic paths (section-5 typed-object modes)                       *)
+
+(* A deposit is a pure commuting increment: concurrent deposits to the
+   same hot account never block each other and never deadlock. *)
+let deposit db ~to_ ~amount = E.increment db (account to_) amount
+
+(* A withdrawal is an escrow decrement bounded below by zero: it
+   commits only if the balance provably cannot be overdrawn whatever
+   concurrent in-flight withdrawals and deposits do.  An
+   [Escrow_violation] abort is transient (retryable) — headroom
+   returns as in-flight deltas resolve. *)
+let withdraw db ~from_ ~amount = E.escrow db (account from_) (-amount) ~lo:0 ~hi:max_int
+
+(* A semantic transfer: escrow debit (no overdraft) plus commuting
+   credit.  Both lock modes are self-compatible, so semantic transfers
+   never deadlock each other — contrast [transfer]. *)
+let transfer_semantic ?(yield = true) db ~from_ ~to_ ~amount () =
+  withdraw db ~from_ ~amount;
+  if yield then Asset_sched.Scheduler.yield ();
+  deposit db ~to_ ~amount
 
 let random_transfer ?yield db ~accounts ~rng () =
   let from_ = 1 + Rng.int rng accounts in
@@ -46,4 +75,19 @@ let total db ~accounts =
 let run_transfers ?(seed = 7) db ~accounts ~n_txns =
   let rng = Rng.create seed in
   let bodies = List.init n_txns (fun _ -> random_transfer db ~accounts ~rng) in
+  Workload.run_bodies db bodies
+
+(* The same random mix over the semantic paths.  Aborts can only come
+   from escrow-bound violations (there are no deadlocks to fall
+   victim to), so with per-account balances comfortably above the
+   maximum amount they are rare — and retryable. *)
+let run_semantic_transfers ?(seed = 7) db ~accounts ~n_txns =
+  let rng = Rng.create seed in
+  let bodies =
+    List.init n_txns (fun _ ->
+        let from_ = 1 + Rng.int rng accounts in
+        let to_ = 1 + Rng.int rng accounts in
+        let amount = 1 + Rng.int rng 100 in
+        transfer_semantic db ~from_ ~to_ ~amount)
+  in
   Workload.run_bodies db bodies

@@ -9,14 +9,35 @@ val account : int -> Asset_util.Id.Oid.t
 val setup : Asset_storage.Store.t -> accounts:int -> balance:int -> unit
 
 val transfer : ?yield:bool -> E.t -> from_:int -> to_:int -> amount:int -> unit -> unit
-(** A transfer body; the yield between the debit and the credit exposes
-    the window a non-atomic implementation would corrupt. *)
+(** A read-modify-write transfer body; the yield between the debit and
+    the credit exposes the window a non-atomic implementation would
+    corrupt.  Colliding transfers deadlock (Read -> Write upgrades) —
+    the deadlock-detection tests and E13/E14 baselines depend on
+    that. *)
+
+val deposit : E.t -> to_:int -> amount:int -> unit
+(** A commuting increment: concurrent deposits to the same hot account
+    never block each other. *)
+
+val withdraw : E.t -> from_:int -> amount:int -> unit
+(** An escrow decrement bounded below by zero: commits only if the
+    balance provably cannot be overdrawn whatever in-flight escrow
+    deltas do; otherwise aborts with [Engine.Escrow_violation]
+    (transient, retryable). *)
+
+val transfer_semantic : ?yield:bool -> E.t -> from_:int -> to_:int -> amount:int -> unit -> unit
+(** Escrow debit plus commuting credit: semantic transfers never
+    deadlock each other. *)
 
 val random_transfer : ?yield:bool -> E.t -> accounts:int -> rng:Asset_util.Rng.t -> unit -> unit
 
 val run_transfers : ?seed:int -> E.t -> accounts:int -> n_txns:int -> int * int
 (** Run concurrent random transfers; returns (committed,
     deadlock-victims).  Must run inside a runtime fiber. *)
+
+val run_semantic_transfers : ?seed:int -> E.t -> accounts:int -> n_txns:int -> int * int
+(** The same random mix over {!transfer_semantic}; aborts can only be
+    escrow-bound violations.  Must run inside a runtime fiber. *)
 
 val total : E.t -> accounts:int -> int
 (** Sum of balances, read directly from the store. *)

@@ -119,7 +119,7 @@ let check spec transfers (tids : Tid.t array) acked (report : Recovery.report) s
   List.rev !failures
 
 let sorted_snapshot store =
-  Store.snapshot store |> List.map (fun (oid, v) -> (oid, Value.to_string v)) |> List.sort compare
+  Store.dump store |> List.map (fun (oid, v) -> (oid, Value.to_string v)) |> List.sort compare
 
 (* One full torture run: set up a clean bank, arm faults via [arm],
    run every transfer with its own committer fiber, simulate power loss

@@ -100,11 +100,14 @@ let run_batch db ~yield ?(rmw = false) txns =
 (* Bounded retry with seeded backoff                                   *)
 
 (* An abort is worth retrying when it was transient: a deadlock victim
-   (no failure recorded), a lock-wait timeout, or an injected/transient
-   I/O failure.  A real body failure (the application raised) is not. *)
+   (no failure recorded), a lock-wait timeout, an escrow bound that
+   may regain headroom once in-flight deltas resolve, or an
+   injected/transient I/O failure.  A real body failure (the
+   application raised) is not. *)
 let retryable = function
   | None -> true
   | Some (E.Lock_timeout _) -> true
+  | Some (E.Escrow_violation _) -> true
   | Some (Asset_fault.Fault.Injected _) -> true
   | Some (Asset_fault.Fault.Storage_error _) -> true
   | Some _ -> false

@@ -174,7 +174,25 @@ let test_footprint_conflicts () =
   Alcotest.(check bool) "global conflicts with data" true
     (C.fps_conflict [ C.Global ] [ C.Data (7, 'R') ]);
   Alcotest.(check bool) "empty commutes with everything" false
-    (C.fps_conflict [] [ C.Global ])
+    (C.fps_conflict [] [ C.Global ]);
+  (* Typed-object tags.  I/I commutes; E/E and Q/Q are lock-compatible
+     but schedule-relevant (which escrow op hits the bound, concrete
+     queue order), so their footprints conflict; 'S' (snapshot read)
+     commutes with everything, including writes to the same object. *)
+  Alcotest.(check bool) "I/I same object commute" false
+    (C.fps_conflict [ C.Data (0, 'I') ] [ C.Data (0, 'I') ]);
+  Alcotest.(check bool) "E/E same object conflict" true
+    (C.fps_conflict [ C.Data (0, 'E') ] [ C.Data (0, 'E') ]);
+  Alcotest.(check bool) "E/I same object conflict" true
+    (C.fps_conflict [ C.Data (0, 'E') ] [ C.Data (0, 'I') ]);
+  Alcotest.(check bool) "Q/Q same object conflict" true
+    (C.fps_conflict [ C.Data (0, 'Q') ] [ C.Data (0, 'Q') ]);
+  Alcotest.(check bool) "E/E distinct objects commute" false
+    (C.fps_conflict [ C.Data (0, 'E') ] [ C.Data (1, 'E') ]);
+  Alcotest.(check bool) "S/W same object commute" false
+    (C.fps_conflict [ C.Data (0, 'S') ] [ C.Data (0, 'W') ]);
+  Alcotest.(check bool) "S/S commute" false
+    (C.fps_conflict [ C.Data (0, 'S') ] [ C.Data (0, 'S') ])
 
 let () =
   Alcotest.run "check"

@@ -341,8 +341,8 @@ let test_oracle_rejects_dirty_read () =
         Trace.Op { tid = t 1; oid = o 1; op = 'W' };
         Trace.Begin { tid = t 2 };
         Trace.Op { tid = t 2; oid = o 1; op = 'R' };
-        Trace.Commit { tids = [ t 2 ] };
-        Trace.Commit { tids = [ t 1 ] };
+        Trace.Commit { tids = [ t 2 ]; ts = 0 };
+        Trace.Commit { tids = [ t 1 ]; ts = 0 };
       ]
   in
   flags "unsanctioned dirty read" Oracle.check_visibility dirty_read;
@@ -356,8 +356,8 @@ let test_oracle_rejects_dirty_read () =
         Trace.Permit { from_ = t 1; to_ = t 2; oids = [ o 1 ]; ops = "R" };
         Trace.Begin { tid = t 2 };
         Trace.Op { tid = t 2; oid = o 1; op = 'R' };
-        Trace.Commit { tids = [ t 2 ] };
-        Trace.Commit { tids = [ t 1 ] };
+        Trace.Commit { tids = [ t 2 ]; ts = 0 };
+        Trace.Commit { tids = [ t 1 ]; ts = 0 };
       ]
   in
   passes "permitted read" Oracle.check_visibility sanctioned;
@@ -369,8 +369,8 @@ let test_oracle_rejects_dirty_read () =
         Trace.Begin { tid = t 2 };
         Trace.Op { tid = t 1; oid = o 1; op = 'I' };
         Trace.Op { tid = t 2; oid = o 1; op = 'I' };
-        Trace.Commit { tids = [ t 1 ] };
-        Trace.Commit { tids = [ t 2 ] };
+        Trace.Commit { tids = [ t 1 ]; ts = 0 };
+        Trace.Commit { tids = [ t 2 ]; ts = 0 };
       ]
   in
   passes "commuting increments" Oracle.check_visibility increments
@@ -384,9 +384,9 @@ let test_oracle_rejects_conflict_cycle () =
          Trace.Op { tid = t 1; oid = o 1; op = 'R' };
          Trace.Op { tid = t 2; oid = o 1; op = 'W' };
          Trace.Op { tid = t 2; oid = o 2; op = 'W' };
-         Trace.Commit { tids = [ t 2 ] };
+         Trace.Commit { tids = [ t 2 ]; ts = 0 };
          Trace.Op { tid = t 1; oid = o 2; op = 'R' };
-         Trace.Commit { tids = [ t 1 ] };
+         Trace.Commit { tids = [ t 1 ]; ts = 0 };
        ]);
   (* The same interleaving with t1 aborted has a serializable committed
      projection. *)
@@ -398,7 +398,7 @@ let test_oracle_rejects_conflict_cycle () =
          Trace.Op { tid = t 1; oid = o 1; op = 'R' };
          Trace.Op { tid = t 2; oid = o 1; op = 'W' };
          Trace.Op { tid = t 2; oid = o 2; op = 'W' };
-         Trace.Commit { tids = [ t 2 ] };
+         Trace.Commit { tids = [ t 2 ]; ts = 0 };
          Trace.Op { tid = t 1; oid = o 2; op = 'R' };
          Trace.Abort { tid = t 1 };
        ])
@@ -411,7 +411,7 @@ let test_oracle_rejects_non_two_phase () =
         Trace.Lock { tid = t 1; oid = o 1; mode = 'W'; action = Trace.Grant };
         Trace.Lock { tid = t 1; oid = o 1; mode = 'W'; action = Trace.Release };
         Trace.Lock { tid = t 1; oid = o 2; mode = 'W'; action = Trace.Grant };
-        Trace.Commit { tids = [ t 1 ] };
+        Trace.Commit { tids = [ t 1 ]; ts = 0 };
       ]
   in
   let vs = Oracle.check_two_phase ~strict:true history in
@@ -435,8 +435,8 @@ let test_oracle_rejects_split_group_commit () =
     mk
       [
         Trace.Dep { dtype = "GC"; master = t 1; dependent = t 2 };
-        Trace.Commit { tids = [ t 1 ] };
-        Trace.Commit { tids = [ t 2 ] };
+        Trace.Commit { tids = [ t 1 ]; ts = 0 };
+        Trace.Commit { tids = [ t 2 ]; ts = 0 };
       ]
   in
   flags "GC pair in separate commit events" Oracle.check_dependencies history;
@@ -446,7 +446,54 @@ let test_oracle_rejects_split_group_commit () =
     (mk
        [
          Trace.Dep { dtype = "GC"; master = t 1; dependent = t 2 };
-         Trace.Commit { tids = [ t 1; t 2 ] };
+         Trace.Commit { tids = [ t 1; t 2 ]; ts = 0 };
+       ])
+
+let test_oracle_rejects_stale_snapshot_read () =
+  (* w1 commits o1 at ts=1 before the snapshot begins at ts=1; a later
+     w2 commits at ts=2.  The reader must see exactly the ts=1
+     version. *)
+  let history ~read_ts =
+    mk
+      [
+        Trace.Begin { tid = t 1 };
+        Trace.Op { tid = t 1; oid = o 1; op = 'W' };
+        Trace.Commit { tids = [ t 1 ]; ts = 1 };
+        Trace.Begin { tid = t 3 };
+        Trace.Snapshot { tid = t 3; ts = 1 };
+        Trace.Begin { tid = t 2 };
+        Trace.Op { tid = t 2; oid = o 1; op = 'W' };
+        Trace.Commit { tids = [ t 2 ]; ts = 2 };
+        Trace.Snap_read { tid = t 3; oid = o 1; ts = read_ts };
+        Trace.Commit { tids = [ t 3 ]; ts = 0 };
+      ]
+  in
+  passes "correct snapshot version" Oracle.check_snapshot_visibility (history ~read_ts:1);
+  flags "stale version (older than visible)" Oracle.check_snapshot_visibility
+    (history ~read_ts:0);
+  flags "future version (committed after begin)" Oracle.check_snapshot_visibility
+    (history ~read_ts:2);
+  (* A read-only transaction must never enter the lock table or issue a
+     locked operation. *)
+  flags "snapshot txn takes a lock" Oracle.check_snapshot_visibility
+    (mk
+       [
+         Trace.Begin { tid = t 3 };
+         Trace.Snapshot { tid = t 3; ts = 1 };
+         Trace.Lock { tid = t 3; oid = o 1; mode = 'R'; action = Trace.Grant };
+       ]);
+  flags "snapshot txn issues locked op" Oracle.check_snapshot_visibility
+    (mk
+       [
+         Trace.Begin { tid = t 3 };
+         Trace.Snapshot { tid = t 3; ts = 1 };
+         Trace.Op { tid = t 3; oid = o 1; op = 'R' };
+       ]);
+  flags "snap-read without an open snapshot" Oracle.check_snapshot_visibility
+    (mk
+       [
+         Trace.Snapshot { tid = t 2; ts = 1 };
+         Trace.Snap_read { tid = t 3; oid = o 1; ts = 1 };
        ])
 
 let test_oracle_rejects_ad_after_master_abort () =
@@ -455,7 +502,7 @@ let test_oracle_rejects_ad_after_master_abort () =
        [
          Trace.Dep { dtype = "AD"; master = t 1; dependent = t 2 };
          Trace.Abort { tid = t 1 };
-         Trace.Commit { tids = [ t 2 ] };
+         Trace.Commit { tids = [ t 2 ]; ts = 0 };
        ])
 
 (* A deliberately broken saga runner: components commit, the saga
@@ -749,6 +796,7 @@ let () =
           Alcotest.test_case "foreign release" `Quick test_oracle_rejects_foreign_release;
           Alcotest.test_case "split group commit" `Quick test_oracle_rejects_split_group_commit;
           Alcotest.test_case "AD after master abort" `Quick test_oracle_rejects_ad_after_master_abort;
+          Alcotest.test_case "stale snapshot read" `Quick test_oracle_rejects_stale_snapshot_read;
           Alcotest.test_case "broken saga" `Quick test_broken_saga_rejected;
           Alcotest.test_case "broken distributed" `Quick test_broken_distributed_rejected;
         ] );

@@ -27,17 +27,89 @@ let check_blocked msg expected outcome =
 (* ------------------------------------------------------------------ *)
 (* Mode                                                                *)
 
+let all_modes = Mode.[ Read; Write; Increment; Escrow; Enqueue; Snapshot ]
+
+(* The full 6x6 lock-table compatibility matrix, pinned entry by entry:
+   a self-compatible diagonal for the commuting modes (R, I, E, Q),
+   Snapshot compatible with everything, and every other pair
+   conflicting — in particular Escrow vs Increment, because an
+   unbounded increment invalidates escrow's bound analysis. *)
 let test_conflict_matrix () =
-  Alcotest.(check bool) "R/R compatible" false (Mode.conflicts Mode.Read Mode.Read);
-  Alcotest.(check bool) "R/W conflicts" true (Mode.conflicts Mode.Read Mode.Write);
-  Alcotest.(check bool) "W/R conflicts" true (Mode.conflicts Mode.Write Mode.Read);
-  Alcotest.(check bool) "W/W conflicts" true (Mode.conflicts Mode.Write Mode.Write)
+  let compatible a b =
+    match (a, b) with
+    | Mode.Snapshot, _ | _, Mode.Snapshot -> true
+    | Mode.Read, Mode.Read -> true
+    | Mode.Increment, Mode.Increment -> true
+    | Mode.Escrow, Mode.Escrow -> true
+    | Mode.Enqueue, Mode.Enqueue -> true
+    | _ -> false
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          Alcotest.(check bool)
+            (Format.asprintf "%a/%a" Mode.pp a Mode.pp b)
+            (not (compatible a b)) (Mode.conflicts a b);
+          Alcotest.(check bool)
+            (Format.asprintf "%a/%a symmetric" Mode.pp a Mode.pp b)
+            (Mode.conflicts a b) (Mode.conflicts b a))
+        all_modes)
+    all_modes
+
+(* The op-tag commutation relation the POR explorer prunes with, pinned
+   as a full matrix.  Deliberately stricter than the lock table on
+   'E'/'E' and 'Q'/'Q': escrow ops are lock-compatible but reordering
+   them flips which one hits the bound, and enqueues commute on the
+   item multiset but not on concrete queue order. *)
+let test_conflicts_ops_matrix () =
+  let tags = [ 'R'; 'W'; 'I'; 'E'; 'Q'; 'S' ] in
+  let commutes a b =
+    match (a, b) with 'S', _ | _, 'S' -> true | 'R', 'R' -> true | 'I', 'I' -> true | _ -> false
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          Alcotest.(check bool)
+            (Printf.sprintf "ops %c/%c" a b)
+            (not (commutes a b)) (Mode.conflicts_ops a b))
+        tags)
+    tags;
+  (* The divergence from the lock table, stated explicitly. *)
+  Alcotest.(check bool) "E/E lock-compatible" false Mode.(conflicts Escrow Escrow);
+  Alcotest.(check bool) "E/E schedule-conflicting" true (Mode.conflicts_ops 'E' 'E');
+  Alcotest.(check bool) "Q/Q lock-compatible" false Mode.(conflicts Enqueue Enqueue);
+  Alcotest.(check bool) "Q/Q schedule-conflicting" true (Mode.conflicts_ops 'Q' 'Q');
+  (* Unknown tags conservatively conflict with everything. *)
+  Alcotest.(check bool) "unknown tag conflicts" true (Mode.conflicts_ops '?' 'R');
+  Alcotest.(check bool) "unknown tag conflicts sym" true (Mode.conflicts_ops 'R' '?');
+  (* Tag decoding covers exactly the six modes, in tag order. *)
+  List.iter2
+    (fun c m ->
+      match Mode.of_op_char c with
+      | Some m' -> Alcotest.(check bool) (Printf.sprintf "of_op_char %c" c) true (Mode.equal m m')
+      | None -> Alcotest.failf "of_op_char %c: no mode" c)
+    tags all_modes;
+  Alcotest.(check bool) "of_op_char rejects junk" true (Mode.of_op_char 'X' = None)
 
 let test_covers () =
-  Alcotest.(check bool) "W covers R" true (Mode.covers ~held:Mode.Write ~requested:Mode.Read);
-  Alcotest.(check bool) "W covers W" true (Mode.covers ~held:Mode.Write ~requested:Mode.Write);
-  Alcotest.(check bool) "R covers R" true (Mode.covers ~held:Mode.Read ~requested:Mode.Read);
-  Alcotest.(check bool) "R !covers W" false (Mode.covers ~held:Mode.Read ~requested:Mode.Write)
+  let expected ~held ~requested =
+    match (held, requested) with
+    | _, Mode.Snapshot -> true (* any holder may also snapshot-read *)
+    | Mode.Write, _ -> true
+    | a, b -> Mode.equal a b
+  in
+  List.iter
+    (fun h ->
+      List.iter
+        (fun r ->
+          Alcotest.(check bool)
+            (Format.asprintf "%a covers %a" Mode.pp h Mode.pp r)
+            (expected ~held:h ~requested:r)
+            (Mode.covers ~held:h ~requested:r))
+        all_modes)
+    all_modes
 
 let test_ops_algebra () =
   Alcotest.(check bool) "read in all" true (Ops.mem Mode.Read Ops.all);
@@ -45,13 +117,12 @@ let test_ops_algebra () =
   Alcotest.(check bool) "inter" true (Ops.equal Ops.read_only (Ops.inter Ops.all Ops.read_only));
   Alcotest.(check bool) "empty inter" true (Ops.is_empty (Ops.inter Ops.read_only Ops.write_only));
   Alcotest.(check bool) "of_list" true
-    (Ops.equal Ops.all (Ops.of_list [ Mode.Read; Mode.Write; Mode.Increment ]));
-  (* The Increment mode (section-5 extension): increments commute. *)
-  Alcotest.(check bool) "I/I compatible" false (Mode.conflicts Mode.Increment Mode.Increment);
-  Alcotest.(check bool) "I/R conflicts" true (Mode.conflicts Mode.Increment Mode.Read);
-  Alcotest.(check bool) "I/W conflicts" true (Mode.conflicts Mode.Increment Mode.Write);
-  Alcotest.(check bool) "W covers I" true (Mode.covers ~held:Mode.Write ~requested:Mode.Increment);
-  Alcotest.(check bool) "I !covers R" false (Mode.covers ~held:Mode.Increment ~requested:Mode.Read)
+    (Ops.equal Ops.all
+       (Ops.of_list [ Mode.Read; Mode.Write; Mode.Increment; Mode.Escrow; Mode.Enqueue ]));
+  (* A snapshot read is a read for permit purposes. *)
+  Alcotest.(check bool) "snapshot is a read" true (Ops.mem Mode.Snapshot Ops.read_only);
+  Alcotest.(check bool) "escrow in all" true (Ops.mem Mode.Escrow Ops.all);
+  Alcotest.(check bool) "enqueue in all" true (Ops.mem Mode.Enqueue Ops.all)
 
 (* ------------------------------------------------------------------ *)
 (* Basic acquisition                                                   *)
@@ -586,6 +657,7 @@ let () =
       ( "mode",
         [
           Alcotest.test_case "conflict matrix" `Quick test_conflict_matrix;
+          Alcotest.test_case "conflicts_ops matrix" `Quick test_conflicts_ops_matrix;
           Alcotest.test_case "covers" `Quick test_covers;
           Alcotest.test_case "ops algebra" `Quick test_ops_algebra;
         ] );

@@ -98,7 +98,7 @@ let snapshot_of_run policy =
   Bank.setup store ~accounts:6 ~balance:100;
   let db = E.create store in
   R.run_exn ~policy db (fun () -> ignore (Bank.run_transfers db ~accounts:6 ~n_txns:25));
-  List.map (fun (o, v) -> (Oid.to_int o, Value.to_int v)) (Store.snapshot (E.store db))
+  List.map (fun (o, v) -> (Oid.to_int o, Value.to_int v)) (Store.dump (E.store db))
 
 let test_fifo_runs_identical () =
   Alcotest.(check bool) "two FIFO runs agree" true (snapshot_of_run Sched.Fifo = snapshot_of_run Sched.Fifo)
@@ -202,6 +202,141 @@ let test_saga_invariant_random_schedules () =
       Alcotest.(check int) "compensated clean" 0
         (Value.to_int (Store.read_exn store (oid 1)) + Value.to_int (Store.read_exn store (oid 2))))
     seeds
+
+(* ------------------------------------------------------------------ *)
+(* Semantic concurrency: snapshot reads, escrow bounds, version GC     *)
+
+module Trace = Asset_obs.Trace
+module Oracle = Asset_obs.Oracle
+module Tid = Asset_util.Id.Tid
+
+(* Read-only snapshot transactions run against deadlock-prone RMW
+   writers across seeded random schedules.  Every reader must commit
+   (never a victim, never a lock timeout), must never appear in a lock
+   event or a locked data operation, and the recorded history must
+   satisfy the snapshot-visibility axiom: each snapshot read returned
+   exactly the newest version committed before the reader's begin. *)
+let prop_readonly_never_blocks_or_aborts =
+  QCheck2.Test.make ~name:"read-only snapshot txns: zero locks, zero aborts" ~count:200
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let accounts = 6 in
+      let store = Heap.store () in
+      Bank.setup store ~accounts ~balance:1_000;
+      let db = E.create store in
+      let readers = ref [] in
+      let (), entries =
+        Trace.with_memory (fun () ->
+            R.run_exn ~policy:(Sched.Random_seeded seed) db (fun () ->
+                let rng = Asset_util.Rng.create seed in
+                let writer_bodies =
+                  List.init 8 (fun _ -> Bank.random_transfer db ~accounts ~rng)
+                in
+                let wtids = List.map (fun b -> E.initiate db b) writer_bodies in
+                let rtids =
+                  List.init 4 (fun _ ->
+                      E.initiate ~read_only:true db (fun () ->
+                          for a = 1 to accounts do
+                            ignore (E.read db (Bank.account a));
+                            Sched.yield ()
+                          done))
+                in
+                readers := rtids;
+                let tids = wtids @ rtids in
+                ignore (E.begin_many db tids);
+                List.iter
+                  (fun t -> E.spawn db ~label:"c" (fun () -> ignore (E.commit db t)))
+                  tids;
+                E.await_terminated db tids))
+      in
+      let is_reader t = List.exists (Tid.equal t) !readers in
+      List.for_all (fun t -> E.is_committed db t) !readers
+      && List.for_all
+           (fun { Trace.ev; _ } ->
+             match ev with
+             | Trace.Lock { tid; _ } | Trace.Op { tid; _ } -> not (is_reader tid)
+             | _ -> true)
+           entries
+      && Oracle.check_snapshot_visibility entries = [])
+
+(* Concurrent escrow deltas against a bounded counter: whatever commits
+   or aborts, the committed value can never escape [lo, hi] — the
+   worst-case admission test guarantees it for every completion
+   order. *)
+let prop_escrow_bounds_respected =
+  QCheck2.Test.make ~name:"escrow committed value never escapes bounds" ~count:100
+    QCheck2.Gen.(pair (int_range 0 1_000_000) (list_size (int_range 1 12) (int_range (-5) 5)))
+    (fun (seed, deltas) ->
+      let store = Heap.store () in
+      Heap.populate store ~n:1 ~value:(fun _ -> Value.of_int 5);
+      let db = E.create store in
+      let lo = 0 and hi = 10 in
+      R.run_exn ~policy:(Sched.Random_seeded seed) db (fun () ->
+          let bodies =
+            List.map
+              (fun d () ->
+                E.escrow db (oid 1) d ~lo ~hi;
+                Sched.yield ())
+              deltas
+          in
+          ignore (Workload.run_bodies db bodies));
+      let v = geti db 1 in
+      v >= lo && v <= hi)
+
+(* Version GC: chains grow while a snapshot pins old versions and
+   collapse back to the committed head once the oldest snapshot
+   closes. *)
+let test_version_gc_bounded () =
+  let store = Heap.store () in
+  Heap.populate store ~n:1 ~value:(fun _ -> vi 0);
+  let db = E.create store in
+  let with_reader = ref 0 in
+  R.run_exn db (fun () ->
+      let release = ref false in
+      let reader =
+        E.initiate ~read_only:true db (fun () ->
+            ignore (E.read db (oid 1));
+            while not !release do
+              Sched.yield ()
+            done)
+      in
+      ignore (E.begin_ db reader);
+      for i = 1 to 50 do
+        let t = E.initiate db (fun () -> E.write db (oid 1) (vi i)) in
+        ignore (E.begin_ db t);
+        ignore (E.commit db t)
+      done;
+      with_reader := E.mvcc_max_chain db;
+      release := true;
+      ignore (E.commit db reader));
+  Alcotest.(check bool) "chain held back while snapshot open" true (!with_reader > 10);
+  Alcotest.(check bool) "chain collapses after snapshot closes" true (E.mvcc_max_chain db <= 2);
+  Alcotest.(check int) "latest survives GC" 50 (geti db 1)
+
+(* Enqueue undo is logical: an aborted producer's item disappears
+   without clobbering concurrently enqueued items. *)
+let test_enqueue_logical_undo () =
+  let store = Heap.store () in
+  let db = E.create store in
+  R.run_exn db (fun () ->
+      let t1 =
+        E.initiate db (fun () ->
+            E.enqueue db (oid 1) "a";
+            Sched.yield ();
+            E.enqueue db (oid 1) "c")
+      in
+      let t2 =
+        E.initiate db (fun () ->
+            E.enqueue db (oid 1) "b";
+            Sched.yield ();
+            ignore (E.abort db (E.self db)))
+      in
+      ignore (E.begin_many db [ t1; t2 ]);
+      E.spawn db ~label:"c1" (fun () -> ignore (E.commit db t1));
+      E.spawn db ~label:"c2" (fun () -> ignore (E.commit db t2));
+      E.await_terminated db [ t1; t2 ]);
+  let q = Value.to_queue (Store.read_exn (E.store db) (oid 1)) in
+  Alcotest.(check (list string)) "survivor's items only" [ "a"; "c" ] (List.sort compare q)
 
 (* ------------------------------------------------------------------ *)
 (* Workload harness                                                    *)
@@ -313,6 +448,13 @@ let () =
             test_increment_invariant_random_schedules;
           Alcotest.test_case "saga under random schedules" `Quick
             test_saga_invariant_random_schedules;
+        ] );
+      ( "semantic",
+        [
+          QCheck_alcotest.to_alcotest prop_readonly_never_blocks_or_aborts;
+          QCheck_alcotest.to_alcotest prop_escrow_bounds_respected;
+          Alcotest.test_case "version gc bounded" `Quick test_version_gc_bounded;
+          Alcotest.test_case "enqueue undo is logical" `Quick test_enqueue_logical_undo;
         ] );
       ( "workload",
         [

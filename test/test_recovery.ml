@@ -211,10 +211,10 @@ let test_double_recovery_idempotent () =
       ignore (E.begin_ db t);
       ignore (E.wait db t));
   let store, _ = crash_and_recover ps log logf in
-  let snap1 = Store.snapshot store in
+  let snap1 = Store.dump store in
   let recovered_log = Log.load logf in
   ignore (Recovery.recover recovered_log store);
-  Alcotest.(check bool) "second recovery is a no-op" true (Store.snapshot store = snap1);
+  Alcotest.(check bool) "second recovery is a no-op" true (Store.dump store = snap1);
   Pstore.close ps;
   cleanup pages logf
 

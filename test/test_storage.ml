@@ -86,7 +86,7 @@ let test_heap_populate_and_snapshot () =
   let s = Heap.store () in
   Heap.populate s ~n:10 ~value:(fun i -> Value.of_int (i * i));
   Alcotest.(check int) "size" 10 (Store.size s);
-  let snap = Store.snapshot s in
+  let snap = Store.dump s in
   Alcotest.(check int) "snapshot size" 10 (List.length snap);
   (* Sorted by oid and values correct. *)
   List.iteri

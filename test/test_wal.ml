@@ -37,6 +37,8 @@ let sample_records =
     Record.Delegate { from_ = tid 1; to_ = tid 2; oids = Some [ oid 1; oid 5 ] };
     Record.Clr { tid = tid 3; oid = oid 4; image = Some (vi 8) };
     Record.Clr { tid = tid 3; oid = oid 4; image = None };
+    Record.Increment { tid = tid 2; oid = oid 3; delta = -4; after = vi 6 };
+    Record.Enqueue { tid = tid 2; oid = oid 7; item = "job-1"; after = Value.of_queue [ "job-1" ] };
     Record.Checkpoint;
   ]
 
@@ -371,9 +373,9 @@ let test_recovery_idempotent () =
   ignore (Log.append log (Record.Commit [ tid 1 ]));
   let s = store_with [ (1, 0); (2, 7) ] in
   ignore (Recovery.recover log s);
-  let snap1 = Store.snapshot s in
+  let snap1 = Store.dump s in
   ignore (Recovery.recover log s);
-  let snap2 = Store.snapshot s in
+  let snap2 = Store.dump s in
   Alcotest.(check bool) "recover twice = recover once" true (snap1 = snap2)
 
 let test_checkpoint_skips_prefix () =
