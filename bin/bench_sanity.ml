@@ -174,11 +174,15 @@ let field_name = function
   | Fbool -> "bool"
   | Fnum_or_null -> "number|null"
 
-(* Per-experiment schema: each top-level member is either an array of
-   records or a single record, with required typed fields.  Every
-   schema also implies the top-level "experiment" and "smoke" tags
-   checked for all files. *)
-type member_shape = Arr_of of (string * field) list | One_of of (string * field) list
+(* Per-experiment schema: each top-level member is an array of
+   records, a single record, or a curve section — a record that also
+   carries a non-empty "points" array of records (the E23 shape).
+   Every schema also implies the top-level "experiment" and "smoke"
+   tags checked for all files. *)
+type member_shape =
+  | Arr_of of (string * field) list
+  | One_of of (string * field) list
+  | Curve_of of (string * field) list * (string * field) list
 
 let schemas =
   [
@@ -316,6 +320,18 @@ let schemas =
               ("final_ok", Fbool);
               ("seconds", Fnum);
             ] );
+        ( "delegation",
+          Arr_of
+            [
+              ("mode", Fstr);
+              ("workers", Fnum);
+              ("ops", Fnum);
+              ("commits", Fnum);
+              ("delegations", Fnum);
+              ("final", Fnum);
+              ("final_ok", Fbool);
+              ("seconds", Fnum);
+            ] );
         ( "gc",
           One_of
             [
@@ -326,6 +342,33 @@ let schemas =
               ("versions_after_close", Fnum);
             ] );
       ] );
+    ( "E23-shard",
+      (let curve_point =
+         [
+           ("domains", Fnum);
+           ("committed", Fnum);
+           ("cross_committed", Fnum);
+           ("cross_aborted", Fnum);
+           ("mixed", Fnum);
+           ("gave_up", Fnum);
+           ("retries", Fnum);
+           ("conserved", Fbool);
+           ("seconds", Fnum);
+           ("txns_per_s", Fnum);
+           ("speedup_vs_1", Fnum);
+         ]
+       and curve_cfg =
+         [
+           ("wave", Fnum); ("waves", Fnum); ("objects", Fnum); ("zipf_theta", Fnum); ("io_us", Fnum);
+         ]
+       in
+       [
+         ("single_shard", Curve_of (curve_cfg, curve_point));
+         ("cross_mix", Curve_of (curve_cfg, curve_point));
+         ( "conformance",
+           One_of
+             [ ("domains", Fnum); ("events", Fnum); ("xgc_edges", Fnum); ("violations", Fnum) ] );
+       ]) );
   ]
 
 let errors = ref 0
@@ -374,6 +417,17 @@ let check_file file =
                   | Arr_of _, Some _ -> err file "%S is not an array" key
                   | One_of fields, Some (Obj _ as o) -> check_record key "" fields o
                   | One_of _, Some _ -> err file "%S is not an object" key
+                  | Curve_of (cfg, point), Some (Obj _ as o) -> (
+                      check_record key "" cfg o;
+                      match member "points" o with
+                      | Some (Arr []) -> err file "%s.points is empty" key
+                      | Some (Arr elems) ->
+                          List.iteri
+                            (fun i elem ->
+                              check_record key (Printf.sprintf ".points[%d]" i) point elem)
+                            elems
+                      | _ -> err file "%s: missing or non-array \"points\"" key)
+                  | Curve_of _, Some _ -> err file "%S is not an object" key
                   | _, None -> err file "missing member %S" key)
                 members)
       | _ -> err file "missing or non-string \"experiment\"")

@@ -50,6 +50,28 @@ if ! grep -Eq "after close: 1 " /tmp/mvcc_smoke.out; then
   exit 1
 fi
 
+# Multicore shard smoke (E23, see DESIGN.md §11).  Two real domains,
+# single-shard and 10%-cross-shard curves at tiny quotas, then the
+# structural assertions: the 2-domain merged multi-domain trace must
+# replay through the oracle with zero violations (and actually carry
+# cross-shard XGC decision records), and no point may leave a mixed
+# (atomicity-violating) cross-shard outcome.  CI_DOMAINS overrides the
+# domain count on wider runners.
+echo "== shard smoke (E23: 2 domains, cross-shard 2PC, merged-trace oracle) =="
+dune exec bench/main.exe -- --only shard --smoke --domains "${CI_DOMAINS:-2}" | tee /tmp/shard_smoke.out
+if ! grep -Eq "^E23 conformance: .* 0 violations \[OK\]$" /tmp/shard_smoke.out; then
+  echo "shard smoke: merged multi-domain history failed the oracle" >&2
+  exit 1
+fi
+if grep -Eq "conformance: .* [^0-9]0 xgc edges" /tmp/shard_smoke.out; then
+  echo "shard smoke: no cross-shard decision records in merged history" >&2
+  exit 1
+fi
+if ! awk -F'|' '/^[0-9]+ +\|/ { gsub(/ /,"",$5); if ($5 != "0") exit 1 }' /tmp/shard_smoke.out; then
+  echo "shard smoke: mixed cross-shard outcome (atomicity violation)" >&2
+  exit 1
+fi
+
 echo "== bench smoke (E1 + E17/hotpath + E18/lockpath + E19/faults + E20/obs + E21/check + E22/mvcc) =="
 dune exec bench/main.exe -- --only e1,hotpath,lockpath,faults,obs,check,mvcc --smoke
 

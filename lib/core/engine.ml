@@ -150,8 +150,9 @@ type t = {
   enqueues : Asset_util.Stats.Counter.t;
 }
 
-let create ?(config = default_config) ?log store =
+let create ?(config = default_config) ?log ?tid_gen store =
   let log = match log with Some l -> l | None -> Log.in_memory () in
+  let tid_gen = match tid_gen with Some g -> g | None -> Tid.generator () in
   (* Every engine runs over a multi-version store: the wrapper
      delegates the base surface untouched (2PL traffic is unaffected)
      and adds the committed-version chains snapshot reads need. *)
@@ -163,7 +164,7 @@ let create ?(config = default_config) ?log store =
     deps = Dep.create ~cycle_check:config.dep_cycle_check ();
     config;
     tds = Hashtbl.create 128;
-    tid_gen = Tid.generator ();
+    tid_gen;
     escrow_inflight = Hashtbl.create 16;
     latches = Hashtbl.create 128;
     fiber_txn = Hashtbl.create 64;
@@ -1120,6 +1121,11 @@ let resolve_deadlock db () =
   end
   else false
 
+(* Number of distinct in-flight escrow reservations.  A leak gauge for
+   the shard layer: after every transaction on an engine has
+   terminated, this must be zero. *)
+let escrow_inflight_count db = Hashtbl.length db.escrow_inflight
+
 (* Spawn an auxiliary fiber (e.g. a per-transaction committer in a
    workload harness).  Not a transaction: [self] inside it is null. *)
 let spawn db ~label f = ignore (Sched.spawn (sched db) ~label f)
@@ -1137,6 +1143,12 @@ let attach_scheduler db s =
   Sched.set_on_stall s (resolve_deadlock db);
   Sched.set_clock s (fun () -> db.version);
   Sched.set_on_quiesce s (fun () -> flush_pending_commits db)
+
+(* The engine's own stall step, exposed so an outer layer (the shard
+   server) can compose it into a richer [on_stall] hook — e.g. "drain
+   the cross-domain mailbox first, then let the engine break local
+   deadlocks, then block on the mailbox". *)
+let resolve_stall db = resolve_deadlock db ()
 
 (* Retry bookkeeping for harness-level bounded retry (the workload
    layer's combinator reports here so [stats] shows resilience figures

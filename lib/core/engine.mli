@@ -93,9 +93,12 @@ type config = {
 
 val default_config : config
 
-val create : ?config:config -> ?log:Asset_wal.Log.t -> Store.t -> t
+val create : ?config:config -> ?log:Asset_wal.Log.t -> ?tid_gen:Tid.gen -> Store.t -> t
 (** An engine over [store]; [log] defaults to a fresh in-memory log
-    (pass a file-backed one for durability). *)
+    (pass a file-backed one for durability).  [tid_gen] defaults to a
+    fresh 1,2,3,... generator; the shard layer passes a strided one
+    ([Tid.generator ~start:(i+1) ~stride:n ()]) so transaction ids on
+    different domains never collide. *)
 
 (** {2 Basic primitives (section 2.1)} *)
 
@@ -281,6 +284,17 @@ val log : t -> Asset_wal.Log.t
 val locks : t -> Asset_lock.Lock_manager.t
 val deps : t -> Asset_deps.Dep_graph.t
 val attach_scheduler : t -> Asset_sched.Scheduler.t -> unit
+
+val resolve_stall : t -> bool
+(** The engine's own stall step, as installed by {!attach_scheduler}:
+    abort a deadlock victim, or tick the lock-wait timeout clock.
+    Returns [true] when it made progress.  Exposed so an outer layer
+    (the shard server) can compose it into a richer scheduler
+    [on_stall] hook — mailbox first, then this, then block. *)
+
+val escrow_inflight_count : t -> int
+(** Distinct objects with an in-flight escrow reservation.  A leak
+    gauge: zero once every transaction has terminated. *)
 
 val note_retry : t -> unit
 (** Count a harness-level transaction retry (surfaced as ["retries"]

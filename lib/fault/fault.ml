@@ -49,18 +49,32 @@ type site = {
   mutable fired : int; (* times an action actually triggered *)
 }
 
+(* The registry is process-global and shared by every domain (a WAL
+   instance on shard 3 and one on shard 0 both resolve "wal.append" to
+   the same site), so its structure is mutex-protected.  Per-site
+   counters are plain mutable ints: domains race on [hits], which can
+   lose increments, but an unarmed site's counter is diagnostic only.
+   Arming/disarming while other domains are running is not supported —
+   tests arm sites before spawning shards (or only ever trip them from
+   the driving domain). *)
 let registry : (string, site) Hashtbl.t = Hashtbl.create 32
+let registry_mutex = Mutex.create ()
+
+let locked f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
 
 let register name =
-  match Hashtbl.find_opt registry name with
-  | Some site -> site
-  | None ->
-      let site = { name; policy = Off; hits = 0; fired = 0 } in
-      Hashtbl.add registry name site;
-      site
+  locked (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some site -> site
+      | None ->
+          let site = { name; policy = Off; hits = 0; fired = 0 } in
+          Hashtbl.add registry name site;
+          site)
 
-let find = Hashtbl.find_opt registry
-let sites () = Hashtbl.fold (fun _ s acc -> s :: acc) registry [] |> List.sort compare
+let find name = locked (fun () -> Hashtbl.find_opt registry name)
+let sites () = locked (fun () -> Hashtbl.fold (fun _ s acc -> s :: acc) registry []) |> List.sort compare
 let arm site policy = site.policy <- policy
 
 let arm_name name policy =
@@ -77,7 +91,7 @@ let reset site =
   site.hits <- 0;
   site.fired <- 0
 
-let reset_all () = Hashtbl.iter (fun _ site -> reset site) registry
+let reset_all () = locked (fun () -> Hashtbl.iter (fun _ site -> reset site) registry)
 let hits site = site.hits
 let fired site = site.fired
 

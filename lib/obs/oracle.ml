@@ -42,7 +42,7 @@ let times entries =
   let t = { commit_at = Hashtbl.create 32; abort_at = Hashtbl.create 32; begin_at = Hashtbl.create 32 } in
   let first tbl k at = if not (Hashtbl.mem tbl k) then Hashtbl.add tbl k at in
   List.iter
-    (fun { Trace.seq; ev } ->
+    (fun { Trace.seq; ev; _ } ->
       match ev with
       | Trace.Commit { tids; _ } -> List.iter (fun tid -> first t.commit_at tid seq) tids
       | Trace.Abort { tid } -> first t.abort_at tid seq
@@ -81,7 +81,7 @@ let check_serializable entries =
   let ops = ref [] (* newest first *) in
   let commit_set = Hashtbl.create 32 in
   List.iter
-    (fun { Trace.seq; ev } ->
+    (fun { Trace.seq; ev; _ } ->
       match ev with
       | Trace.Op { tid; oid; op } -> ops := { owner = tid; oid; op; at = seq } :: !ops
       | Trace.Delegate { from_; to_; moved } ->
@@ -222,6 +222,14 @@ let check_dependencies entries =
           match (commit_of m, commit_of d) with
           | Some _, Some _ -> [ violation "dependencies" "%s: both members of an exclusion group committed" pair ]
           | _ -> [])
+      | "XGC" -> (
+          (* Cross-shard group commit: the members live on different
+             shards, so their Commit events are necessarily separate —
+             the obligation is both-or-neither, not same-event. *)
+          match (commit_of m, commit_of d) with
+          | Some _, Some _ | None, None -> []
+          | Some _, None | None, Some _ ->
+              [ violation "dependencies" "%s: one cross-shard group member committed without the other" pair ])
       | _ -> [ violation "dependencies" "%s: unknown dependency type" pair ])
     deps
 
@@ -249,7 +257,7 @@ let check_lock_ownership entries =
   let bad fmt = Format.kasprintf (fun detail -> violations := { check = "lock-ownership"; detail } :: !violations) fmt
   in
   List.iter
-    (fun { Trace.seq; ev } ->
+    (fun { Trace.seq; ev; _ } ->
       match ev with
       | Trace.Lock { tid; oid; mode; action } -> (
           let h = of_oid oid in
@@ -307,7 +315,7 @@ let check_two_phase ?(strict = true) entries =
   let violations = ref [] in
   let bad check fmt = Format.kasprintf (fun detail -> violations := { check; detail } :: !violations) fmt in
   List.iter
-    (fun { Trace.seq; ev } ->
+    (fun { Trace.seq; ev; _ } ->
       match ev with
       | Trace.Lock { tid; oid; action = Trace.Release; _ } ->
           if not (Hashtbl.mem first_release tid) then Hashtbl.add first_release tid seq;
@@ -402,7 +410,7 @@ let check_visibility entries =
   let violations = ref [] in
   let bad fmt = Format.kasprintf (fun detail -> violations := { check = "visibility"; detail } :: !violations) fmt in
   List.iter
-    (fun { Trace.seq; ev } ->
+    (fun { Trace.seq; ev; _ } ->
       match ev with
       | Trace.Op { tid; oid; op } ->
           (* Commuting-family exceptions to the dirty rule: concurrent
@@ -486,7 +494,7 @@ let check_snapshot_visibility entries =
     let ops = ref [] in
     let commit_ts : (Tid.t, int) Hashtbl.t = Hashtbl.create 32 in
     List.iter
-      (fun { Trace.ev; seq } ->
+      (fun { Trace.ev; seq; _ } ->
         match ev with
         | Trace.Op { tid; oid; op } when op = 'W' || op = 'I' || op = 'E' || op = 'Q' ->
             ops := { owner = tid; oid; op; at = seq } :: !ops
@@ -516,7 +524,7 @@ let check_snapshot_visibility entries =
       Format.kasprintf (fun detail -> violations := { check = "snapshot-visibility"; detail } :: !violations) fmt
     in
     List.iter
-      (fun { Trace.seq; ev } ->
+      (fun { Trace.seq; ev; _ } ->
         match ev with
         | Trace.Snap_read { tid; oid; ts } -> (
             match Hashtbl.find_opt snapshot_ts tid with
@@ -544,8 +552,11 @@ let check_snapshot_visibility entries =
    oracle has teeth. *)
 
 (* Every listed group commits atomically: all members in one Commit
-   event, or no member at all. *)
-let check_group_atomicity ~groups entries =
+   event, or no member at all.  [~same_event:false] relaxes the
+   one-event requirement to all-or-nothing — the contract for
+   cross-shard groups, whose members commit on different domains and
+   therefore in separate (per-shard) Commit events. *)
+let check_group_atomicity ?(same_event = true) ~groups entries =
   let t = times entries in
   List.concat_map
     (fun group ->
@@ -557,6 +568,7 @@ let check_group_atomicity ~groups entries =
           violation "group-atomicity" "group %a committed only %a" pp_tids group pp_tids
             (List.map fst committed);
         ]
+      else if not same_event then []
       else
         match List.sort_uniq compare (List.filter_map snd outcomes) with
         | [ _ ] -> []

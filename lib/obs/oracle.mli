@@ -35,7 +35,9 @@ val check_dependencies : Trace.entry list -> violation list
     after the master terminated; AD — dependent commits only after the
     master committed, and never if it aborted; GC — both commit in one
     atomic [Commit] event or neither; BD — dependent begins only after
-    the master commits; EXC — at most one commits. *)
+    the master commits; EXC — at most one commits; XGC — cross-shard
+    group commit, both commit (in necessarily separate per-shard
+    events) or neither does. *)
 
 val check_lock_ownership : Trace.entry list -> violation list
 (** Grants establish ownership, [Delegate] moves it (stronger mode
@@ -70,9 +72,13 @@ val check_snapshot_visibility : Trace.entry list -> violation list
     data operation.  Trivially passes histories with no [Snapshot]
     events. *)
 
-val check_group_atomicity : groups:Tid.t list list -> Trace.entry list -> violation list
+val check_group_atomicity :
+  ?same_event:bool -> groups:Tid.t list list -> Trace.entry list -> violation list
 (** Contract checker: every listed group commits all-or-nothing, in a
-    single [Commit] event. *)
+    single [Commit] event.  [~same_event:false] (default [true]) drops
+    the one-event requirement, keeping only all-or-nothing — the
+    contract for cross-shard groups whose members commit on different
+    domains. *)
 
 val check_compensation_order : pairs:(Tid.t * Tid.t) list -> Trace.entry list -> violation list
 (** Contract checker for sagas: [pairs] lists (component,

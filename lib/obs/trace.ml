@@ -56,25 +56,33 @@ type event =
   | Sched_spawn of { fid : int; label : string }
   | Sched_stall
 
-type entry = { seq : int; ev : event }
+type entry = { seq : int; shard : int; ev : event }
 (* [seq] is the logical timestamp: a strictly increasing integer
    assigned at emit time.  The scheduler is cooperative, so emit order
-   is the real interleaving order. *)
+   is the real interleaving order — within one shard.  [shard] is the
+   recorder's shard id (0 for the classic single-engine setup); [merge]
+   interleaves per-shard histories into one replayable history. *)
 
 type sink = Memory of entry list ref (* newest first *) | Jsonl of out_channel
 
 type t = {
   mutable seq : int;
+  shard : int;
   ring : entry array;
   cap : int;
   sinks : sink list;
 }
 
-let dummy = { seq = 0; ev = Sched_stall }
-let current : t option ref = ref None
+let dummy = { seq = 0; shard = 0; ev = Sched_stall }
 
-(* The hot-path guard: one load, one compare-with-immediate. *)
-let on () = !current <> None
+(* One recorder slot per domain: each shard of the multicore engine
+   traces into its own domain-local recorder, so emit needs no lock and
+   per-shard seq order is exactly that shard's interleaving order. *)
+let slot : t option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+let current () = Domain.DLS.get slot
+
+(* The hot-path guard: one DLS load, one compare-with-immediate. *)
+let on () = !(current ()) <> None
 
 let lock_action_to_string = function
   | Request -> "request"
@@ -325,7 +333,11 @@ let event_fields = function
   | Sched_spawn { fid; label } -> [ ("ev", Json.Str "sched_spawn"); ("fid", Json.Int fid); ("label", Json.Str label) ]
   | Sched_stall -> [ ("ev", Json.Str "sched_stall") ]
 
-let entry_to_json (e : entry) = Json.to_string (Json.Obj (("seq", Json.Int e.seq) :: event_fields e.ev))
+let entry_to_json (e : entry) =
+  let fields = event_fields e.ev in
+  (* Shard 0 is omitted so single-engine histories keep the pre-shard format. *)
+  let fields = if e.shard = 0 then fields else ("shard", Json.Int e.shard) :: fields in
+  Json.to_string (Json.Obj (("seq", Json.Int e.seq) :: fields))
 
 let char_of_field j name =
   let s = Json.to_str (Json.member name j) in
@@ -365,7 +377,9 @@ let event_of_json j =
 
 let entry_of_json line =
   let j = Json.parse line in
-  { seq = Json.to_int (Json.member "seq" j); ev = event_of_json j }
+  (* Tolerate histories recorded before shard ids existed. *)
+  let shard = match j with Json.Obj fields when List.mem_assoc "shard" fields -> Json.to_int (Json.member "shard" j) | _ -> 0 in
+  { seq = Json.to_int (Json.member "seq" j); shard; ev = event_of_json j }
 
 let load_jsonl path =
   let ic = open_in path in
@@ -383,24 +397,26 @@ let load_jsonl path =
 (* ------------------------------------------------------------------ *)
 (* Recorder lifecycle. *)
 
-let start ?(capacity = 4096) ?(sinks = []) () =
+let start ?(capacity = 4096) ?(shard = 0) ?(sinks = []) () =
   if capacity <= 0 then invalid_arg "Trace.start: capacity must be positive";
-  current := Some { seq = 0; ring = Array.make capacity dummy; cap = capacity; sinks }
+  if shard < 0 then invalid_arg "Trace.start: shard must be >= 0";
+  current () := Some { seq = 0; shard; ring = Array.make capacity dummy; cap = capacity; sinks }
 
 let stop () =
-  (match !current with
+  let cur = current () in
+  (match !cur with
   | None -> ()
   | Some r -> List.iter (function Jsonl oc -> flush oc | Memory _ -> ()) r.sinks);
-  current := None
+  cur := None
 
-let seq () = match !current with None -> 0 | Some r -> r.seq
+let seq () = match !(current ()) with None -> 0 | Some r -> r.seq
 
 let emit ev =
-  match !current with
+  match !(current ()) with
   | None -> ()
   | Some r ->
       r.seq <- r.seq + 1;
-      let e = { seq = r.seq; ev } in
+      let e = { seq = r.seq; shard = r.shard; ev } in
       r.ring.((r.seq - 1) mod r.cap) <- e;
       List.iter
         (function
@@ -413,7 +429,7 @@ let emit ev =
 (* The retained tail of the history, oldest first: the last [cap]
    events (or all of them, if fewer were emitted). *)
 let recent () =
-  match !current with
+  match !(current ()) with
   | None -> []
   | Some r ->
       let first = max 1 (r.seq - r.cap + 1) in
@@ -431,17 +447,36 @@ let entries l = List.rev !l
 
 (* Run [f] under a fresh memory-sink recorder; restore the previous
    recorder (almost always: none) afterwards, even on exception. *)
-let with_memory ?capacity f =
+let with_memory ?capacity ?shard f =
   let l, sink = memory_sink () in
-  let saved = !current in
-  start ?capacity ~sinks:[ sink ] ();
+  let cur = current () in
+  let saved = !cur in
+  start ?capacity ?shard ~sinks:[ sink ] ();
   Fun.protect
     ~finally:(fun () ->
       stop ();
-      current := saved)
+      cur := saved)
     (fun () ->
       let v = f () in
       (v, entries l))
+
+(* ------------------------------------------------------------------ *)
+(* Merging per-shard histories.
+
+   Each shard's [seq] is its own logical clock, and both clocks start
+   at 1 and tick at every event, so ordering the union by [seq] (ties
+   broken by shard id via the stable sort over the concatenation order)
+   yields an interleaving that (a) preserves every shard's internal
+   order and (b) dovetails the shards fairly.  Any interleaving that
+   respects per-shard order is a legal history of the concurrent
+   execution — shards share no objects except through the coordinator's
+   explicit messages, which appear in both shards' histories in
+   causally consistent positions.  The merged sequence is renumbered so
+   the oracle sees one strictly increasing clock. *)
+let merge (histories : entry list list) : entry list =
+  let all = List.concat histories in
+  let sorted = List.stable_sort (fun (a : entry) (b : entry) -> compare a.seq b.seq) all in
+  List.mapi (fun i (e : entry) -> { e with seq = i + 1 }) sorted
 
 (* ------------------------------------------------------------------ *)
 (* Pretty-printing for test failure messages. *)
@@ -481,4 +516,6 @@ let pp_event ppf = function
   | Sched_spawn { fid; label } -> Format.fprintf ppf "sched_spawn %d %s" fid label
   | Sched_stall -> Format.fprintf ppf "sched_stall"
 
-let pp_entry ppf (e : entry) = Format.fprintf ppf "@[%6d %a@]" e.seq pp_event e.ev
+let pp_entry ppf (e : entry) =
+  if e.shard = 0 then Format.fprintf ppf "@[%6d %a@]" e.seq pp_event e.ev
+  else Format.fprintf ppf "@[%6d s%d %a@]" e.seq e.shard pp_event e.ev

@@ -2,10 +2,13 @@
     invocations, lock transitions and WAL/recovery milestones with
     logical timestamps.
 
-    The recorder is process-global and off by default; instrumented
-    sites guard emission with [if Trace.on () then Trace.emit ...], so
-    the untraced cost is one load and one branch per site (pinned by
-    the E17/E18/E20 benches). *)
+    The recorder is domain-local (one slot per OCaml domain, so each
+    shard of the multicore engine traces without locks) and off by
+    default; instrumented sites guard emission with
+    [if Trace.on () then Trace.emit ...], so the untraced cost is one
+    domain-local load and one branch per site (pinned by the
+    E17/E18/E20 benches).  Per-shard histories are combined with
+    {!merge} for the oracle. *)
 
 module Tid = Asset_util.Id.Tid
 module Oid = Asset_util.Id.Oid
@@ -42,7 +45,9 @@ type event =
           of ["RWI"]. *)
   | Dep of { dtype : string; master : Tid.t; dependent : Tid.t }
       (** [dtype] is {!Asset_deps.Dep_type.to_string}: ["CD"], ["AD"],
-          ["GC"], ["BD"] or ["EXC"]. *)
+          ["GC"], ["BD"] or ["EXC"] — or ["XGC"], emitted by the shard
+          coordinator for a cross-shard group-commit edge (both-or-
+          neither across separate per-shard [Commit] events). *)
   | Lock of { tid : Tid.t; oid : Oid.t; mode : char; action : lock_action }
   | Wal_append of { lsn : int; kind : string }
   | Wal_force of { lsn : int }
@@ -51,34 +56,40 @@ type event =
   | Sched_spawn of { fid : int; label : string }
   | Sched_stall
 
-type entry = { seq : int; ev : event }
+type entry = { seq : int; shard : int; ev : event }
 (** [seq] is the logical timestamp: strictly increasing, assigned at
     emit time.  The scheduler is cooperative, so emit order is the real
-    interleaving order. *)
+    interleaving order within one shard.  [shard] is the emitting
+    recorder's shard id — 0 for the classic single-engine setup (and
+    omitted from the JSON encoding so old histories stay valid). *)
 
 type sink =
   | Memory of entry list ref  (** accumulates the full history, newest first *)
   | Jsonl of out_channel  (** one JSON object per line *)
 
-(** {1 The global recorder} *)
+(** {1 The domain-local recorder} *)
 
 val on : unit -> bool
-(** Is a recorder installed?  The hot-path guard: one load, one
-    compare. *)
+(** Is a recorder installed on this domain?  The hot-path guard: one
+    domain-local load, one compare. *)
 
 val emit : event -> unit
-(** Record an event (no-op when no recorder is installed). *)
+(** Record an event (no-op when no recorder is installed on the calling
+    domain). *)
 
-val start : ?capacity:int -> ?sinks:sink list -> unit -> unit
-(** Install the global recorder: a ring of [capacity] (default 4096)
-    entries — the flight-recorder tail — fanning out to [sinks]. *)
+val start : ?capacity:int -> ?shard:int -> ?sinks:sink list -> unit -> unit
+(** Install this domain's recorder: a ring of [capacity] (default 4096)
+    entries — the flight-recorder tail — fanning out to [sinks].
+    Entries are stamped with [shard] (default 0); the sharded engine
+    starts one recorder per domain with that shard's id. *)
 
 val stop : unit -> unit
-(** Uninstall the recorder, flushing any JSONL sinks (channels are not
-    closed — they belong to the caller). *)
+(** Uninstall this domain's recorder, flushing any JSONL sinks
+    (channels are not closed — they belong to the caller). *)
 
 val seq : unit -> int
-(** Events emitted so far (0 when no recorder is installed). *)
+(** Events emitted so far on this domain (0 when no recorder is
+    installed). *)
 
 val recent : unit -> entry list
 (** The retained ring tail, oldest first: the last [capacity] events.
@@ -92,10 +103,19 @@ val jsonl_sink : out_channel -> sink
 val entries : entry list ref -> entry list
 (** Collected entries of a memory sink, oldest first. *)
 
-val with_memory : ?capacity:int -> (unit -> 'a) -> 'a * entry list
+val with_memory : ?capacity:int -> ?shard:int -> (unit -> 'a) -> 'a * entry list
 (** Run a thunk under a fresh memory-sink recorder; returns its result
     and the full history, oldest first.  Restores the previous recorder
     state afterwards, even on exception. *)
+
+val merge : entry list list -> entry list
+(** Interleave per-shard histories (each oldest first) into one
+    history, renumbering [seq] from 1 while preserving every shard's
+    internal order.  Per-shard logical clocks are dovetailed by [seq],
+    which is a legal interleaving of the concurrent execution: shards
+    share no engine state, so any order consistent with each shard's
+    own history satisfies the same per-object and per-transaction
+    axioms. *)
 
 (** {1 JSONL codec} *)
 

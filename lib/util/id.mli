@@ -30,7 +30,12 @@ module type S = sig
   type gen
   (** A monotonic generator of fresh identifiers. *)
 
-  val generator : unit -> gen
+  val generator : ?start:int -> ?stride:int -> unit -> gen
+  (** [generator ()] yields 1, 2, 3, ...  [generator ~start ~stride ()]
+      yields [start], [start+stride], ... — shard [i] of [n] engines
+      passes [~start:(i+1) ~stride:n] so identifiers minted on
+      different domains never collide.  Raises [Invalid_argument] when
+      [start] or [stride] is below 1. *)
 
   val fresh : gen -> t
   (** A fresh, never-null identifier; successive calls are strictly

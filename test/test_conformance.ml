@@ -321,7 +321,7 @@ let conformance_case model ~faulted () =
 
 let t = Tid.of_int
 let o = Oid.of_int
-let mk evs = List.mapi (fun i ev -> { Trace.seq = i + 1; ev }) evs
+let mk evs = List.mapi (fun i ev -> { Trace.seq = i + 1; shard = 0; ev }) evs
 
 let flags name checker entries =
   Alcotest.(check bool) (name ^ " rejected") true (checker entries <> [])
