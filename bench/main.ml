@@ -2329,6 +2329,194 @@ let e23_shard () =
   Format.printf "wrote %s@." path
 
 (* ------------------------------------------------------------------ *)
+(* E24: durability at sustained scale — recovery time vs log volume    *)
+(* (serial vs N-domain replay, fuzzy vs quiescent anchors) and the     *)
+(* segmented WAL's bounded-log behaviour under checkpoint-driven       *)
+(* retirement.  Emits BENCH_recovery.json.                             *)
+
+let e24_recovery () =
+  let n_objects = 256 in
+  (* A synthetic history in the e9 style: [n_updates] updates across
+     [n_txns] transactions, ~30% losers, an optional checkpoint at the
+     midpoint.  The fuzzy variant holds one transaction open across
+     the checkpoint so the ATT capture has real content; the quiescent
+     variant checkpoints at a genuinely quiescent midpoint (its
+     contract).  Returns the log and the disk image at crash time: the
+     checkpoint's flushed store for anchored logs, zeros otherwise. *)
+  let build ~n_updates ~ckpt =
+    let log = Log.in_memory () in
+    let disk = Heap.store () in
+    for o = 1 to n_objects do
+      Store.write disk (oid o) (vi 0)
+    done;
+    let rng = Rng.create 29 in
+    let per_txn = 10 in
+    let n_txns = n_updates / per_txn in
+    let mid = max 1 (n_txns / 2) in
+    let open_tid = Tid.of_int (n_txns + 1) in
+    let base = ref [] in
+    for txn = 1 to n_txns do
+      let tid = Tid.of_int txn in
+      for u = 1 to per_txn do
+        let o = 1 + Rng.int rng n_objects in
+        let before = Store.read disk (oid o) in
+        let after = vi ((txn * 100) + u) in
+        ignore (Log.append log (Record.Update { tid; oid = oid o; before; after }));
+        Store.write disk (oid o) after
+      done;
+      if Rng.float rng >= 0.3 then
+        ignore (Log.append ~force_commit:false log (Record.Commit [ tid ]));
+      if txn = mid then begin
+        (match ckpt with
+        | `None -> ()
+        | `Quiescent -> ignore (Recovery.checkpoint log disk)
+        | `Fuzzy ->
+            (* Updates by a transaction that stays in flight across the
+               checkpoint — captured in the ATT, never committed. *)
+            let open_updates = ref [] in
+            for u = 1 to 3 do
+              let o = 1 + Rng.int rng n_objects in
+              let before = Store.read disk (oid o) in
+              let after = vi (1_000_000 + u) in
+              let lsn =
+                Log.append log (Record.Update { tid = open_tid; oid = oid o; before; after })
+              in
+              Store.write disk (oid o) after;
+              open_updates :=
+                {
+                  Record.cu_lsn = lsn;
+                  cu_oid = oid o;
+                  cu_undo = Record.Ckpt_physical before;
+                  cu_after = after;
+                }
+                :: !open_updates
+            done;
+            let att_updates = List.rev !open_updates in
+            let active = [ { Record.att_tid = open_tid; att_updates } ] in
+            let dirty = List.map (fun u -> u.Record.cu_oid) att_updates in
+            ignore (Recovery.fuzzy_checkpoint log disk ~active ~dirty));
+        base := Store.dump disk
+      end
+    done;
+    let base =
+      match ckpt with `None -> List.init n_objects (fun i -> (oid (i + 1), vi 0)) | _ -> !base
+    in
+    (log, base)
+  in
+  let store_from base =
+    let s = Heap.store () in
+    List.iter (fun (o, v) -> Store.write s o v) base;
+    s
+  in
+  let sizes = if !smoke then [ 2_000; 5_000 ] else [ 10_000; 50_000; 200_000 ] in
+  let domain_counts = [ 1; 2; 4 ] in
+  let t =
+    Table.create ~title:"E24: recovery time vs log volume, anchor kind, replay domains"
+      ~header:[ "updates"; "ckpt"; "domains"; "redone"; "ms"; "speedup"; "diverged" ]
+  in
+  let rows = ref [] in
+  let total_divergence = ref 0 in
+  List.iter
+    (fun n_updates ->
+      List.iter
+        (fun (ckpt, ckpt_name) ->
+          let log, base = build ~n_updates ~ckpt in
+          (* Serial reference: the oracle every parallel run must match. *)
+          let ref_store = store_from base in
+          let _, ref_s = time_of (fun () -> Recovery.recover ~domains:1 log ref_store) in
+          let ref_dump = List.sort compare (Store.dump ref_store) in
+          List.iter
+            (fun domains ->
+              let s = store_from base in
+              let report, dt = time_of (fun () -> Recovery.recover ~domains log s) in
+              let dump = List.sort compare (Store.dump s) in
+              let diverged =
+                List.length (List.filter (fun kv -> not (List.mem kv ref_dump)) dump)
+              in
+              total_divergence := !total_divergence + diverged;
+              Table.add_row t
+                [
+                  Table.fmt_i n_updates;
+                  ckpt_name;
+                  Table.fmt_i domains;
+                  Table.fmt_i report.Recovery.updates_redone;
+                  Table.fmt_f ~digits:2 (dt *. 1000.);
+                  Table.fmt_f ~digits:2 (ref_s /. dt);
+                  Table.fmt_i diverged;
+                ];
+              rows :=
+                (n_updates, ckpt_name, domains, report.Recovery.updates_redone, dt, diverged)
+                :: !rows)
+            domain_counts)
+        [ (`None, "none"); (`Quiescent, "quiescent"); (`Fuzzy, "fuzzy") ])
+    sizes;
+  Table.print t;
+  Format.printf "E24 parallel replay: %d runs, serial/parallel divergence %d%s@."
+    (List.length !rows) !total_divergence
+    (if !total_divergence = 0 then " [OK]" else " [FAIL]");
+  (* Bounded-log behaviour: sustained transfer rounds over one
+     segmented WAL with the commit-path checkpoint trigger on. *)
+  let round_counts = if !smoke then [ 4 ] else [ 8; 16 ] in
+  let t2 =
+    Table.create ~title:"E24: segment retirement under sustained writes"
+      ~header:[ "rounds"; "txns"; "ckpts"; "segs created"; "retired"; "live"; "bounded" ]
+  in
+  let retirement =
+    List.map
+      (fun rounds ->
+        let s = Torture.sustained_run ~rounds Torture.default_spec in
+        Table.add_row t2
+          [
+            Table.fmt_i s.Torture.s_rounds;
+            Table.fmt_i s.Torture.s_txns;
+            Table.fmt_i s.Torture.s_checkpoints;
+            Table.fmt_i s.Torture.s_segments_created;
+            Table.fmt_i s.Torture.s_segments_retired;
+            Table.fmt_i s.Torture.s_segments_live;
+            (if s.Torture.s_failures = [] then "yes" else "NO");
+          ];
+        s)
+      round_counts
+  in
+  Table.print t2;
+  let bounded_ok = List.for_all (fun s -> s.Torture.s_failures = []) retirement in
+  Format.printf "E24 retirement: log stays bounded %s@." (if bounded_ok then "[OK]" else "[FAIL]");
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"experiment\": \"E24-recovery\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" !smoke);
+  Buffer.add_string buf "  \"recovery_time\": [\n";
+  let rows = List.rev !rows in
+  List.iteri
+    (fun i (n, ckpt, domains, redone, dt, diverged) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"log_updates\": %d, \"ckpt\": \"%s\", \"domains\": %d, \"updates_redone\": \
+            %d, \"seconds\": %.6f, \"divergence\": %d}%s\n"
+           n ckpt domains redone dt diverged
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"retirement\": [\n";
+  List.iteri
+    (fun i s ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"rounds\": %d, \"txns\": %d, \"checkpoints\": %d, \"segments_created\": %d, \
+            \"segments_retired\": %d, \"segments_live\": %d, \"bounded\": %b}%s\n"
+           s.Torture.s_rounds s.Torture.s_txns s.Torture.s_checkpoints s.Torture.s_segments_created
+           s.Torture.s_segments_retired s.Torture.s_segments_live (s.Torture.s_failures = [])
+           (if i = List.length retirement - 1 then "" else ",")))
+    retirement;
+  Buffer.add_string buf "  ]\n";
+  Buffer.add_string buf "}\n";
+  let path = if !smoke then "BENCH_recovery_smoke.json" else "BENCH_recovery.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "wrote %s@." path
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -2363,6 +2551,8 @@ let experiments =
     ("mvcc", e22_mvcc);
     ("e23", e23_shard);
     ("shard", e23_shard);
+    ("e24", e24_recovery);
+    ("recovery", e24_recovery);
   ]
 
 let () =
@@ -2372,7 +2562,7 @@ let () =
       ( "--only",
         Arg.String
           (fun s -> only := !only @ String.split_on_char ',' (String.lowercase_ascii s)),
-        "KEYS  comma-separated experiment keys (f1, e1..e23, hotpath, lockpath, faults, obs, check, mvcc, shard); default: all" );
+        "KEYS  comma-separated experiment keys (f1, e1..e24, hotpath, lockpath, faults, obs, check, mvcc, shard, recovery); default: all" );
       ("--smoke", Arg.Set smoke, "  tiny quotas for CI smoke runs");
       ( "--domains",
         Arg.Set_int domains_cap,
@@ -2389,7 +2579,7 @@ let () =
         List.filter
           (fun (k, _) ->
             k <> "hotpath" && k <> "lockpath" && k <> "faults" && k <> "obs" && k <> "check"
-            && k <> "mvcc" && k <> "shard")
+            && k <> "mvcc" && k <> "shard" && k <> "recovery")
           experiments
     | keys ->
         List.map

@@ -369,6 +369,30 @@ let schemas =
            One_of
              [ ("domains", Fnum); ("events", Fnum); ("xgc_edges", Fnum); ("violations", Fnum) ] );
        ]) );
+    ( "E24-recovery",
+      [
+        ( "recovery_time",
+          Arr_of
+            [
+              ("log_updates", Fnum);
+              ("ckpt", Fstr);
+              ("domains", Fnum);
+              ("updates_redone", Fnum);
+              ("seconds", Fnum);
+              ("divergence", Fnum);
+            ] );
+        ( "retirement",
+          Arr_of
+            [
+              ("rounds", Fnum);
+              ("txns", Fnum);
+              ("checkpoints", Fnum);
+              ("segments_created", Fnum);
+              ("segments_retired", Fnum);
+              ("segments_live", Fnum);
+              ("bounded", Fbool);
+            ] );
+      ] );
   ]
 
 let errors = ref 0

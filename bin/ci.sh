@@ -72,6 +72,22 @@ if ! awk -F'|' '/^[0-9]+ +\|/ { gsub(/ /,"",$5); if ($5 != "0") exit 1 }' /tmp/s
   exit 1
 fi
 
+# Durability smoke shard (E24, see DESIGN.md §12).  Recovery-time
+# curves at tiny quotas, then the structural assertions: every
+# parallel replay must match serial replay object-for-object (zero
+# divergence), and the sustained-write run must show the segmented log
+# staying bounded under checkpoint-driven retirement.
+echo "== recovery smoke (E24: fuzzy ckpt anchors, N-domain replay, retirement) =="
+dune exec bench/main.exe -- --only recovery --smoke | tee /tmp/recovery_smoke.out
+if ! grep -Eq "^E24 parallel replay: .* divergence 0 \[OK\]$" /tmp/recovery_smoke.out; then
+  echo "recovery smoke: parallel replay diverged from serial" >&2
+  exit 1
+fi
+if ! grep -Eq "^E24 retirement: log stays bounded \[OK\]$" /tmp/recovery_smoke.out; then
+  echo "recovery smoke: segmented log did not stay bounded" >&2
+  exit 1
+fi
+
 echo "== bench smoke (E1 + E17/hotpath + E18/lockpath + E19/faults + E20/obs + E21/check + E22/mvcc) =="
 dune exec bench/main.exe -- --only e1,hotpath,lockpath,faults,obs,check,mvcc --smoke
 

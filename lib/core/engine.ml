@@ -24,6 +24,7 @@ module Record = Asset_wal.Record
 module Sched = Asset_sched.Scheduler
 module Latch = Asset_latch.Latch
 module Trace = Asset_obs.Trace
+module Fault = Asset_fault.Fault
 
 exception Txn_aborted of Tid.t
 (** Raised inside a transaction body whose transaction has been aborted
@@ -84,6 +85,11 @@ type config = {
       (* abort a lock requester stalled past this many retry rounds
          with [Lock_timeout] instead of hanging — the liveness backstop
          when deadlock detection is off.  0 (the default) disables *)
+  checkpoint_log_bytes : int;
+      (* take a fuzzy checkpoint — and retire fully-checkpointed log
+         segments — once this many log bytes accumulate since the last
+         one, measured at commit time.  0 (the default) disables; only
+         meaningful on a file- or directory-backed log *)
   debug_invariants : bool;
       (* cross-check the lock manager's incremental waits-for graph
          against a from-scratch rebuild on every lock operation and
@@ -105,6 +111,7 @@ let default_config =
     dep_cycle_check = true;
     group_commit_size = 1;
     lock_wait_timeout_steps = 0;
+    checkpoint_log_bytes = 0;
     debug_invariants = false;
     mutation_skip_remove_permits = false;
     mutation_drop_cd_edge = false;
@@ -132,6 +139,8 @@ type t = {
      transactions they cover *)
   mutable unforced_commit_records : int;
   mutable unforced_commit_txns : int;
+  (* log bytes at the last fuzzy checkpoint — the trigger baseline *)
+  mutable ckpt_bytes_mark : int;
   (* statistics *)
   commits : Asset_util.Stats.Counter.t;
   aborts : Asset_util.Stats.Counter.t;
@@ -148,6 +157,8 @@ type t = {
   escrow_ops : Asset_util.Stats.Counter.t;
   escrow_violations : Asset_util.Stats.Counter.t;
   enqueues : Asset_util.Stats.Counter.t;
+  fuzzy_ckpts : Asset_util.Stats.Counter.t;
+  abort_log_misses : Asset_util.Stats.Counter.t;
 }
 
 let create ?(config = default_config) ?log ?tid_gen store =
@@ -172,6 +183,7 @@ let create ?(config = default_config) ?log ?tid_gen store =
     version = 0;
     unforced_commit_records = 0;
     unforced_commit_txns = 0;
+    ckpt_bytes_mark = 0;
     commits = Asset_util.Stats.Counter.create "engine.commits";
     aborts = Asset_util.Stats.Counter.create "engine.aborts";
     group_commits = Asset_util.Stats.Counter.create "engine.group_commits";
@@ -187,6 +199,8 @@ let create ?(config = default_config) ?log ?tid_gen store =
     escrow_ops = Asset_util.Stats.Counter.create "engine.escrow_ops";
     escrow_violations = Asset_util.Stats.Counter.create "engine.escrow_violations";
     enqueues = Asset_util.Stats.Counter.create "engine.enqueues";
+    fuzzy_ckpts = Asset_util.Stats.Counter.create "engine.fuzzy_ckpts";
+    abort_log_misses = Asset_util.Stats.Counter.create "engine.abort_log_misses";
   }
 
 (* The version-store operations; present on every engine store by
@@ -728,6 +742,16 @@ let form_dependency db dtype ti tj =
    the self-unwind once at the end. *)
 let abort_many_ref : (t -> Tid.t list -> unit) ref = ref (fun _ _ -> assert false)
 
+(* Abort-path logging is best-effort: rollback must complete even when
+   the log cannot take another byte (a [Disk_full] budget, real
+   ENOSPC).  Skipping a CLR — or the Abort record itself — is safe for
+   recovery: the transaction is then an unresolved loser whose undo
+   re-derives from the update records' before images.  Simulated power
+   loss is not an I/O error and still propagates. *)
+let append_best_effort db record =
+  try ignore (Log.append db.log record)
+  with Fault.Storage_error _ -> Asset_util.Stats.Counter.incr db.abort_log_misses
+
 let rec finalize_abort db (td : td) =
   (* The abort is observable from here on (status is already Aborting),
      so the trace event precedes the undo and the lock releases — the
@@ -743,7 +767,7 @@ let rec finalize_abort db (td : td) =
     (fun lsn ->
       match Log.get db.log lsn with
       | Record.Update { oid; before; _ } ->
-          Log.append db.log (Record.Clr { tid = td.tid; oid; image = before }) |> ignore;
+          append_best_effort db (Record.Clr { tid = td.tid; oid; image = before });
           (match before with
           | Some v -> Store.write db.store oid v
           | None -> Store.delete db.store oid)
@@ -755,7 +779,7 @@ let rec finalize_abort db (td : td) =
             match Store.read db.store oid with Some v -> Value.to_int v | None -> 0
           in
           let image = Value.of_int (current - delta) in
-          Log.append db.log (Record.Clr { tid = td.tid; oid; image = Some image }) |> ignore;
+          append_best_effort db (Record.Clr { tid = td.tid; oid; image = Some image });
           Store.write db.store oid image
       | Record.Enqueue { oid; item; _ } ->
           (* Logical undo, like Increment: remove the appended item
@@ -764,7 +788,7 @@ let rec finalize_abort db (td : td) =
             match Store.read db.store oid with Some v -> v | None -> Value.of_queue []
           in
           let image = Value.queue_remove_last current item in
-          Log.append db.log (Record.Clr { tid = td.tid; oid; image = Some image }) |> ignore;
+          append_best_effort db (Record.Clr { tid = td.tid; oid; image = Some image });
           Store.write db.store oid image
       | _ -> ())
     lsns;
@@ -806,7 +830,7 @@ let rec finalize_abort db (td : td) =
   (* Step 5: remove remaining dependencies pertaining to t_i. *)
   Dep.remove_involving db.deps td.tid;
   (* Step 6: terminate. *)
-  Log.append db.log (Record.Abort td.tid) |> ignore;
+  append_best_effort db (Record.Abort td.tid);
   td.status <- Status.Aborted;
   Asset_util.Stats.Counter.incr db.aborts;
   bump db;
@@ -883,6 +907,73 @@ let resolve_non_gc_deps db tid =
       else `Ready
   | r -> r
 
+(* ------------------------------------------------------------------ *)
+(* Fuzzy checkpointing                                                 *)
+
+(* Snapshot the active-transaction table for a Begin_ckpt record: for
+   every live transaction, the undo information of each update it is
+   currently responsible for, resolved from the in-memory log at the
+   updates' real LSNs.  Delegation is already reflected — td.updates
+   holds exactly what this transaction would have to undo — and any
+   delegation logged after the checkpoint re-attributes the captured
+   entries during recovery's tail scan.  The scheduler is cooperative
+   and this runs without yielding, so the capture is a consistent cut
+   even though transactions are mid-flight ("fuzzy" refers to the
+   store, not the table). *)
+let capture_att db =
+  Hashtbl.fold
+    (fun tid (td : td) acc ->
+      if Status.active td.status then begin
+        let att_updates =
+          List.filter_map
+            (fun lsn ->
+              match Log.get db.log lsn with
+              | Record.Update { oid; before; after; _ } ->
+                  Some { Record.cu_lsn = lsn; cu_oid = oid; cu_undo = Record.Ckpt_physical before; cu_after = after }
+              | Record.Increment { oid; delta; after; _ } ->
+                  Some { Record.cu_lsn = lsn; cu_oid = oid; cu_undo = Record.Ckpt_delta delta; cu_after = after }
+              | Record.Enqueue { oid; item; after; _ } ->
+                  Some { Record.cu_lsn = lsn; cu_oid = oid; cu_undo = Record.Ckpt_dequeue item; cu_after = after }
+              | _ -> None)
+            td.updates
+          |> List.sort (fun a b -> Int.compare a.Record.cu_lsn b.Record.cu_lsn)
+        in
+        { Record.att_tid = tid; att_updates } :: acc
+      end
+      else acc)
+    db.tds []
+
+(* Non-quiescent checkpoint: capture the ATT, log Begin_ckpt / flush /
+   End_ckpt (see [Recovery.fuzzy_checkpoint]), then retire log
+   segments wholly below the new redo watermark.  Pending group-commit
+   records are forced (and acknowledged) first so the commit ack
+   bookkeeping stays in step with the checkpoint's own force. *)
+let checkpoint_fuzzy db =
+  flush_pending_commits db;
+  let active = capture_att db in
+  let dirty =
+    List.concat_map (fun (e : Record.att_entry) -> List.map (fun u -> u.Record.cu_oid) e.att_updates) active
+    |> List.sort_uniq Oid.compare
+  in
+  let begin_lsn = Asset_wal.Recovery.fuzzy_checkpoint db.log db.store ~active ~dirty in
+  db.ckpt_bytes_mark <- Log.appended_bytes db.log;
+  Asset_util.Stats.Counter.incr db.fuzzy_ckpts;
+  ignore (Log.retire db.log ~below:begin_lsn);
+  bump db;
+  begin_lsn
+
+(* The commit-path trigger: once [checkpoint_log_bytes] of log have
+   accumulated since the last checkpoint, take one.  A checkpoint that
+   fails with an I/O error must not fail the commit that tripped it —
+   the commit is already durable and an incomplete Begin/End pair is
+   ignored by recovery — so back off a full threshold and let a later
+   commit retry.  Simulated power loss still propagates. *)
+let maybe_checkpoint db =
+  let threshold = db.config.checkpoint_log_bytes in
+  if threshold > 0 && Log.appended_bytes db.log - db.ckpt_bytes_mark >= threshold then
+    try ignore (checkpoint_fuzzy db)
+    with Fault.Storage_error _ -> db.ckpt_bytes_mark <- Log.appended_bytes db.log
+
 (* Commit the whole [group] atomically (step 4 onward), "simultaneously
    executed for all the transactions in the group". *)
 let commit_group db group =
@@ -947,7 +1038,8 @@ let commit_group db group =
   (* Exclusion: committing excludes every EXC partner of each member.
      Partners were collected before edges were dropped — but since
      remove_involving already ran, collect first. *)
-  bump db
+  bump db;
+  maybe_checkpoint db
 
 (* The WAL acknowledgment rule under group commit: [commit] may only
    return true once the transaction's commit record has reached a
@@ -1178,6 +1270,8 @@ let reset_stats db =
       db.escrow_ops;
       db.escrow_violations;
       db.enqueues;
+      db.fuzzy_ckpts;
+      db.abort_log_misses;
     ];
   Lock.reset_stats db.locks;
   Dep.reset_stats db.deps
@@ -1199,6 +1293,8 @@ let stats db =
     ("escrow_ops", Asset_util.Stats.Counter.get db.escrow_ops);
     ("escrow_violations", Asset_util.Stats.Counter.get db.escrow_violations);
     ("enqueues", Asset_util.Stats.Counter.get db.enqueues);
+    ("fuzzy_ckpts", Asset_util.Stats.Counter.get db.fuzzy_ckpts);
+    ("abort_log_misses", Asset_util.Stats.Counter.get db.abort_log_misses);
   ]
   @ List.map (fun (k, v) -> ("lock." ^ k, v)) (Lock.stats db.locks)
   @ List.map (fun (k, v) -> ("deps." ^ k, v)) (Dep.stats db.deps)

@@ -73,6 +73,13 @@ type config = {
           backstop when [deadlock_detection] is off.  The scheduler's
           stall hook keeps retry rounds ticking while lock waiters
           exist.  0 (the default) disables. *)
+  checkpoint_log_bytes : int;
+      (** Take a fuzzy checkpoint (and retire dead WAL segments) from
+          the commit path whenever this many framed log bytes have been
+          appended since the last checkpoint.  Checked after each
+          commit group; a checkpoint that fails with a storage fault is
+          skipped (the commit it rode on stays durable) and the meter
+          backs off one threshold.  0 (the default) disables. *)
   debug_invariants : bool;
       (** Cross-check the lock manager's incremental waits-for graph
           against a from-scratch rebuild after every lock operation and
@@ -259,6 +266,15 @@ val await_terminated : t -> Tid.t list -> unit
 val checkpoint : t -> (int, Tid.t list) result
 (** Quiescent checkpoint; [Error active] lists the transactions that
     prevent it. *)
+
+val checkpoint_fuzzy : t -> int
+(** Non-quiescent checkpoint: capture the active-transaction table
+    (with per-update undo information) and the dirty OID set, write a
+    [Begin_ckpt]/[End_ckpt] pair around a store flush, then retire WAL
+    segments wholly below the begin LSN.  Safe while transactions run
+    — the cooperative scheduler makes the captured table a consistent
+    cut.  Returns the begin LSN (the redo watermark).  Also fired
+    automatically from the commit path by [checkpoint_log_bytes]. *)
 
 val flush_pending_commits : t -> unit
 (** Force the log over any commit records staged by group commit.

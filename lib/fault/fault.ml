@@ -41,6 +41,7 @@ type policy =
   | Crash_once
   | Crash_nth of int
   | Crash_prob of float * Asset_util.Rng.t
+  | Disk_full of int (* byte budget; appends fail once it is exhausted *)
 
 type site = {
   name : string;
@@ -141,9 +142,42 @@ let check site =
         Some `Crash
       end
       else None
+  (* A plain (sizeless) hit on a disk-full site models a zero-byte
+     probe: it only fails once the budget is already exhausted. *)
+  | Disk_full budget ->
+      if budget > 0 then None
+      else begin
+        site.fired <- site.fired + 1;
+        Some `Fail
+      end
+
+(* Evaluate one hit that wants to consume [bytes] of disk.  [Disk_full]
+   is the only size-aware policy: the write passes while the budget
+   covers it, and once the budget is exhausted every further write
+   fails — the policy stays armed (a full disk stays full), so clean
+   abort paths must cope with appends failing repeatedly. *)
+let check_bytes site bytes =
+  match site.policy with
+  | Disk_full budget ->
+      site.hits <- site.hits + 1;
+      if bytes <= budget then begin
+        site.policy <- Disk_full (budget - bytes);
+        None
+      end
+      else begin
+        site.fired <- site.fired + 1;
+        Some `Fail
+      end
+  | _ -> check site
 
 let hit site =
   match check site with
+  | None -> ()
+  | Some `Fail -> raise (Injected site.name)
+  | Some `Crash -> raise (Crash site.name)
+
+let hit_bytes site bytes =
+  match check_bytes site bytes with
   | None -> ()
   | Some `Fail -> raise (Injected site.name)
   | Some `Crash -> raise (Crash site.name)
@@ -162,6 +196,11 @@ let hit_io site =
   match site.policy with
   | Off -> site.hits <- site.hits + 1
   | _ -> protect site.name (fun () -> hit site)
+
+let hit_io_bytes site bytes =
+  match site.policy with
+  | Off -> site.hits <- site.hits + 1
+  | _ -> protect site.name (fun () -> hit_bytes site bytes)
 
 let io site f =
   match site.policy with
@@ -183,5 +222,6 @@ let pp_site ppf site =
     | Crash_once -> "crash-once"
     | Crash_nth n -> Printf.sprintf "crash-nth %d" n
     | Crash_prob (p, _) -> Printf.sprintf "crash-prob %.3f" p
+    | Disk_full budget -> Printf.sprintf "disk-full %dB" budget
   in
   Format.fprintf ppf "%s: %s (hits=%d fired=%d)" site.name policy site.hits site.fired

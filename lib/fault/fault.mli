@@ -28,6 +28,13 @@ type policy =
   | Crash_once
   | Crash_nth of int
   | Crash_prob of float * Asset_util.Rng.t
+  | Disk_full of int
+      (** [ENOSPC] model: a remaining byte budget.  Size-aware hits
+          ({!hit_bytes}, {!hit_io_bytes}) consume the budget and pass
+          while it covers the write; once exhausted, every further
+          write fails — and the policy stays armed, because a full
+          disk stays full.  Sizeless hits are zero-byte probes: they
+          fail only after exhaustion. *)
 
 type site
 
@@ -59,12 +66,23 @@ val check : site -> [ `Fail | `Crash ] option
     semantics (e.g. torn writes, which write half the bytes before
     crashing).  One-shot triggers disarm themselves. *)
 
+val check_bytes : site -> int -> [ `Fail | `Crash ] option
+(** {!check} for a hit that wants to consume [bytes] of disk — the
+    size-aware evaluation a {!policy.Disk_full} budget needs.  Other
+    policies ignore the size. *)
+
 val hit : site -> unit
 (** Evaluate one hit; raises {!Injected} or {!Crash} when the policy
     fires. *)
 
+val hit_bytes : site -> int -> unit
+(** {!hit} with a byte size, for {!policy.Disk_full} sites. *)
+
 val hit_io : site -> unit
 (** {!hit}, with {!Injected} wrapped into {!Storage_error}. *)
+
+val hit_io_bytes : site -> int -> unit
+(** {!hit_bytes}, with {!Injected} wrapped into {!Storage_error}. *)
 
 val protect : string -> (unit -> 'a) -> 'a
 (** Run an I/O action under the typed-error discipline: {!Injected}

@@ -51,6 +51,14 @@ type event =
   | Lock of { tid : Tid.t; oid : Oid.t; mode : char; action : lock_action }
   | Wal_append of { lsn : int; kind : string }
   | Wal_force of { lsn : int }
+  | Ckpt_begin of { lsn : int; active : int }
+      (** A fuzzy checkpoint opened at [lsn], capturing [active]
+          in-flight transactions. *)
+  | Ckpt_end of { lsn : int; begin_lsn : int }
+      (** The checkpoint opened at [begin_lsn] completed. *)
+  | Wal_retire of { below : int; segments : int }
+      (** [segments] log segments wholly below LSN [below] were
+          retired (deleted after the manifest stopped naming them). *)
   | Recovery_start
   | Recovery_done of { winners : Tid.t list; losers : Tid.t list }
   | Sched_spawn of { fid : int; label : string }

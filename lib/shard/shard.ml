@@ -222,7 +222,7 @@ let server st ~trace ~trace_capacity ~max_steps =
 (* ------------------------------------------------------------------ *)
 (* Driver-side surface. *)
 
-let shard_of t oid = Oid.to_int oid mod t.n
+let shard_of t oid = Oid.partition oid t.n
 
 let create ?(engine_config = default_engine_config) ?(inbox_capacity = 256) ?(trace = false)
     ?(trace_capacity = 65536) ?(max_steps = 200_000_000) ?(objects = 0)

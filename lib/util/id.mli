@@ -25,6 +25,13 @@ module type S = sig
   val of_int : int -> t
   (** Rebuild an identifier from its raw integer (log decoding). *)
 
+  val partition : t -> int -> int
+  (** [partition t n] is the bucket in [0, n) this identifier hashes
+      to.  The system's one placement function: the sharded engine
+      (home shard of an object) and parallel recovery (redo queue of
+      an object) both route through it, so placements always agree.
+      Raises [Invalid_argument] when [n] is below 1. *)
+
   val pp : Format.formatter -> t -> unit
 
   type gen

@@ -20,6 +20,24 @@ module Tid = Asset_util.Id.Tid
 module Oid = Asset_util.Id.Oid
 module Value = Asset_storage.Value
 
+(* Fuzzy-checkpoint capture.  [Begin_ckpt] snapshots the active
+   transaction table (ATT) without quiescing: for each live transaction,
+   the undo information of every update it is currently responsible for
+   — enough for recovery to roll an in-flight loser back without ever
+   scanning the log before the checkpoint.  The captured LSNs are the
+   updates' real log positions, so undo ordering across seeded and
+   tail records stays globally correct.  [End_ckpt] anchors
+   completeness: analysis only trusts a Begin_ckpt whose matching
+   End_ckpt (the [begin_lsn] backlink) made it to disk. *)
+
+type ckpt_undo =
+  | Ckpt_physical of Value.t option (* install the before image; None = delete *)
+  | Ckpt_delta of int (* logical undo: subtract the delta *)
+  | Ckpt_dequeue of string (* logical undo: remove the enqueued item *)
+
+type ckpt_update = { cu_lsn : int; cu_oid : Oid.t; cu_undo : ckpt_undo; cu_after : Value.t }
+type att_entry = { att_tid : Tid.t; att_updates : ckpt_update list }
+
 type t =
   | Begin of Tid.t
   | Update of { tid : Tid.t; oid : Oid.t; before : Value.t option; after : Value.t }
@@ -46,6 +64,15 @@ type t =
          loser whose Abort record made it to the log is not re-undone —
          its CLRs already carry the undo. *)
   | Checkpoint
+  | Begin_ckpt of { active : att_entry list; dirty : Oid.t list }
+      (* Fuzzy-checkpoint open: ATT snapshot + the distinct OIDs those
+         in-flight transactions have touched.  The store is flushed
+         between Begin_ckpt and End_ckpt, so everything logged before
+         this record is durably in the store by End_ckpt. *)
+  | End_ckpt of { begin_lsn : int }
+      (* Fuzzy-checkpoint close: backlink to the matching Begin_ckpt.
+         Recovery's redo watermark is the [begin_lsn] of the last
+         End_ckpt-anchored checkpoint. *)
 
 let pp ppf = function
   | Begin tid -> Format.fprintf ppf "BEGIN %a" Tid.pp tid
@@ -71,6 +98,13 @@ let pp ppf = function
         (Format.pp_print_option Value.pp)
         image
   | Checkpoint -> Format.fprintf ppf "CHECKPOINT"
+  | Begin_ckpt { active; dirty } ->
+      Format.fprintf ppf "BEGIN_CKPT active=[%a] dirty=%d"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           (fun ppf e -> Format.fprintf ppf "%a/%d" Tid.pp e.att_tid (List.length e.att_updates)))
+        active (List.length dirty)
+  | End_ckpt { begin_lsn } -> Format.fprintf ppf "END_CKPT begin=%d" begin_lsn
 
 (* Binary codec.  Framing (record length) is the log's concern; this
    codec produces and parses the record body.  All integers are
@@ -86,6 +120,8 @@ let tag = function
   | Clr _ -> 7
   | Increment _ -> 8
   | Enqueue _ -> 9
+  | Begin_ckpt _ -> 10
+  | End_ckpt _ -> 11
 
 let put_int buf i =
   let b = Bytes.create 8 in
@@ -143,7 +179,34 @@ let encode t =
       put_oid buf oid;
       put_string buf item;
       put_string buf (Value.to_string after)
-  | Checkpoint -> ());
+  | Checkpoint -> ()
+  | Begin_ckpt { active; dirty } ->
+      put_int buf (List.length active);
+      List.iter
+        (fun e ->
+          put_tid buf e.att_tid;
+          put_int buf (List.length e.att_updates);
+          List.iter
+            (fun cu ->
+              put_int buf cu.cu_lsn;
+              put_oid buf cu.cu_oid;
+              (match cu.cu_undo with
+              | Ckpt_physical None -> put_int buf 0
+              | Ckpt_physical (Some v) ->
+                  put_int buf 1;
+                  put_string buf (Value.to_string v)
+              | Ckpt_delta d ->
+                  put_int buf 2;
+                  put_int buf d
+              | Ckpt_dequeue item ->
+                  put_int buf 3;
+                  put_string buf item);
+              put_string buf (Value.to_string cu.cu_after))
+            e.att_updates)
+        active;
+      put_int buf (List.length dirty);
+      List.iter (put_oid buf) dirty
+  | End_ckpt { begin_lsn } -> put_int buf begin_lsn);
   Buffer.contents buf
 
 exception Corrupt of string
@@ -219,4 +282,31 @@ let decode data =
       let item = get_string c in
       let after = Value.of_string (get_string c) in
       Enqueue { tid; oid; item; after }
+  | 10 ->
+      let n_active = get_count c in
+      let active =
+        List.init n_active (fun _ ->
+            let att_tid = get_tid c in
+            let n_updates = get_count c in
+            let att_updates =
+              List.init n_updates (fun _ ->
+                  let cu_lsn = get_int c in
+                  let cu_oid = get_oid c in
+                  let cu_undo =
+                    match get_int c with
+                    | 0 -> Ckpt_physical None
+                    | 1 -> Ckpt_physical (Some (Value.of_string (get_string c)))
+                    | 2 -> Ckpt_delta (get_int c)
+                    | 3 -> Ckpt_dequeue (get_string c)
+                    | k -> raise (Corrupt (Printf.sprintf "unknown ckpt undo kind %d" k))
+                  in
+                  let cu_after = Value.of_string (get_string c) in
+                  { cu_lsn; cu_oid; cu_undo; cu_after })
+            in
+            { att_tid; att_updates })
+      in
+      let n_dirty = get_count c in
+      let dirty = List.init n_dirty (fun _ -> get_oid c) in
+      Begin_ckpt { active; dirty }
+  | 11 -> End_ckpt { begin_lsn = get_int c }
   | n -> raise (Corrupt (Printf.sprintf "unknown record tag %d" n))

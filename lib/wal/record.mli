@@ -17,6 +17,23 @@ module Tid = Asset_util.Id.Tid
 module Oid = Asset_util.Id.Oid
 module Value = Asset_storage.Value
 
+(** {2 Fuzzy-checkpoint capture}
+
+    [Begin_ckpt] snapshots the active transaction table without
+    quiescing: each in-flight transaction's undo information, with real
+    log LSNs so undo ordering across captured and tail records stays
+    globally correct.  [End_ckpt] anchors completeness — analysis only
+    trusts a [Begin_ckpt] whose matching [End_ckpt] reached disk. *)
+
+type ckpt_undo =
+  | Ckpt_physical of Value.t option
+      (** Install the before image; [None] = delete the object. *)
+  | Ckpt_delta of int  (** Logical undo: subtract the delta. *)
+  | Ckpt_dequeue of string  (** Logical undo: remove the enqueued item. *)
+
+type ckpt_update = { cu_lsn : int; cu_oid : Oid.t; cu_undo : ckpt_undo; cu_after : Value.t }
+type att_entry = { att_tid : Tid.t; att_updates : ckpt_update list }
+
 type t =
   | Begin of Tid.t
   | Update of { tid : Tid.t; oid : Oid.t; before : Value.t option; after : Value.t }
@@ -37,6 +54,13 @@ type t =
       (** Compensation record written by the abort algorithm for each
           installed undo image ([None] = deletion).  Redo-only. *)
   | Checkpoint
+  | Begin_ckpt of { active : att_entry list; dirty : Oid.t list }
+      (** Fuzzy-checkpoint open: ATT snapshot plus the distinct OIDs
+          those transactions have touched.  The store is flushed
+          between [Begin_ckpt] and [End_ckpt]. *)
+  | End_ckpt of { begin_lsn : int }
+      (** Fuzzy-checkpoint close: backlink to the matching
+          [Begin_ckpt], recovery's redo watermark. *)
 
 val pp : Format.formatter -> t -> unit
 

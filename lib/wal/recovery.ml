@@ -3,19 +3,26 @@
    Physical before/after-image logging admits a simple, idempotent
    "repeat history, then undo losers" scheme:
 
-   analysis —  walk the log forward, collecting every update together
-               with the transaction *finally responsible* for it.
-               Delegation records re-attribute earlier updates: an
-               update performed by t_i and then delegated to t_j belongs
-               to t_j ("it will be as if t_j, not t_i, has performed the
-               operations", section 2.2).  Winners are the transactions
-               named in commit records (a group-commit record names the
-               whole group).
+   analysis —  walk the log forward from the last completed checkpoint,
+               collecting every update together with the transaction
+               *finally responsible* for it.  Delegation records
+               re-attribute earlier updates: an update performed by t_i
+               and then delegated to t_j belongs to t_j ("it will be as
+               if t_j, not t_i, has performed the operations", section
+               2.2).  Winners are the transactions named in commit
+               records (a group-commit record names the whole group).
 
    redo     —  reinstall every after image *and every CLR image* in log
                order, regardless of outcome, repeating history so the
                cache state matches the log tail whatever subset of
-               writes reached the disk.
+               writes reached the disk.  With [domains] > 1 the redo
+               set is partitioned by OID hash (the same
+               [Oid.partition] the sharded engine routes by) and
+               replayed on parallel OCaml domains — sound because redo
+               actions are whole-value installs, so only the last
+               action per OID matters and per-OID order is preserved
+               inside one partition; a merge barrier joins every
+               domain before undo starts.
 
    undo     —  walk the loser updates in reverse LSN order installing
                before images (a missing before image means the object
@@ -25,13 +32,36 @@
                image, and blindly undoing it again could clobber a
                later winner's committed write to the same object.
 
-   A quiescent checkpoint (store flushed, no active transactions) lets
-   the scan start at the last Checkpoint record. *)
+   Two checkpoint flavours bound the scan:
+
+   - a *quiescent* Checkpoint record (store flushed, no active
+     transactions) — everything before it is irrelevant;
+
+   - a *fuzzy* Begin_ckpt/End_ckpt pair taken without stopping the
+     world.  Begin_ckpt carries the active-transaction table: for each
+     in-flight transaction the undo information of every update it is
+     responsible for, at its real LSN.  The store is flushed between
+     the pair, so an End_ckpt on disk guarantees every update logged
+     before its begin_lsn is in the store — redo can start at
+     begin_lsn, and undo of a transaction that was already running at
+     the checkpoint works from the captured table instead of the
+     (possibly retired) log prefix.  Tail Delegate records re-attribute
+     captured updates exactly like scanned ones.  A Begin_ckpt without
+     its End_ckpt (crash mid-checkpoint) is ignored and analysis falls
+     back to the previous anchor. *)
 
 module Tid = Asset_util.Id.Tid
 module Oid = Asset_util.Id.Oid
 module Store = Asset_storage.Store
 module Value = Asset_storage.Value
+module Fault = Asset_fault.Fault
+module Trace = Asset_obs.Trace
+
+let site_ckpt_begin = Fault.register "wal.ckpt.begin"
+let site_ckpt_flush = Fault.register "wal.ckpt.flush"
+let site_ckpt_end = Fault.register "wal.ckpt.end"
+let site_domain_replay = Fault.register "recovery.domain.replay"
+let site_domain_merge = Fault.register "recovery.domain.merge"
 
 (* How an update is undone: physical installs the before image;
    logical (increments, enqueues) edits the *current* value — subtract
@@ -58,30 +88,74 @@ type report = {
 
 type redo_action = Install of Oid.t * Value.t | Remove of Oid.t
 
-(* One forward pass.  A Checkpoint record resets the accumulators when
-   [from_checkpoint]: everything before a quiescent checkpoint is
-   already in the store, so the state gathered so far is obsolete —
-   this replaces the old separate [last_checkpoint] scan (which walked
-   the whole log once just to find the starting LSN, then scanned
-   again). *)
+(* The latest trustworthy scan anchor, found by one backward walk: an
+   End_ckpt whose backlink resolves to a live Begin_ckpt (fuzzy), or a
+   quiescent Checkpoint — whichever is latest.  An End_ckpt with a
+   dangling backlink (its Begin retired or corrupt) is skipped, as is
+   any Begin_ckpt met on the way back (its End never made it: the
+   checkpoint did not complete). *)
+type anchor = No_anchor | Quiescent of int | Fuzzy of int * Record.att_entry list
+
+let find_anchor log =
+  let result = ref No_anchor in
+  (try
+     Log.iter_rev log (fun lsn record ->
+         match record with
+         | Record.Checkpoint ->
+             result := Quiescent lsn;
+             raise Exit
+         | Record.End_ckpt { begin_lsn } when begin_lsn >= Log.start_lsn log && begin_lsn < lsn -> (
+             match Log.get log begin_lsn with
+             | Record.Begin_ckpt { active; _ } ->
+                 result := Fuzzy (begin_lsn, active);
+                 raise Exit
+             | _ -> ())
+         | _ -> ())
+   with Exit -> ());
+  !result
+
+let undo_of_ckpt = function
+  | Record.Ckpt_physical before -> Physical before
+  | Record.Ckpt_delta delta -> Logical_delta delta
+  | Record.Ckpt_dequeue item -> Logical_dequeue item
+
+(* One forward pass from the anchor.  With a fuzzy anchor the updates
+   list is seeded from the captured active-transaction table (in LSN
+   order, below everything the scan adds) — seeded updates join undo
+   and delegation re-attribution but not redo: the checkpoint's store
+   flush already covers every update logged before begin_lsn. *)
 let analyze ?(from_checkpoint = true) log =
   let updates = ref [] in
   let redo = ref [] in
   let winners = Hashtbl.create 16 in
   let aborted = Hashtbl.create 16 in
   let seen = Hashtbl.create 16 in
-  let scanned_from = ref 0 in
-  Log.iter log (fun lsn record ->
+  let anchor = if from_checkpoint then find_anchor log else No_anchor in
+  let scan_from, seeds =
+    match anchor with
+    | No_anchor -> (Log.start_lsn log, [])
+    | Quiescent lsn -> (lsn, [])
+    | Fuzzy (lsn, active) -> (lsn, active)
+  in
+  let seed_updates =
+    List.concat_map
+      (fun (e : Record.att_entry) ->
+        Hashtbl.replace seen e.att_tid ();
+        List.map
+          (fun (cu : Record.ckpt_update) ->
+            { lsn = cu.cu_lsn; oid = cu.cu_oid; undo = undo_of_ckpt cu.cu_undo; after = cu.cu_after; responsible = e.att_tid })
+          e.att_updates)
+      seeds
+  in
+  List.iter
+    (fun u -> updates := u :: !updates)
+    (List.sort (fun a b -> compare a.lsn b.lsn) seed_updates);
+  Log.iter ~from:scan_from log (fun lsn record ->
       match record with
-      | Record.Checkpoint ->
-          if from_checkpoint then begin
-            updates := [];
-            redo := [];
-            Hashtbl.reset winners;
-            Hashtbl.reset aborted;
-            Hashtbl.reset seen;
-            scanned_from := lsn
-          end
+      | Record.Checkpoint | Record.Begin_ckpt _ | Record.End_ckpt _ ->
+          (* Anchoring already happened in the backward pass; nothing
+             at or after the anchor changes what must be scanned. *)
+          ()
       | Record.Begin tid -> Hashtbl.replace seen tid ()
       | Record.Update { tid; oid; before; after } ->
           Hashtbl.replace seen tid ();
@@ -116,20 +190,70 @@ let analyze ?(from_checkpoint = true) log =
   in
   let winners = Hashtbl.fold (fun tid () acc -> tid :: acc) winners [] in
   let resolved tid = Hashtbl.mem aborted tid in
-  (updates, redo, List.sort Tid.compare winners, List.sort Tid.compare losers, resolved, !scanned_from)
+  (updates, redo, List.sort Tid.compare winners, List.sort Tid.compare losers, resolved, scan_from)
 
-let recover ?(from_checkpoint = true) log store =
-  if Asset_obs.Trace.on () then Asset_obs.Trace.emit Asset_obs.Trace.Recovery_start;
+let apply_action store = function
+  | Install (oid, v) -> Store.write store oid v
+  | Remove oid -> Store.delete store oid
+
+(* Parallel redo.  Partition by [Oid.partition] — every action on one
+   OID lands in the same queue, in log order, so replaying a queue into
+   a private last-write-wins table computes exactly the final image of
+   that partition's objects.  Partitions touch disjoint OID sets, so
+   after the merge barrier (every domain joined, errors re-raised) the
+   tables apply to the store in any order.  Failpoints fire on the
+   driving domain only — policy state is not synchronised across
+   domains. *)
+let redo_parallel store redo domains =
+  let queues = Array.make domains [] in
+  List.iter
+    (fun action ->
+      let oid = match action with Install (oid, _) | Remove oid -> oid in
+      let d = Oid.partition oid domains in
+      queues.(d) <- action :: queues.(d))
+    redo;
+  Array.iteri (fun _ _ -> Fault.hit_io site_domain_replay) queues;
+  let handles =
+    Array.map
+      (fun q ->
+        let q = List.rev q in
+        Domain.spawn (fun () ->
+            match
+              let tbl : (Oid.t, Value.t option) Hashtbl.t = Hashtbl.create 64 in
+              List.iter
+                (fun action ->
+                  match action with
+                  | Install (oid, v) -> Hashtbl.replace tbl oid (Some v)
+                  | Remove oid -> Hashtbl.replace tbl oid None)
+                q;
+              tbl
+            with
+            | tbl -> Ok tbl
+            | exception e -> Error e))
+      queues
+  in
+  (* The merge barrier: every domain joins before anything applies. *)
+  let results = Array.map Domain.join handles in
+  Fault.hit_io site_domain_merge;
+  Array.iter (function Error e -> raise e | Ok _ -> ()) results;
+  Array.iter
+    (function
+      | Ok tbl ->
+          Hashtbl.iter
+            (fun oid v -> match v with Some v -> Store.write store oid v | None -> Store.delete store oid)
+            tbl
+      | Error _ -> ())
+    results
+
+let recover ?(from_checkpoint = true) ?(domains = 1) log store =
+  if domains < 1 then invalid_arg "Recovery.recover: domains must be >= 1";
+  if Trace.on () then Trace.emit Trace.Recovery_start;
   let updates, redo, winners, losers, resolved, from = analyze ~from_checkpoint log in
   let winner tid = List.exists (Tid.equal tid) winners in
   (* Redo: repeat history, including the undo writes (CLRs) of aborts
      that ran before the crash. *)
-  List.iter
-    (fun action ->
-      match action with
-      | Install (oid, v) -> Store.write store oid v
-      | Remove oid -> Store.delete store oid)
-    redo;
+  if domains = 1 then List.iter (apply_action store) redo
+  else redo_parallel store redo domains;
   let redone = List.length redo in
   (* Undo unresolved losers (in-flight at the crash) in reverse order.
      Resolved losers' undos were replayed as CLRs above. *)
@@ -152,7 +276,7 @@ let recover ?(from_checkpoint = true) log store =
           | None -> ()))
     (List.rev loser_updates);
   Store.flush store;
-  if Asset_obs.Trace.on () then Asset_obs.Trace.emit (Asset_obs.Trace.Recovery_done { winners; losers });
+  if Trace.on () then Trace.emit (Trace.Recovery_done { winners; losers });
   {
     winners;
     losers;
@@ -170,6 +294,28 @@ let checkpoint log store =
   let lsn = Log.append log Record.Checkpoint in
   Log.force log;
   lsn
+
+(* A fuzzy checkpoint: no quiescence needed.  The caller captures the
+   active-transaction table; this logs Begin_ckpt, flushes the store,
+   logs End_ckpt and forces.  One force at the end suffices: log
+   durability is prefix-ordered, so a durable End_ckpt implies a
+   durable Begin_ckpt — and the flush ran between them, establishing
+   the anchor invariant (End_ckpt on disk ⟹ every update logged
+   before begin_lsn is in the store).  A crash anywhere inside leaves
+   an incomplete pair that [find_anchor] skips, falling back to the
+   previous checkpoint: fuzzy checkpointing never loses ground, it
+   only fails to gain it. *)
+let fuzzy_checkpoint log store ~active ~dirty =
+  Fault.hit_io site_ckpt_begin;
+  let begin_lsn = Log.append log (Record.Begin_ckpt { active; dirty }) in
+  if Trace.on () then Trace.emit (Trace.Ckpt_begin { lsn = begin_lsn; active = List.length active });
+  Fault.hit_io site_ckpt_flush;
+  Store.flush store;
+  Fault.hit_io site_ckpt_end;
+  let end_lsn = Log.append log (Record.End_ckpt { begin_lsn }) in
+  Log.force log;
+  if Trace.on () then Trace.emit (Trace.Ckpt_end { lsn = end_lsn; begin_lsn });
+  begin_lsn
 
 let pp_report ppf r =
   Format.fprintf ppf "recovery: %d winners, %d losers, %d redone, %d undone (from lsn %d)"

@@ -34,6 +34,7 @@ module Log = Asset_wal.Log
 module Recovery = Asset_wal.Recovery
 module Pstore = Asset_storage.Persistent_store
 module Store = Asset_storage.Store
+module Heap_store = Asset_storage.Heap_store
 module Value = Asset_storage.Value
 module Fault = Asset_fault.Fault
 module Rng = Asset_util.Rng
@@ -53,10 +54,24 @@ type spec = {
   group_commit_size : int;
   page_size : int;
   pool_capacity : int;
+  segment_bytes : int; (* > 0: segment-directory WAL with this rotation size *)
+  checkpoint_log_bytes : int; (* > 0: commit-path fuzzy-checkpoint trigger *)
+  recovery_domains : int; (* > 1: parallel redo across this many domains *)
 }
 
 let default_spec =
-  { accounts = 16; balance = 1_000; n_txns = 12; seed = 42; group_commit_size = 1; page_size = 512; pool_capacity = 4 }
+  {
+    accounts = 16;
+    balance = 1_000;
+    n_txns = 12;
+    seed = 42;
+    group_commit_size = 1;
+    page_size = 512;
+    pool_capacity = 4;
+    segment_bytes = 0;
+    checkpoint_log_bytes = 0;
+    recovery_domains = 1;
+  }
 
 type transfer = { src : int; dst : int; amount : int }
 
@@ -75,6 +90,7 @@ type outcome = {
   tids : Tid.t array;
   report : Recovery.report;
   recovery_s : float;
+  recovery_crashes : int; (* power losses *during* recovery, each retried *)
   log_length : int; (* records in the recovered log *)
   failures : string list; (* violated durability invariants, empty = pass *)
 }
@@ -89,10 +105,29 @@ let fresh_paths =
     in
     (base ^ ".pages", base ^ ".wal")
 
-let check spec transfers (tids : Tid.t array) acked (report : Recovery.report) store =
+(* Remove a WAL path that may be a single file or a segment directory. *)
+let rm_wal path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> Sys.remove (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+(* [durable_commits] supplements the report's winner list: once a
+   fuzzy checkpoint retires the log prefix, recovery's scan (correctly)
+   starts at the anchor and its winners cover only the tail — commits
+   wholly below the watermark are durable through the checkpoint's
+   flush and invisible to analysis.  The harness captures them from the
+   pre-crash in-memory log (retirement is disk-only), bounded by the
+   forced LSN so nothing volatile counts. *)
+let check spec transfers (tids : Tid.t array) acked (report : Recovery.report) ~durable_commits
+    store =
   let failures = ref [] in
   let addf fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
-  let winner t = List.exists (Tid.equal t) report.winners in
+  let winner t =
+    List.exists (Tid.equal t) report.winners || List.exists (Tid.equal t) durable_commits
+  in
   Array.iteri
     (fun i t -> if acked.(i) && not (winner t) then addf "txn %d acknowledged but not durable" i)
     tids;
@@ -123,18 +158,34 @@ let sorted_snapshot store =
 
 (* One full torture run: set up a clean bank, arm faults via [arm],
    run every transfer with its own committer fiber, simulate power loss
-   if a crash fires, recover, and check the durability invariants. *)
-let run_once ?(arm = fun () -> ()) ?(check_idempotent = false) spec =
+   if a crash fires, recover (retrying if a fault armed by
+   [arm_recovery] crashes recovery itself — each retry is another full
+   power loss), and check the durability invariants.  With
+   [spec.recovery_domains > 1] the run additionally replays the same
+   log serially into a shadow copy of the crashed store and asserts the
+   parallel and serial results are identical. *)
+let run_once ?(arm = fun () -> ()) ?(arm_recovery = fun () -> ()) ?(check_idempotent = false) spec =
   Fault.reset_all ();
   let pages_path, wal_path = fresh_paths () in
+  let segmented = spec.segment_bytes > 0 in
+  let wal_path = if segmented then wal_path ^ ".d" else wal_path in
   let ps = Pstore.create ~page_size:spec.page_size ~pool_capacity:spec.pool_capacity pages_path in
   let store = Pstore.to_store ps in
   for a = 1 to spec.accounts do
     Store.write store (Bank.account a) (Value.of_int spec.balance)
   done;
   Store.flush store;
-  let log = Log.create_file wal_path in
-  let config = { E.default_config with group_commit_size = spec.group_commit_size } in
+  let log =
+    if segmented then Log.create_dir ~segment_bytes:spec.segment_bytes wal_path
+    else Log.create_file wal_path
+  in
+  let config =
+    {
+      E.default_config with
+      group_commit_size = spec.group_commit_size;
+      checkpoint_log_bytes = spec.checkpoint_log_bytes;
+    }
+  in
   let db = E.create ~config ~log store in
   let transfers = plan spec in
   let tids = Array.make spec.n_txns Tid.null in
@@ -164,20 +215,71 @@ let run_once ?(arm = fun () -> ()) ?(check_idempotent = false) spec =
            flush_pending_commits). *)
         Some site
   in
+  (* The durably committed tids, read off the pre-crash in-memory log:
+     every Commit record at or below the forced LSN survived power
+     loss.  (Prefix-ordered durability: a checkpoint's End_ckpt force
+     covers every earlier commit, so commits below a retirement
+     watermark are always included here.) *)
+  let durable_commits =
+    let fl = Log.forced_lsn log in
+    let acc = ref [] in
+    Log.iter log (fun lsn r ->
+        match r with
+        | Asset_wal.Record.Commit ts when lsn <= fl -> acc := ts @ !acc
+        | _ -> ());
+    !acc
+  in
   (* Power off: disarm everything, lose all volatile state. *)
   Fault.reset_all ();
   (match crashed with Some _ -> Log.crash log | None -> Log.close log);
   Pstore.crash_and_reopen ps;
-  (* Power on: reload the log from disk and recover. *)
-  let rlog = Log.load wal_path in
+  (* Power on: reload the log from disk and recover.  [arm_recovery]
+     may arm a crash at a recovery site; when it fires the harness
+     powers off again (partial redo that reached disk through pool
+     eviction stays — repeat-history must converge over it) and
+     retries from a fresh load. *)
+  arm_recovery ();
+  let load_log () = if segmented then Log.load_dir wal_path else Log.load wal_path in
+  let rlog = ref (load_log ()) in
+  let recovery_crashes = ref 0 in
   let t0 = Unix.gettimeofday () in
-  let report = Recovery.recover rlog store in
+  let rec recover_attempt n =
+    let pre = if spec.recovery_domains > 1 then Store.dump store else [] in
+    match Recovery.recover ~domains:spec.recovery_domains !rlog store with
+    | report -> (report, pre)
+    | exception Fault.Crash _ when n < 3 ->
+        incr recovery_crashes;
+        Fault.reset_all ();
+        Log.crash !rlog;
+        Pstore.crash_and_reopen ps;
+        rlog := load_log ();
+        recover_attempt (n + 1)
+  in
+  let report, pre_recovery = recover_attempt 0 in
   let recovery_s = Unix.gettimeofday () -. t0 in
-  let failures = check spec transfers tids acked report store in
+  (* Recovery survived: disarm any recovery-site fault still pending so
+     the shadow-serial and idempotence oracles below run fault-free. *)
+  Fault.reset_all ();
+  let rlog = !rlog in
+  let failures = check spec transfers tids acked report ~durable_commits store in
+  let failures =
+    (* Serial-equivalence oracle: replay the same log with one domain
+       into a shadow of the exact pre-recovery store; the results must
+       not diverge in any object. *)
+    if spec.recovery_domains > 1 then begin
+      let shadow = Heap_store.store ~name:"shadow" () in
+      List.iter (fun (oid, v) -> Store.write shadow oid v) pre_recovery;
+      ignore (Recovery.recover ~domains:1 rlog shadow);
+      if sorted_snapshot shadow <> sorted_snapshot store then
+        failures @ [ "parallel recovery diverges from serial replay" ]
+      else failures
+    end
+    else failures
+  in
   let failures =
     if check_idempotent then begin
       let before = sorted_snapshot store in
-      ignore (Recovery.recover rlog store);
+      ignore (Recovery.recover ~domains:spec.recovery_domains rlog store);
       if sorted_snapshot store <> before then failures @ [ "recovery not idempotent" ]
       else failures
     end
@@ -187,8 +289,17 @@ let run_once ?(arm = fun () -> ()) ?(check_idempotent = false) spec =
   Log.close rlog;
   Pstore.close ps;
   Sys.remove pages_path;
-  Sys.remove wal_path;
-  { crashed; acked; tids; report; recovery_s; log_length; failures }
+  rm_wal wal_path;
+  {
+    crashed;
+    acked;
+    tids;
+    report;
+    recovery_s;
+    recovery_crashes = !recovery_crashes;
+    log_length;
+    failures;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Schedules                                                           *)
@@ -269,6 +380,179 @@ let random_crash_schedules ?check_idempotent ~n spec =
     runs = n;
     sweep_failures = List.rev !failures;
     total_recovery_s = !total_rec;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Durability schedules: fuzzy checkpoints, retirement, parallel redo  *)
+
+(* The crash windows specific to the sustained-durability machinery.
+   The wal.ckpt.* and wal.retire.* sites fire from the commit path's
+   checkpoint trigger during the workload; the recovery.domain.* sites
+   only fire during recovery itself, so schedules picking them arm
+   after power-off. *)
+let durability_sites =
+  [|
+    "wal.ckpt.begin";
+    "wal.ckpt.flush";
+    "wal.ckpt.end";
+    "wal.retire.manifest";
+    "wal.retire.unlink";
+    "wal.retire.sync_dir";
+    "recovery.domain.replay";
+    "recovery.domain.merge";
+  |]
+
+let is_recovery_site site =
+  String.length site >= 9 && String.sub site 0 9 = "recovery."
+
+(* One seeded durability schedule: a segmented WAL with an aggressive
+   checkpoint trigger, parallel recovery, and a crash armed at one of
+   the checkpoint / retirement / parallel-replay windows. *)
+let random_durability_schedule ?check_idempotent ~schedule_seed spec =
+  let rng = Rng.create (0xd07a + schedule_seed) in
+  let site = durability_sites.(Rng.int rng (Array.length durability_sites)) in
+  let nth = 1 + Rng.int rng 4 in
+  let spec =
+    {
+      spec with
+      seed = spec.seed + schedule_seed;
+      n_txns = max spec.n_txns 16;
+      segment_bytes = 512 + (256 * Rng.int rng 4);
+      checkpoint_log_bytes = 768 + (256 * Rng.int rng 4);
+      recovery_domains = 1 + Rng.int rng 3;
+    }
+  in
+  let do_arm () = ignore (Fault.arm_name site (Fault.Crash_nth nth)) in
+  let arm, arm_recovery =
+    if is_recovery_site site then ((fun () -> ()), do_arm) else (do_arm, fun () -> ())
+  in
+  let r = run_once ~arm ~arm_recovery ?check_idempotent spec in
+  ( Printf.sprintf "%s@%d seg=%d ckpt=%d dom=%d seed=%d" site nth spec.segment_bytes
+      spec.checkpoint_log_bytes spec.recovery_domains spec.seed,
+    r )
+
+let random_durability_schedules ?check_idempotent ~n spec =
+  let crashes = ref 0 and failures = ref [] and total_rec = ref 0.0 in
+  for s = 1 to n do
+    let label, r = random_durability_schedule ?check_idempotent ~schedule_seed:s spec in
+    if r.crashed <> None || r.recovery_crashes > 0 then incr crashes;
+    total_rec := !total_rec +. r.recovery_s;
+    if r.failures <> [] then failures := (label, r.failures) :: !failures
+  done;
+  {
+    boundaries = 0;
+    crashes = !crashes;
+    runs = n;
+    sweep_failures = List.rev !failures;
+    total_recovery_s = !total_rec;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Sustained-write run: bounded log under checkpoint + retirement      *)
+
+type sustained = {
+  s_rounds : int;
+  s_txns : int;
+  s_checkpoints : int; (* fuzzy checkpoints the commit path triggered *)
+  s_segments_created : int;
+  s_segments_retired : int;
+  s_segments_live : int;
+  s_failures : string list; (* empty = log stayed bounded and consistent *)
+}
+
+(* Run [rounds] batches of transfers against ONE long-lived segmented
+   WAL with the commit-path fuzzy-checkpoint trigger on, then assert
+   the log stayed bounded: segments were retired, and the live segment
+   count never outgrew the checkpoint threshold plus slack.  Close
+   cleanly, crash the pool, recover, and verify every round's effects
+   survived. *)
+let sustained_run ?(rounds = 12) spec =
+  Fault.reset_all ();
+  let spec =
+    {
+      spec with
+      segment_bytes = (if spec.segment_bytes > 0 then spec.segment_bytes else 1024);
+      checkpoint_log_bytes =
+        (if spec.checkpoint_log_bytes > 0 then spec.checkpoint_log_bytes else 2048);
+    }
+  in
+  let pages_path, wal_path = fresh_paths () in
+  let wal_path = wal_path ^ ".d" in
+  let ps = Pstore.create ~page_size:spec.page_size ~pool_capacity:spec.pool_capacity pages_path in
+  let store = Pstore.to_store ps in
+  for a = 1 to spec.accounts do
+    Store.write store (Bank.account a) (Value.of_int spec.balance)
+  done;
+  Store.flush store;
+  let log = Log.create_dir ~segment_bytes:spec.segment_bytes wal_path in
+  let config =
+    {
+      E.default_config with
+      group_commit_size = spec.group_commit_size;
+      checkpoint_log_bytes = spec.checkpoint_log_bytes;
+    }
+  in
+  let db = E.create ~config ~log store in
+  let expected = Array.make (spec.accounts + 1) spec.balance in
+  let txns = ref 0 in
+  for round = 1 to rounds do
+    let transfers = plan { spec with seed = spec.seed + round } in
+    Runtime.run_exn db (fun () ->
+        let tids =
+          Array.map
+            (fun tr -> E.initiate db (Bank.transfer db ~from_:tr.src ~to_:tr.dst ~amount:tr.amount))
+            transfers
+        in
+        Array.iter (fun t -> ignore (E.begin_ db t)) tids;
+        Array.iteri
+          (fun i t ->
+            E.spawn db ~label:(Printf.sprintf "committer-%d-%d" round i) (fun () ->
+                if E.commit db t then begin
+                  let tr = transfers.(i) in
+                  expected.(tr.src) <- expected.(tr.src) - tr.amount;
+                  expected.(tr.dst) <- expected.(tr.dst) + tr.amount
+                end))
+          tids;
+        E.await_terminated db (Array.to_list tids));
+    txns := !txns + Array.length transfers
+  done;
+  let checkpoints = List.assoc "fuzzy_ckpts" (E.stats db) in
+  let retired = Log.segments_retired log in
+  let live = Log.segment_count log in
+  let created = live + retired in
+  let failures = ref [] in
+  let addf fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  if checkpoints = 0 then addf "no fuzzy checkpoint fired in %d rounds" rounds;
+  if retired = 0 then addf "no segment retired (created %d)" created;
+  (* Live segments are bounded by the un-checkpointed window: one
+     threshold of log plus the segment being filled and one of slack
+     for records of transactions still active at the last capture. *)
+  let bound = 2 + ((2 * spec.checkpoint_log_bytes / spec.segment_bytes) + 2) in
+  if live > bound then addf "log unbounded: %d live segments (bound %d, retired %d)" live bound retired;
+  Log.close log;
+  Pstore.crash_and_reopen ps;
+  let rlog = Log.load_dir wal_path in
+  ignore (Recovery.recover rlog store);
+  for a = 1 to spec.accounts do
+    match Store.read store (Bank.account a) with
+    | Some v ->
+        if Value.to_int v <> expected.(a) then
+          addf "account %d holds %d after sustained run, expected %d" a (Value.to_int v)
+            expected.(a)
+    | None -> addf "account %d missing after sustained run" a
+  done;
+  Log.close rlog;
+  Pstore.close ps;
+  Sys.remove pages_path;
+  rm_wal wal_path;
+  {
+    s_rounds = rounds;
+    s_txns = !txns;
+    s_checkpoints = checkpoints;
+    s_segments_created = created;
+    s_segments_retired = retired;
+    s_segments_live = live;
+    s_failures = List.rev !failures;
   }
 
 (* ------------------------------------------------------------------ *)

@@ -23,6 +23,16 @@ type spec = {
   group_commit_size : int;
   page_size : int;
   pool_capacity : int;
+  segment_bytes : int;
+      (** > 0: use a segment-directory WAL with this rotation size
+          (0, the default, keeps the single-file WAL) *)
+  checkpoint_log_bytes : int;
+      (** > 0: the engine's commit-path fuzzy-checkpoint trigger
+          (0, the default, disables it) *)
+  recovery_domains : int;
+      (** > 1: parallel redo across this many domains, with a
+          serial-replay shadow oracle asserting zero divergence
+          (1, the default, is serial) *)
 }
 
 val default_spec : spec
@@ -38,16 +48,25 @@ type outcome = {
   tids : Tid.t array;
   report : Recovery.report;
   recovery_s : float;
+  recovery_crashes : int;
+      (** power losses that fired {e during} recovery (sites armed by
+          [arm_recovery]); each one is retried from a fresh load *)
   log_length : int;  (** records in the recovered log *)
   failures : string list;  (** violated durability invariants; empty = pass *)
 }
 
-val run_once : ?arm:(unit -> unit) -> ?check_idempotent:bool -> spec -> outcome
+val run_once :
+  ?arm:(unit -> unit) -> ?arm_recovery:(unit -> unit) -> ?check_idempotent:bool -> spec -> outcome
 (** One torture run: set up a clean bank in fresh temp files, call
     [arm] (e.g. [Fault.arm_name "wal.append" (Crash_nth 5)]), run the
     workload, simulate power loss if a crash fires, recover, check
     invariants, clean up.  All failpoints are reset before and at
-    power-off. *)
+    power-off; [arm_recovery] runs after power-off to arm faults at
+    recovery-only sites ("recovery.domain.*") — a crash during
+    recovery is retried as another full power loss (up to 3 times).
+    With [spec.recovery_domains > 1] the run also replays the log
+    serially into a shadow of the pre-recovery store and fails on any
+    divergence from the parallel result. *)
 
 type sweep = {
   boundaries : int;  (** WAL records in the fault-free reference run *)
@@ -68,6 +87,38 @@ val random_crash_schedule :
     from [schedule_seed]; the workload seed varies alongside. *)
 
 val random_crash_schedules : ?check_idempotent:bool -> n:int -> spec -> sweep
+
+val durability_sites : string array
+(** The crash windows specific to fuzzy checkpoints ("wal.ckpt.*"),
+    segment retirement ("wal.retire.*") and parallel replay
+    ("recovery.domain.*"). *)
+
+val random_durability_schedule :
+  ?check_idempotent:bool -> schedule_seed:int -> spec -> string * outcome
+(** One seeded schedule over {!durability_sites}: a segmented WAL with
+    an aggressive checkpoint trigger and 1–3 recovery domains, crashing
+    at the drawn site's n-th hit.  Recovery-side sites are armed after
+    power-off so they fire during recovery itself. *)
+
+val random_durability_schedules : ?check_idempotent:bool -> n:int -> spec -> sweep
+
+type sustained = {
+  s_rounds : int;
+  s_txns : int;
+  s_checkpoints : int;  (** fuzzy checkpoints the commit path triggered *)
+  s_segments_created : int;
+  s_segments_retired : int;
+  s_segments_live : int;
+  s_failures : string list;  (** empty = log stayed bounded and consistent *)
+}
+
+val sustained_run : ?rounds:int -> spec -> sustained
+(** [rounds] transfer batches against one long-lived segmented WAL with
+    the commit-path checkpoint trigger on: asserts checkpoints fired,
+    segments were retired, the live segment count stayed within the
+    un-checkpointed window's bound, and a final crash + recovery
+    preserves every acknowledged transfer.  [spec.segment_bytes] and
+    [spec.checkpoint_log_bytes] default to 1024 / 2048 when unset. *)
 
 type retry_outcome = {
   committed : int;

@@ -68,6 +68,26 @@ let test_prob_deterministic () =
 let test_arm_name_unknown () =
   Alcotest.(check bool) "unknown site" false (Fault.arm_name "no.such.site" Fault.Fail_once)
 
+let test_disk_full_budget () =
+  Fault.reset_all ();
+  let site = Fault.register "test.disk" in
+  Fault.arm site (Fault.Disk_full 100);
+  (* Size-aware hits draw down the byte budget... *)
+  Alcotest.(check bool) "60 fits" true (Fault.check_bytes site 60 = None);
+  Alcotest.(check bool) "40 more fits" true (Fault.check_bytes site 40 = None);
+  (* ...and once exhausted every further write fails: a full disk
+     stays full, the policy does not disarm. *)
+  Alcotest.(check bool) "1 over fails" true (Fault.check_bytes site 1 = Some `Fail);
+  Alcotest.(check bool) "still full" true (Fault.check_bytes site 1 = Some `Fail);
+  Alcotest.(check int) "every refusal counted" 2 (Fault.fired site);
+  (* Zero-byte probes (plain hits) only fail after exhaustion. *)
+  Fault.reset site;
+  Fault.arm site (Fault.Disk_full 0);
+  Alcotest.(check bool) "exhausted budget fails plain check" true (Fault.check site = Some `Fail);
+  Fault.reset site;
+  Fault.arm site (Fault.Disk_full 10);
+  Alcotest.(check bool) "live budget passes plain check" true (Fault.check site = None)
+
 (* --- typed storage errors --- *)
 
 let test_real_io_error_wrapped () =
@@ -325,6 +345,7 @@ let () =
           Alcotest.test_case "crash-once and reset" `Quick test_crash_once_and_reset;
           Alcotest.test_case "probability is seeded" `Quick test_prob_deterministic;
           Alcotest.test_case "arm unknown site" `Quick test_arm_name_unknown;
+          Alcotest.test_case "disk-full budget" `Quick test_disk_full_budget;
         ] );
       ( "typed_errors",
         [

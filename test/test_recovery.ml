@@ -236,6 +236,115 @@ let test_large_volume_recovery () =
   Pstore.close ps;
   cleanup pages logf
 
+(* ------------------------------------------------------------------ *)
+(* Fuzzy checkpoints and parallel recovery                             *)
+
+let test_fuzzy_checkpoint_with_active_txn () =
+  let db, ps, log, pages, logf = make_persistent ~objects:4 in
+  R.run_exn db (fun () ->
+      ignore (Asset_models.Atomic.run db (fun () -> E.write db (oid 1) (vi 7)));
+      let t = E.initiate db (fun () -> E.write db (oid 2) (vi 99)) in
+      ignore (E.begin_ db t);
+      ignore (E.wait db t);
+      (* The quiescent checkpoint's contract: it refuses while t is
+         active, naming it. *)
+      (match E.checkpoint db with
+      | Error active -> Alcotest.(check bool) "refusal names t" true (List.mem t active)
+      | Ok _ -> Alcotest.fail "quiescent checkpoint ran over an active transaction");
+      (* The fuzzy checkpoint does not: it captures t instead. *)
+      let begin_lsn = E.checkpoint_fuzzy db in
+      Alcotest.(check bool) "fuzzy checkpoint completed" true (begin_lsn >= 0);
+      ignore (Asset_models.Atomic.run db (fun () -> E.write db (oid 3) (vi 3)))
+      (* t never commits — crash with its captured update on disk. *));
+  let store, report = crash_and_recover ps log logf in
+  Alcotest.(check bool) "scan starts at the fuzzy begin" true (report.Recovery.scanned_from > 0);
+  Alcotest.(check int) "committed pre-checkpoint value" 7 (geti store 1);
+  Alcotest.(check int) "captured in-flight update undone" 0 (geti store 2);
+  Alcotest.(check int) "post-checkpoint winner redone" 3 (geti store 3);
+  Pstore.close ps;
+  cleanup pages logf
+
+let test_delegation_across_fuzzy_checkpoint () =
+  (* An update performed before the checkpoint, captured in the ATT,
+     then delegated after it to a transaction that commits: recovery
+     must attribute the captured update to the delegatee and keep it. *)
+  let db, ps, log, pages, logf = make_persistent ~objects:4 in
+  R.run_exn db (fun () ->
+      let t1 = E.initiate db (fun () -> E.write db (oid 1) (vi 5)) in
+      let t2 = E.initiate db (fun () -> ()) in
+      ignore (E.begin_ db t1);
+      ignore (E.begin_ db t2);
+      ignore (E.wait db t1);
+      ignore (E.checkpoint_fuzzy db);
+      E.delegate db ~from_:t1 ~to_:t2;
+      ignore (E.commit db t2)
+      (* t1 never terminates — crash. *));
+  let store, _ = crash_and_recover ps log logf in
+  Alcotest.(check int) "captured update delegated to winner survives" 5 (geti store 1);
+  Pstore.close ps;
+  cleanup pages logf
+
+(* The same history once with a fuzzy checkpoint and once with a
+   quiescent one must recover to identical stores. *)
+let run_ckpt_history ~fuzzy =
+  let db, ps, log, pages, logf = make_persistent ~objects:6 in
+  R.run_exn db (fun () ->
+      ignore (Asset_models.Atomic.run db (fun () -> E.write db (oid 1) (vi 11)));
+      ignore (Asset_models.Atomic.run db (fun () -> E.write db (oid 2) (vi 22)));
+      (if fuzzy then ignore (E.checkpoint_fuzzy db)
+       else
+         match E.checkpoint db with
+         | Ok _ -> ()
+         | Error _ -> Alcotest.fail "checkpoint refused at quiescence");
+      ignore (Asset_models.Atomic.run db (fun () -> E.write db (oid 3) (vi 33)));
+      let t = E.initiate db (fun () -> E.write db (oid 4) (vi 44)) in
+      ignore (E.begin_ db t);
+      ignore (E.wait db t);
+      Store.flush (E.store db)
+      (* t in-flight — crash. *));
+  let store, _ = crash_and_recover ps log logf in
+  let dump =
+    Store.dump store |> List.map (fun (o, v) -> (o, Value.to_string v)) |> List.sort compare
+  in
+  Pstore.close ps;
+  cleanup pages logf;
+  dump
+
+let test_fuzzy_equals_quiescent () =
+  let fuzzy = run_ckpt_history ~fuzzy:true in
+  let quiescent = run_ckpt_history ~fuzzy:false in
+  Alcotest.(check bool) "identical recovered stores" true (fuzzy = quiescent)
+
+let test_parallel_recovery_matches_serial () =
+  let db, ps, log, pages, logf = make_persistent ~objects:50 in
+  R.run_exn db (fun () ->
+      for round = 1 to 20 do
+        ignore
+          (Asset_models.Atomic.run db (fun () ->
+               for o = 1 to 50 do
+                 E.write db (oid o) (vi ((round * 100) + o))
+               done))
+      done);
+  Log.force log;
+  Log.close log;
+  Pstore.crash_and_reopen ps;
+  let store = Pstore.to_store ps in
+  let recovered_log = Log.load logf in
+  let report = Recovery.recover ~domains:4 recovered_log store in
+  Alcotest.(check int) "all updates redone in parallel" 1000 report.Recovery.updates_redone;
+  for o = 1 to 50 do
+    Alcotest.(check int) "final round value" (2000 + o) (geti store o)
+  done;
+  let snap = Store.dump store in
+  (* Serial recovery over the parallel result must be a no-op — the
+     parallel result is exactly serial recovery's fixpoint. *)
+  let serial = Recovery.recover ~domains:1 recovered_log store in
+  Alcotest.(check bool) "serial pass changes nothing" true (Store.dump store = snap);
+  Alcotest.(check int) "same winner count" (List.length report.Recovery.winners)
+    (List.length serial.Recovery.winners);
+  Pstore.close ps;
+  cleanup pages logf
+
 let () =
   Alcotest.run "asset_recovery_integration"
     [
@@ -253,5 +362,15 @@ let () =
           Alcotest.test_case "increment abort then crash" `Quick test_increment_abort_then_crash;
           Alcotest.test_case "double recovery idempotent" `Quick test_double_recovery_idempotent;
           Alcotest.test_case "large volume" `Quick test_large_volume_recovery;
+        ] );
+      ( "fuzzy_checkpoint",
+        [
+          Alcotest.test_case "fuzzy checkpoint with active txn" `Quick
+            test_fuzzy_checkpoint_with_active_txn;
+          Alcotest.test_case "delegation across fuzzy checkpoint" `Quick
+            test_delegation_across_fuzzy_checkpoint;
+          Alcotest.test_case "fuzzy equals quiescent" `Quick test_fuzzy_equals_quiescent;
+          Alcotest.test_case "parallel recovery matches serial" `Quick
+            test_parallel_recovery_matches_serial;
         ] );
     ]

@@ -89,6 +89,86 @@ let test_recovery_idempotent_under_random_crashes () =
   let sweep = Torture.random_crash_schedules ~check_idempotent:true ~n:60 spec in
   check_sweep "idempotence" sweep
 
+(* --- durability at sustained scale: fuzzy ckpt / retirement / parallel replay --- *)
+
+(* A spec that exercises the whole machine: segmented WAL, an
+   aggressive commit-path checkpoint trigger, parallel recovery with
+   the serial shadow oracle, and idempotence. *)
+let durability_spec =
+  {
+    Torture.default_spec with
+    n_txns = 20;
+    segment_bytes = 512;
+    checkpoint_log_bytes = 1024;
+    recovery_domains = 3;
+  }
+
+let test_crash_mid_fuzzy_checkpoint () =
+  (* Crash inside each window of the Begin_ckpt/flush/End_ckpt
+     protocol: before the pair completes, recovery must fall back to
+     the previous anchor and still satisfy every invariant. *)
+  List.iter
+    (fun site ->
+      let arm () = ignore (Fault.arm_name site Fault.Crash_once) in
+      let r = Torture.run_once ~arm ~check_idempotent:true durability_spec in
+      Alcotest.(check (option string)) "crashed in the window" (Some site) r.Torture.crashed;
+      if r.Torture.failures <> [] then
+        Alcotest.failf "%s: %s" site (String.concat ", " r.Torture.failures))
+    [ "wal.ckpt.begin"; "wal.ckpt.flush"; "wal.ckpt.end" ]
+
+let test_crash_mid_retirement () =
+  (* Crash in each window of the retirement protocol (before the
+     manifest write, between manifest and unlink, before the directory
+     fsync): load_dir must complete or ignore the half-done retirement
+     and recovery must converge. *)
+  List.iter
+    (fun site ->
+      let arm () = ignore (Fault.arm_name site Fault.Crash_once) in
+      let r = Torture.run_once ~arm ~check_idempotent:true durability_spec in
+      if r.Torture.failures <> [] then
+        Alcotest.failf "%s: %s" site (String.concat ", " r.Torture.failures))
+    [ "wal.retire.manifest"; "wal.retire.unlink"; "wal.retire.sync_dir" ]
+
+let test_crash_mid_parallel_replay () =
+  (* Crash during parallel redo and at the merge barrier: the harness
+     powers off again and retries; the retried recovery must converge
+     to the same state serial replay produces. *)
+  List.iter
+    (fun site ->
+      let arm_recovery () = ignore (Fault.arm_name site Fault.Crash_once) in
+      let r = Torture.run_once ~arm_recovery ~check_idempotent:true durability_spec in
+      Alcotest.(check bool) (site ^ " fired during recovery") true (r.Torture.recovery_crashes > 0);
+      if r.Torture.failures <> [] then
+        Alcotest.failf "%s: %s" site (String.concat ", " r.Torture.failures))
+    [ "recovery.domain.replay"; "recovery.domain.merge" ]
+
+let test_random_durability_schedules () =
+  let sweep = Torture.random_durability_schedules ~check_idempotent:true ~n:120 Torture.default_spec in
+  check_sweep "durability schedules" sweep;
+  Alcotest.(check int) "ran all schedules" 120 sweep.Torture.runs;
+  Alcotest.(check bool) "some actually crashed" true (sweep.Torture.crashes > 10)
+
+let test_disk_full_aborts_cleanly () =
+  (* An exhausted disk budget on wal.append: the affected transactions
+     abort with Storage_error surfaced through the engine, nothing is
+     acknowledged afterwards, and the log is never torn — recovery
+     sees a clean prefix. *)
+  let arm () = ignore (Fault.arm_name "wal.append" (Fault.Disk_full 600)) in
+  let r = Torture.run_once ~arm ~check_idempotent:true Torture.default_spec in
+  Alcotest.(check (option string)) "no power loss" None r.Torture.crashed;
+  Alcotest.(check int) "log has no corruption" 0 r.Torture.report.Torture.Recovery.log_records_dropped;
+  if r.Torture.failures <> [] then
+    Alcotest.failf "disk full: %s" (String.concat ", " r.Torture.failures)
+
+let test_sustained_run_bounded () =
+  let s = Torture.sustained_run ~rounds:12 Torture.default_spec in
+  if s.Torture.s_failures <> [] then
+    Alcotest.failf "sustained run: %s" (String.concat ", " s.Torture.s_failures);
+  Alcotest.(check bool) "checkpoints fired" true (s.Torture.s_checkpoints > 0);
+  Alcotest.(check bool) "segments retired" true (s.Torture.s_segments_retired > 0);
+  Alcotest.(check bool) "live segments bounded below created" true
+    (s.Torture.s_segments_live < s.Torture.s_segments_created)
+
 (* --- lock-wait timeout --- *)
 
 let deadlock_pair db =
@@ -194,6 +274,16 @@ let () =
             test_group_commit_ack_requires_force;
           Alcotest.test_case "crash after force: durable, unacked" `Quick
             test_crash_after_force_durable_but_unacked;
+        ] );
+      ( "durability",
+        [
+          Alcotest.test_case "crash mid fuzzy checkpoint" `Quick test_crash_mid_fuzzy_checkpoint;
+          Alcotest.test_case "crash mid retirement" `Quick test_crash_mid_retirement;
+          Alcotest.test_case "crash mid parallel replay" `Quick test_crash_mid_parallel_replay;
+          Alcotest.test_case "120 seeded durability schedules" `Slow
+            test_random_durability_schedules;
+          Alcotest.test_case "disk full aborts cleanly" `Quick test_disk_full_aborts_cleanly;
+          Alcotest.test_case "sustained run stays bounded" `Quick test_sustained_run_bounded;
         ] );
       ( "resilience",
         [

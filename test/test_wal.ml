@@ -40,6 +40,31 @@ let sample_records =
     Record.Increment { tid = tid 2; oid = oid 3; delta = -4; after = vi 6 };
     Record.Enqueue { tid = tid 2; oid = oid 7; item = "job-1"; after = Value.of_queue [ "job-1" ] };
     Record.Checkpoint;
+    Record.Begin_ckpt { active = []; dirty = [] };
+    Record.Begin_ckpt
+      {
+        active =
+          [
+            { att_tid = tid 4; att_updates = [] };
+            {
+              att_tid = tid 5;
+              att_updates =
+                [
+                  { cu_lsn = 7; cu_oid = oid 2; cu_undo = Record.Ckpt_physical (Some (vi 1)); cu_after = vi 9 };
+                  { cu_lsn = 8; cu_oid = oid 3; cu_undo = Record.Ckpt_physical None; cu_after = vi 4 };
+                  { cu_lsn = 9; cu_oid = oid 4; cu_undo = Record.Ckpt_delta (-3); cu_after = vi 2 };
+                  {
+                    cu_lsn = 10;
+                    cu_oid = oid 5;
+                    cu_undo = Record.Ckpt_dequeue "job-1";
+                    cu_after = Value.of_queue [ "job-1" ];
+                  };
+                ];
+            };
+          ];
+        dirty = [ oid 2; oid 3; oid 4; oid 5 ];
+      };
+    Record.End_ckpt { begin_lsn = 13 };
   ]
 
 let record_equal a b = Record.encode a = Record.encode b
@@ -240,6 +265,151 @@ let test_log_load_truncates_torn_tail_before_append () =
   Log.close l2;
   Alcotest.(check int) "clean after post-recovery append" 2 (count_records path);
   Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Segment directories                                                 *)
+
+let tmp_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "asset_wal_%d_%d.d" (Unix.getpid ()) !n)
+
+let rm_dir dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let test_seg_rotation_roundtrip () =
+  (* Tiny segments force many rotations; a reload must see every
+     record in order across the segment boundaries. *)
+  let dir = tmp_dir () in
+  let l = Log.create_dir ~segment_bytes:64 dir in
+  let records = List.init 30 (fun i -> Record.Begin (tid (i + 1))) in
+  List.iter (fun r -> ignore (Log.append l r)) records;
+  Log.force l;
+  Alcotest.(check bool) "rotated" true (Log.segment_count l > 1);
+  Log.close l;
+  let l2 = Log.load_dir dir in
+  Alcotest.(check int) "all records" 30 (Log.length l2);
+  Alcotest.(check int) "starts at 0" 0 (Log.start_lsn l2);
+  List.iteri
+    (fun i r -> Alcotest.(check bool) "record" true (record_equal r (Log.get l2 i)))
+    records;
+  (* A reloaded directory log keeps rotating and accepting appends. *)
+  ignore (Log.append l2 (Record.Commit [ tid 99 ]));
+  Log.close l2;
+  let l3 = Log.load_dir dir in
+  Alcotest.(check int) "post-reload append durable" 31 (Log.length l3);
+  Log.close l3;
+  rm_dir dir
+
+let test_seg_retirement () =
+  let dir = tmp_dir () in
+  let l = Log.create_dir ~segment_bytes:64 dir in
+  for i = 1 to 30 do
+    ignore (Log.append l (Record.Begin (tid i)))
+  done;
+  Log.force l;
+  let live_before = Log.segment_count l in
+  let retired = Log.retire l ~below:(Log.length l) in
+  Alcotest.(check bool) "segments deleted" true (retired > 0);
+  Alcotest.(check int) "only the open segment lives" (live_before - retired) (Log.segment_count l);
+  Alcotest.(check int) "counter" retired (Log.segments_retired l);
+  (* Idempotent: the same watermark retires nothing further. *)
+  Alcotest.(check int) "re-retire is a no-op" 0 (Log.retire l ~below:(Log.length l));
+  (* Disk-only: every record is still resolvable in memory. *)
+  Alcotest.(check bool) "get 0 after retire" true (record_equal (Record.Begin (tid 1)) (Log.get l 0));
+  Log.close l;
+  (* A reload starts at the first surviving LSN and keeps the tail. *)
+  let l2 = Log.load_dir dir in
+  Alcotest.(check bool) "start advanced" true (Log.start_lsn l2 > 0);
+  Alcotest.(check int) "length preserved" 30 (Log.length l2);
+  Alcotest.(check bool) "tail record"
+    true
+    (record_equal (Record.Begin (tid 30)) (Log.get l2 29));
+  Alcotest.(check int) "retired count persisted" retired (Log.segments_retired l2);
+  Log.close l2;
+  rm_dir dir
+
+let test_seg_orphan_sweep () =
+  (* A segment file the manifest does not name — the signature of a
+     crash between retirement's manifest write and unlink, or between
+     rotation's file creation and manifest write — is deleted on load. *)
+  let dir = tmp_dir () in
+  let l = Log.create_dir ~segment_bytes:64 dir in
+  for i = 1 to 10 do
+    ignore (Log.append l (Record.Begin (tid i)))
+  done;
+  Log.force l;
+  Log.close l;
+  let orphan = Filename.concat dir "seg-000999999999.wal" in
+  let oc = open_out_bin orphan in
+  output_string oc "stale bytes";
+  close_out oc;
+  let l2 = Log.load_dir dir in
+  Alcotest.(check bool) "orphan deleted" false (Sys.file_exists orphan);
+  Alcotest.(check int) "live records intact" 10 (Log.length l2);
+  (* Loading again changes nothing. *)
+  Log.close l2;
+  let l3 = Log.load_dir dir in
+  Alcotest.(check int) "idempotent load" 10 (Log.length l3);
+  Log.close l3;
+  rm_dir dir
+
+let test_seg_torn_tail () =
+  let dir = tmp_dir () in
+  let l = Log.create_dir ~segment_bytes:4096 dir in
+  ignore (Log.append l (Record.Begin (tid 1)));
+  ignore (Log.append l (Record.Commit [ tid 1 ]));
+  Log.close l;
+  (* Tear the live segment's tail. *)
+  let seg =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".wal")
+    |> List.sort compare |> List.rev |> List.hd
+  in
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 (Filename.concat dir seg) in
+  output_string oc "\xff\x00\x00\x00partial";
+  close_out oc;
+  let l2 = Log.load_dir dir in
+  Alcotest.(check int) "torn tail dropped" 2 (Log.length l2);
+  Alcotest.(check int) "not corruption" 0 (Log.corrupt_dropped l2);
+  ignore (Log.append l2 (Record.Begin (tid 2)));
+  Log.close l2;
+  let l3 = Log.load_dir dir in
+  Alcotest.(check int) "clean after post-recovery append" 3 (Log.length l3);
+  Log.close l3;
+  rm_dir dir
+
+let test_seg_disk_full () =
+  (* A Disk_full budget on wal.append refuses whole frames before any
+     byte is staged: the failure surfaces as Storage_error, stays (a
+     full disk stays full), and the segment is never torn. *)
+  let dir = tmp_dir () in
+  Asset_fault.Fault.reset_all ();
+  let l = Log.create_dir ~segment_bytes:4096 dir in
+  for i = 1 to 5 do
+    ignore (Log.append l (Record.Begin (tid i)))
+  done;
+  Log.force l;
+  ignore (Asset_fault.Fault.arm_name "wal.append" (Asset_fault.Fault.Disk_full 0));
+  (match Log.append l (Record.Begin (tid 6)) with
+  | exception Asset_fault.Fault.Storage_error _ -> ()
+  | _ -> Alcotest.fail "append on a full disk succeeded");
+  (match Log.append l (Record.Begin (tid 7)) with
+  | exception Asset_fault.Fault.Storage_error _ -> ()
+  | _ -> Alcotest.fail "disk became un-full on its own");
+  Asset_fault.Fault.reset_all ();
+  Alcotest.(check int) "no frame staged" 5 (Log.length l);
+  Log.close l;
+  let l2 = Log.load_dir dir in
+  Alcotest.(check int) "clean log on disk" 5 (Log.length l2);
+  Alcotest.(check int) "no corruption" 0 (Log.corrupt_dropped l2);
+  Log.close l2;
+  rm_dir dir
 
 (* ------------------------------------------------------------------ *)
 (* Recovery                                                            *)
@@ -467,6 +637,14 @@ let () =
           Alcotest.test_case "load reopens for append" `Quick test_log_load_reopens_for_append;
           Alcotest.test_case "load truncates torn tail before append" `Quick
             test_log_load_truncates_torn_tail_before_append;
+        ] );
+      ( "segments",
+        [
+          Alcotest.test_case "rotation roundtrip" `Quick test_seg_rotation_roundtrip;
+          Alcotest.test_case "retirement" `Quick test_seg_retirement;
+          Alcotest.test_case "orphan sweep" `Quick test_seg_orphan_sweep;
+          Alcotest.test_case "torn tail" `Quick test_seg_torn_tail;
+          Alcotest.test_case "disk full" `Quick test_seg_disk_full;
         ] );
       ( "recovery",
         [
