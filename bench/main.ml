@@ -2518,6 +2518,270 @@ let e24_recovery () =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* E25: the workload families (PR 9) — the TPC-C-flavoured multi-class
+   mix across engine configurations (plain-2PL RMW baseline, semantic
+   escrow/queue ops, semantic + MVCC stock-checks, 2-domain sharded
+   2PC) with per-class latency percentiles and abort/retry rates, plus
+   the agentic tool-call saga's compensation economics.  Emits
+   BENCH_oltp.json.  Correctness — conservation, oracle conformance —
+   is pinned by test/test_workloads.ml; this reports the cost. *)
+
+module Oltp = Asset_workload.Oltp
+module Agentic = Asset_workload.Agentic
+
+let e25_oltp () =
+  let txns = if !smoke then 60 else 600 in
+  let cfg = { Oltp.default_config with Oltp.accounts = 16; items = 32 } in
+  let balance0 = 1_000 and stock0 = 1_000 in
+  let seed = 7 in
+  let percentile p lats =
+    match lats with
+    | [] -> None
+    | l ->
+        let a = Array.of_list l in
+        Array.sort compare a;
+        let idx = min (Array.length a - 1) (int_of_float (p *. float_of_int (Array.length a - 1))) in
+        Some (a.(idx) *. 1e6)
+  in
+  (* One single-engine configuration: run the mix, return per-class
+     rows and the config summary. *)
+  let run_single ~label ~snapshot_readers ~rmw =
+    let db = fresh_db ~objects:0 () in
+    Oltp.setup (E.store db) cfg ~balance0 ~stock0;
+    let stats = ref [] in
+    let (), dt =
+      time_of (fun () ->
+          R.run_exn db (fun () ->
+              stats := Oltp.run_mix ~snapshot_readers ~rmw db ~seed ~txns cfg))
+    in
+    let conserved =
+      List.for_all snd (Oltp.check_conservation (E.store db) cfg ~balance0 ~stock0)
+    in
+    let rows =
+      List.map
+        (fun (k, (s : Oltp.class_stats)) ->
+          ( label,
+            Oltp.klass_name k,
+            s.Oltp.s_committed,
+            s.Oltp.s_aborted,
+            s.Oltp.s_retries,
+            s.Oltp.s_gave_up,
+            percentile 0.50 s.Oltp.s_lat,
+            percentile 0.99 s.Oltp.s_lat ))
+        !stats
+    in
+    (rows, (label, dt, conserved))
+  in
+  (* The sharded configuration: each generated transaction becomes a
+     cross-shard 2PC group, submitted and drained one at a time so the
+     measured latency is the full coordinator round-trip. *)
+  let run_sharded ~label ~domains =
+    let init o =
+      if o = 3 || o = 4 then Value.of_queue []
+      else if o >= 1000 && o < 1000 + cfg.Oltp.accounts then vi balance0
+      else if o >= 2000 && o < 2000 + cfg.Oltp.items then vi stock0
+      else vi 0
+    in
+    let sys = Shard.create ~domains ~objects:(2000 + cfg.Oltp.items) ~init () in
+    let coord = Shard.Coord.create sys in
+    let acc = List.map (fun k -> (k, (ref 0, ref 0, ref []))) Oltp.all_klasses in
+    let (), dt =
+      time_of (fun () ->
+          for j = 0 to txns - 1 do
+            let rng = Rng.create (seed + (j * 104729)) in
+            let txn = Oltp.gen_txn ~rng cfg in
+            let by_shard = Hashtbl.create 4 in
+            List.iter
+              (fun (o, op) ->
+                let s = Shard.shard_of sys o in
+                let prev = try Hashtbl.find by_shard s with Not_found -> [] in
+                Hashtbl.replace by_shard s ((o, op) :: prev))
+              (Oltp.ops_of txn);
+            let parts =
+              Hashtbl.fold
+                (fun s ops l -> (s, fun eng -> List.iter (Oltp.apply eng) (List.rev ops)) :: l)
+                by_shard []
+            in
+            let committed, aborted, lats = List.assoc txn.Oltp.t_klass acc in
+            let before = Shard.Coord.committed coord in
+            let (), lat =
+              time_of (fun () ->
+                  Shard.Coord.submit coord parts;
+                  Shard.Coord.drain coord)
+            in
+            if Shard.Coord.committed coord > before then begin
+              incr committed;
+              lats := lat :: !lats
+            end
+            else incr aborted
+          done)
+    in
+    Shard.shutdown sys;
+    let mixed = Shard.Coord.mixed coord in
+    let read_across f =
+      let t = ref 0 in
+      for s = 0 to domains - 1 do
+        t := !t + f (E.store (Shard.engine sys s))
+      done;
+      !t
+    in
+    let cell st o = match Store.read st o with Some v -> Value.to_int v | None -> 0 in
+    let sum_cells n mk st =
+      let t = ref 0 in
+      for i = 0 to n - 1 do
+        t := !t + cell st (mk i)
+      done;
+      !t
+    in
+    let money =
+      read_across (sum_cells cfg.Oltp.accounts Oltp.account)
+      + read_across (fun st -> cell st Oltp.ledger)
+    in
+    let goods =
+      read_across (sum_cells cfg.Oltp.items Oltp.stock)
+      + read_across (fun st -> cell st Oltp.reserved)
+      + read_across (fun st -> cell st Oltp.delivered)
+    in
+    let conserved =
+      mixed = 0
+      && money = cfg.Oltp.accounts * balance0
+      && goods = cfg.Oltp.items * stock0
+    in
+    let rows =
+      List.map
+        (fun (k, (committed, aborted, lats)) ->
+          ( label,
+            Oltp.klass_name k,
+            !committed,
+            !aborted,
+            0,
+            0,
+            percentile 0.50 !lats,
+            percentile 0.99 !lats ))
+        acc
+    in
+    (rows, (label, dt, conserved))
+  in
+  let singles =
+    [
+      run_single ~label:"plain-rmw" ~snapshot_readers:false ~rmw:true;
+      run_single ~label:"semantic" ~snapshot_readers:false ~rmw:false;
+      run_single ~label:"semantic+mvcc" ~snapshot_readers:true ~rmw:false;
+    ]
+  in
+  let sharded = run_sharded ~label:"sharded-2pc-2dom" ~domains:2 in
+  let all = singles @ [ sharded ] in
+  let rows = List.concat_map fst all in
+  let configs = List.map snd all in
+  (* The agentic saga economics on the default engine. *)
+  let agents = if !smoke then 8 else 48 in
+  let a_docs = 8 and a_budget0 = 100_000 in
+  let a_db = fresh_db ~objects:0 () in
+  Agentic.setup (E.store a_db) ~docs:a_docs ~budget0:a_budget0;
+  let outcomes = ref [] in
+  let (), a_dt =
+    time_of (fun () ->
+        R.run_exn a_db (fun () ->
+            outcomes := Agentic.run_agents a_db ~seed ~agents ~docs:a_docs))
+  in
+  let os = !outcomes in
+  let a_conserved =
+    (match Store.read (E.store a_db) Agentic.budget with
+    | Some v -> Value.to_int v = a_budget0 - Agentic.total_spend os
+    | None -> false)
+    && match Store.read (E.store a_db) Agentic.audit with
+       | Some v -> List.length (Value.to_queue v) = Agentic.total_audit os
+       | None -> false
+  in
+  let sum f = List.fold_left (fun a o -> a + f o) 0 os in
+  let t =
+    Table.create ~title:"E25: OLTP mix across engine configurations"
+      ~header:[ "config"; "class"; "committed"; "aborted"; "retries"; "gave up"; "p50 us"; "p99 us" ]
+  in
+  let fmt_opt = function None -> "-" | Some v -> Table.fmt_f ~digits:1 v in
+  List.iter
+    (fun (config, klass, committed, aborted, retries, gave_up, p50, p99) ->
+      Table.add_row t
+        [
+          config;
+          klass;
+          string_of_int committed;
+          string_of_int aborted;
+          string_of_int retries;
+          string_of_int gave_up;
+          fmt_opt p50;
+          fmt_opt p99;
+        ])
+    rows;
+  Table.print t;
+  let t2 =
+    Table.create ~title:"E25: agentic saga economics"
+      ~header:[ "agents"; "failed plans"; "steps"; "compensations"; "retries"; "gave up"; "conserved" ]
+  in
+  Table.add_row t2
+    [
+      string_of_int agents;
+      string_of_int (sum (fun o -> if o.Agentic.o_failed then 1 else 0));
+      string_of_int (sum (fun o -> o.Agentic.o_committed));
+      string_of_int (sum (fun o -> o.Agentic.o_compensated));
+      string_of_int (sum (fun o -> o.Agentic.o_retries));
+      string_of_int (sum (fun o -> o.Agentic.o_gave_up));
+      string_of_bool a_conserved;
+    ];
+  Table.print t2;
+  let all_conserved = List.for_all (fun (_, _, c) -> c) configs && a_conserved in
+  Format.printf "E25 conservation: %d engine configs + agentic saga %s@.@."
+    (List.length configs)
+    (if all_conserved then "[OK]" else "[FAIL]");
+  let buf = Buffer.create 4_096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"experiment\": \"E25-oltp\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" !smoke);
+  Buffer.add_string buf "  \"mix\": [\n";
+  let json_opt = function None -> "null" | Some v -> Printf.sprintf "%.1f" v in
+  List.iteri
+    (fun i (config, klass, committed, aborted, retries, gave_up, p50, p99) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"config\": \"%s\", \"class\": \"%s\", \"committed\": %d, \"aborted\": %d, \
+            \"retries\": %d, \"gave_up\": %d, \"p50_us\": %s, \"p99_us\": %s}%s\n"
+           config klass committed aborted retries gave_up (json_opt p50) (json_opt p99)
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"configs\": [\n";
+  List.iteri
+    (fun i (label, dt, conserved) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"config\": \"%s\", \"txns\": %d, \"seconds\": %.6f, \"txn_per_s\": %.1f, \
+            \"conserved\": %b}%s\n"
+           label txns dt
+           (float_of_int txns /. dt)
+           conserved
+           (if i = List.length configs - 1 then "" else ",")))
+    configs;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"agentic\": {\"agents\": %d, \"plans_failed\": %d, \"steps_committed\": %d, \
+        \"compensations\": %d, \"retries\": %d, \"gave_up\": %d, \"conserved\": %b, \
+        \"seconds\": %.6f}\n"
+       agents
+       (sum (fun o -> if o.Agentic.o_failed then 1 else 0))
+       (sum (fun o -> o.Agentic.o_committed))
+       (sum (fun o -> o.Agentic.o_compensated))
+       (sum (fun o -> o.Agentic.o_retries))
+       (sum (fun o -> o.Agentic.o_gave_up))
+       a_conserved a_dt);
+  Buffer.add_string buf "}\n";
+  let path = if !smoke then "BENCH_oltp_smoke.json" else "BENCH_oltp.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "wrote %s@." path
+
 let experiments =
   [
     ("f1", fig1);
@@ -2553,6 +2817,8 @@ let experiments =
     ("shard", e23_shard);
     ("e24", e24_recovery);
     ("recovery", e24_recovery);
+    ("e25", e25_oltp);
+    ("oltp", e25_oltp);
   ]
 
 let () =
@@ -2562,7 +2828,7 @@ let () =
       ( "--only",
         Arg.String
           (fun s -> only := !only @ String.split_on_char ',' (String.lowercase_ascii s)),
-        "KEYS  comma-separated experiment keys (f1, e1..e24, hotpath, lockpath, faults, obs, check, mvcc, shard, recovery); default: all" );
+        "KEYS  comma-separated experiment keys (f1, e1..e25, hotpath, lockpath, faults, obs, check, mvcc, shard, recovery, oltp); default: all" );
       ("--smoke", Arg.Set smoke, "  tiny quotas for CI smoke runs");
       ( "--domains",
         Arg.Set_int domains_cap,
@@ -2579,7 +2845,7 @@ let () =
         List.filter
           (fun (k, _) ->
             k <> "hotpath" && k <> "lockpath" && k <> "faults" && k <> "obs" && k <> "check"
-            && k <> "mvcc" && k <> "shard" && k <> "recovery")
+            && k <> "mvcc" && k <> "shard" && k <> "recovery" && k <> "oltp")
           experiments
     | keys ->
         List.map

@@ -393,6 +393,42 @@ let schemas =
               ("bounded", Fbool);
             ] );
       ] );
+    ( "E25-oltp",
+      [
+        ( "mix",
+          Arr_of
+            [
+              ("config", Fstr);
+              ("class", Fstr);
+              ("committed", Fnum);
+              ("aborted", Fnum);
+              ("retries", Fnum);
+              ("gave_up", Fnum);
+              ("p50_us", Fnum_or_null);
+              ("p99_us", Fnum_or_null);
+            ] );
+        ( "configs",
+          Arr_of
+            [
+              ("config", Fstr);
+              ("txns", Fnum);
+              ("seconds", Fnum);
+              ("txn_per_s", Fnum);
+              ("conserved", Fbool);
+            ] );
+        ( "agentic",
+          One_of
+            [
+              ("agents", Fnum);
+              ("plans_failed", Fnum);
+              ("steps_committed", Fnum);
+              ("compensations", Fnum);
+              ("retries", Fnum);
+              ("gave_up", Fnum);
+              ("conserved", Fbool);
+              ("seconds", Fnum);
+            ] );
+      ] );
   ]
 
 let errors = ref 0

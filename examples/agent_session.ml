@@ -1,0 +1,107 @@
+(* An agent session as extended transactions (DESIGN.md §13).
+
+   One agent works through a research-and-publish workflow using the
+   agentic workload layer: every tool call is its own committing
+   transaction with a registered compensation (a saga), speculative
+   tool calls run as contingent alternates under pairwise EXC — the
+   first success force-aborts its siblings — a sub-agent handoff
+   transfers the child's effects (locks, escrow reservations) to the
+   adopting step via delegate, and context gathering reads a lock-free
+   multi-version snapshot.  A second plan then fails mid-flight and
+   compensates its committed prefix in reverse order, refunding every
+   token it spent.
+
+   Run with:  dune exec examples/agent_session.exe
+   Pass [--trace FILE] to dump the full event history as JSONL for
+   offline oracle replay (test/test_workloads.ml loads it back and
+   checks the history, contracts included, against the oracle). *)
+
+module E = Asset_core.Engine
+module Runtime = Asset_core.Runtime
+module Value = Asset_storage.Value
+module Store = Asset_storage.Store
+module Rng = Asset_util.Rng
+module Agentic = Asset_workload.Agentic
+
+let trace_file =
+  let rec scan = function
+    | "--trace" :: f :: _ -> Some f
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan (Array.to_list Sys.argv)
+
+let with_trace f =
+  match trace_file with
+  | None -> f ()
+  | Some path ->
+      let oc = open_out path in
+      Asset_obs.Trace.start ~sinks:[ Asset_obs.Trace.jsonl_sink oc ] ();
+      Fun.protect
+        ~finally:(fun () ->
+          Asset_obs.Trace.stop ();
+          close_out oc)
+        f
+
+(* The research plan: fetch a source, speculatively try two search
+   tools (the cheap one wins and cancels the expensive one), hand the
+   summary off to a sub-agent, then gather the docs read-only. *)
+let research =
+  {
+    Agentic.agent = 0;
+    steps =
+      [
+        Agentic.Call { tool = "fetch"; cost = 3; d = 0 };
+        Agentic.Speculate { tool = "search"; costs = [ 5; 2 ]; d = 1; winner = 1 };
+        Agentic.Handoff { tool = "summarise"; cost = 4; d = 2 };
+        Agentic.Gather { tool = "review"; ds = [ 0; 1; 2 ] };
+      ];
+    fail_at = None;
+  }
+
+(* The publish plan: two committed steps, then the notify tool fails —
+   the saga compensates publish and write-draft in reverse order and
+   every token comes back. *)
+let publish =
+  {
+    Agentic.agent = 1;
+    steps =
+      [
+        Agentic.Call { tool = "write-draft"; cost = 6; d = 3 };
+        Agentic.Call { tool = "publish"; cost = 5; d = 0 };
+        Agentic.Call { tool = "notify"; cost = 1; d = 1 };
+      ];
+    fail_at = Some 2;
+  }
+
+let () =
+  let budget0 = 50 and docs = 4 in
+  let store = Asset_storage.Heap_store.store () in
+  Agentic.setup store ~docs ~budget0;
+  let db = E.create store in
+
+  with_trace @@ fun () ->
+  let outcomes = ref [] in
+  Runtime.run_exn db (fun () ->
+      let rng = Rng.create 2026 in
+      let a = Agentic.run_plan ~rng db research in
+      Format.printf "research: %d steps committed, spend %d, failed=%b@."
+        a.Agentic.o_committed a.Agentic.o_spend a.Agentic.o_failed;
+      assert ((not a.Agentic.o_failed) && a.Agentic.o_spend = 9);
+      (* Exactly one speculation group, exactly one winner inside it. *)
+      assert (List.length a.Agentic.o_contract.Agentic.exclusive = 1);
+      (* The handoff left one delegation edge: sub-agent -> adopter. *)
+      assert (List.length a.Agentic.o_contract.Agentic.delegations = 1);
+
+      let b = Agentic.run_plan ~rng db publish in
+      Format.printf "publish: rolled back, %d compensations, net spend %d@."
+        b.Agentic.o_compensated b.Agentic.o_spend;
+      assert (b.Agentic.o_failed && b.Agentic.o_compensated = 2 && b.Agentic.o_spend = 0);
+      outcomes := [ a; b ]);
+
+  let budget = Value.to_int (Store.read_exn store Agentic.budget) in
+  let audit = List.length (Value.to_queue (Store.read_exn store Agentic.audit)) in
+  Format.printf "final: budget=%d audit entries=%d@." budget audit;
+  assert (budget = budget0 - Agentic.total_spend !outcomes);
+  assert (audit = Agentic.total_audit !outcomes);
+  Format.printf "agent_session: OK@."

@@ -326,6 +326,185 @@ let snapshot_reader =
       E.await_terminated db tids;
       if not (E.is_committed db reader) then failwith "snapshot-reader: reader did not commit")
 
+(* ------------------------------------------------------------------ *)
+(* Workload-family miniatures: the agentic and OLTP layers shrunk to
+   explorer-sized worlds, so every interleaving of their primitive
+   translations (EXC alternates, delegation handoff, escrow/queue
+   mixes) is checked, not just the seeded-schedule samples. *)
+
+module Agentic = Asset_workload.Agentic
+module Oltp = Asset_workload.Oltp
+
+(* Run each plan in its own fiber and park until all are done; the
+   concurrent agents are what gives the explorer an interleaving tree
+   (and POR its commuting segments to prune). *)
+let run_plans db plans =
+  let n = List.length plans in
+  let cells = Array.make n None in
+  let done_ = ref 0 in
+  List.iteri
+    (fun i (seed, plan) ->
+      E.spawn db ~label:(Printf.sprintf "agent-%d" i) (fun () ->
+          cells.(i) <- Some (Agentic.run_plan ~rng:(Asset_util.Rng.create seed) db plan);
+          incr done_))
+    plans;
+  Sched.wait_until ~reason:"agents-done" (fun () -> !done_ >= n);
+  Array.to_list cells |> List.map Option.get
+
+(* One speculation (two alternates: the first fails after doing
+   rolled-back work, the second commits) racing a read-only gather
+   agent.  EXC exclusivity is judged from the recorded contract,
+   budget/audit conservation straight from the store, and the
+   snapshot reader's commuting segments give POR its pruning. *)
+let agent_speculation =
+  let excl = ref [] in
+  make ~name:"agent-speculation" ~objects:0
+    ~checks:(fun entries ->
+      let committed = Oracle.committed entries in
+      let extra =
+        List.concat_map
+          (fun g ->
+            let n =
+              List.length
+                (List.filter (fun t -> List.exists (Tid.equal t) committed) g)
+            in
+            if n <= 1 then []
+            else
+              [
+                {
+                  Oracle.check = "exclusive-alternates";
+                  detail = Printf.sprintf "%d alternates committed" n;
+                };
+              ])
+          !excl
+      in
+      Oracle.check_cooperative_history entries
+      @ Oracle.check_dependencies entries
+      @ extra)
+    (fun db ->
+      excl := [];
+      Agentic.setup (E.store db) ~docs:1 ~budget0:20;
+      let spec =
+        {
+          Agentic.agent = 0;
+          steps = [ Agentic.Speculate { tool = "spec"; costs = [ 2; 3 ]; d = 0; winner = 1 } ];
+          fail_at = None;
+        }
+      and gather =
+        {
+          Agentic.agent = 1;
+          steps = [ Agentic.Gather { tool = "gather"; ds = [ 0 ] } ];
+          fail_at = None;
+        }
+      in
+      match run_plans db [ (11, spec); (13, gather) ] with
+      | [ o; og ] ->
+          excl := o.Agentic.o_contract.Agentic.exclusive;
+          if o.Agentic.o_failed || og.Agentic.o_failed then
+            failwith "agent-speculation: plan failed";
+          if o.Agentic.o_committed <> 1 then
+            Fmt.failwith "agent-speculation: %d committed, expected 1" o.Agentic.o_committed;
+          let budget_now =
+            match Asset_storage.Store.read (E.store db) Agentic.budget with
+            | Some v -> Value.to_int v
+            | None -> -1
+          in
+          if budget_now <> 20 - o.Agentic.o_spend then
+            Fmt.failwith "agent-speculation: budget %d, spend %d" budget_now
+              o.Agentic.o_spend
+      | _ -> assert false)
+
+(* One sub-agent handoff: the child debits the budget and writes the
+   doc, then delegates everything to the adopting step, which commits.
+   Cooperative legality covers the re-attributed updates; the escrow
+   reservation must survive the delegation into the adopter's
+   commit. *)
+let agent_handoff =
+  make ~name:"agent-handoff" ~objects:0 (fun db ->
+      Agentic.setup (E.store db) ~docs:1 ~budget0:20;
+      let handoff =
+        {
+          Agentic.agent = 0;
+          steps = [ Agentic.Handoff { tool = "handoff"; cost = 4; d = 0 } ];
+          fail_at = None;
+        }
+      and gather =
+        {
+          Agentic.agent = 1;
+          steps = [ Agentic.Gather { tool = "gather"; ds = [ 0 ] } ];
+          fail_at = None;
+        }
+      in
+      match run_plans db [ (13, handoff); (17, gather) ] with
+      | [ o; og ] ->
+          if o.Agentic.o_failed || og.Agentic.o_failed then
+            failwith "agent-handoff: plan failed";
+          if List.length o.Agentic.o_contract.Agentic.delegations <> 1 then
+            failwith "agent-handoff: missing delegation edge";
+          let budget_now =
+            match Asset_storage.Store.read (E.store db) Agentic.budget with
+            | Some v -> Value.to_int v
+            | None -> -1
+          in
+          if budget_now <> 16 then
+            Fmt.failwith "agent-handoff: budget %d, expected 16" budget_now
+      | _ -> assert false)
+
+(* A three-class OLTP miniature: one new-order, one payment, one
+   delivery over one account and one item.  Whatever commits, both
+   conservation laws must hold at quiescence — delivery may
+   legitimately abort (nothing reserved yet) and escrow/queue ops
+   commute, so POR prunes while the laws pin semantics. *)
+let oltp_mini =
+  make ~name:"oltp-mini" ~objects:0 (fun db ->
+      let cfg = { Oltp.default_config with accounts = 1; items = 1 } in
+      Oltp.setup (E.store db) cfg ~balance0:10 ~stock0:5;
+      let new_order =
+        {
+          Oltp.t_klass = Oltp.New_order;
+          t_ops =
+            [
+              (Oltp.stock 0, Oltp.Escrow { delta = -2; lo = 0 });
+              (Oltp.reserved, Oltp.Incr 2);
+              (Oltp.orders, Oltp.Enq "order:0");
+            ];
+        }
+      and payment =
+        {
+          Oltp.t_klass = Oltp.Payment;
+          t_ops =
+            [
+              (Oltp.account 0, Oltp.Escrow { delta = -3; lo = 0 });
+              (Oltp.ledger, Oltp.Incr 3);
+              (Oltp.history, Oltp.Enq "pay:0");
+            ];
+        }
+      and delivery =
+        {
+          Oltp.t_klass = Oltp.Delivery;
+          t_ops =
+            [
+              (Oltp.reserved, Oltp.Escrow { delta = -1; lo = 0 });
+              (Oltp.delivered, Oltp.Incr 1);
+              (Oltp.history, Oltp.Enq "deliv");
+            ];
+        }
+      in
+      let tids =
+        List.map (fun t -> E.initiate db (Oltp.body db t)) [ new_order; payment; delivery ]
+      in
+      ignore (E.begin_many db tids);
+      List.iteri
+        (fun i tid ->
+          E.spawn db ~label:(Printf.sprintf "committer-%d" i) (fun () ->
+              ignore (E.commit db tid)))
+        tids;
+      E.await_terminated db tids;
+      List.iter
+        (fun (law, ok) ->
+          if not ok then Fmt.failwith "oltp-mini: %s conservation broken" law)
+        (Oltp.check_conservation (E.store db) cfg ~balance0:10 ~stock0:5))
+
 let all =
   [
     handoff;
@@ -340,6 +519,9 @@ let all =
     delegate_pending;
     escrow_bounds;
     snapshot_reader;
+    agent_speculation;
+    agent_handoff;
+    oltp_mini;
   ]
 
 let by_name name = List.find_opt (fun s -> String.equal s.name name) all

@@ -100,5 +100,17 @@ val snapshot_reader : t
 (** A read-only snapshot reader racing writers: never blocks or
     aborts; the snapshot-visibility axiom and 'S' footprint workout. *)
 
+val agent_speculation : t
+(** One agentic speculation (two EXC alternates, first fails): exactly
+    one commits in every schedule and budget conservation holds. *)
+
+val agent_handoff : t
+(** One sub-agent handoff: the child's escrow reservation survives
+    delegation into the adopting step's commit. *)
+
+val oltp_mini : t
+(** A three-class OLTP miniature (new-order, payment, delivery): the
+    money and goods conservation laws hold in every schedule. *)
+
 val all : t list
 val by_name : string -> t option

@@ -612,7 +612,8 @@ let rollback_to db sp =
     (fun lsn ->
       match Log.get db.log lsn with
       | Record.Update { oid; before; _ } ->
-          Log.append db.log (Record.Clr { tid = td.tid; oid; image = before }) |> ignore;
+          Log.append db.log (Record.Clr { tid = td.tid; oid; image = before; undo_lsn = lsn })
+          |> ignore;
           (match before with
           | Some v -> Store.write db.store oid v
           | None -> Store.delete db.store oid)
@@ -621,7 +622,8 @@ let rollback_to db sp =
             match Store.read db.store oid with Some v -> Value.to_int v | None -> 0
           in
           let image = Value.of_int (current - delta) in
-          Log.append db.log (Record.Clr { tid = td.tid; oid; image = Some image }) |> ignore;
+          Log.append db.log (Record.Clr { tid = td.tid; oid; image = Some image; undo_lsn = lsn })
+          |> ignore;
           Store.write db.store oid image
       | Record.Enqueue { oid; item; _ } ->
           (* Logical undo: remove the appended item from the *current*
@@ -630,7 +632,8 @@ let rollback_to db sp =
             match Store.read db.store oid with Some v -> v | None -> Value.of_queue []
           in
           let image = Value.queue_remove_last current item in
-          Log.append db.log (Record.Clr { tid = td.tid; oid; image = Some image }) |> ignore;
+          Log.append db.log (Record.Clr { tid = td.tid; oid; image = Some image; undo_lsn = lsn })
+          |> ignore;
           Store.write db.store oid image
       | _ -> ())
     (List.sort (fun a b -> Int.compare b a) undo);
@@ -744,13 +747,16 @@ let abort_many_ref : (t -> Tid.t list -> unit) ref = ref (fun _ _ -> assert fals
 
 (* Abort-path logging is best-effort: rollback must complete even when
    the log cannot take another byte (a [Disk_full] budget, real
-   ENOSPC).  Skipping a CLR — or the Abort record itself — is safe for
-   recovery: the transaction is then an unresolved loser whose undo
-   re-derives from the update records' before images.  Simulated power
-   loss is not an I/O error and still propagates. *)
+   ENOSPC).  Returns whether the record was taken; a refused append is
+   counted, not raised.  Simulated power loss is not an I/O error and
+   still propagates. *)
 let append_best_effort db record =
-  try ignore (Log.append db.log record)
-  with Fault.Storage_error _ -> Asset_util.Stats.Counter.incr db.abort_log_misses
+  try
+    ignore (Log.append db.log record);
+    true
+  with Fault.Storage_error _ ->
+    Asset_util.Stats.Counter.incr db.abort_log_misses;
+    false
 
 let rec finalize_abort db (td : td) =
   (* The abort is observable from here on (status is already Aborting),
@@ -763,23 +769,28 @@ let rec finalize_abort db (td : td) =
      is logged as a CLR so that recovery can repeat the undo instead of
      re-deriving it (see Asset_wal.Recovery). *)
   let lsns = List.sort (fun a b -> Int.compare b a) td.updates in
+  let clr_missed = ref false in
+  let append_clr record = if not (append_best_effort db record) then clr_missed := true in
   List.iter
     (fun lsn ->
       match Log.get db.log lsn with
       | Record.Update { oid; before; _ } ->
-          append_best_effort db (Record.Clr { tid = td.tid; oid; image = before });
+          append_clr (Record.Clr { tid = td.tid; oid; image = before; undo_lsn = lsn });
           (match before with
           | Some v -> Store.write db.store oid v
           | None -> Store.delete db.store oid)
       | Record.Increment { oid; delta; _ } ->
           (* Logical undo: subtract the delta from the *current* value,
              preserving concurrent transactions' commuting increments.
-             The CLR carries the resulting physical image for redo. *)
+             The CLR carries the resulting physical image for redo and
+             the compensated update's LSN as abort progress: should we
+             crash before the Abort record, recovery must not subtract
+             this delta a second time. *)
           let current =
             match Store.read db.store oid with Some v -> Value.to_int v | None -> 0
           in
           let image = Value.of_int (current - delta) in
-          append_best_effort db (Record.Clr { tid = td.tid; oid; image = Some image });
+          append_clr (Record.Clr { tid = td.tid; oid; image = Some image; undo_lsn = lsn });
           Store.write db.store oid image
       | Record.Enqueue { oid; item; _ } ->
           (* Logical undo, like Increment: remove the appended item
@@ -788,7 +799,7 @@ let rec finalize_abort db (td : td) =
             match Store.read db.store oid with Some v -> v | None -> Value.of_queue []
           in
           let image = Value.queue_remove_last current item in
-          append_best_effort db (Record.Clr { tid = td.tid; oid; image = Some image });
+          append_clr (Record.Clr { tid = td.tid; oid; image = Some image; undo_lsn = lsn });
           Store.write db.store oid image
       | _ -> ())
     lsns;
@@ -829,8 +840,16 @@ let rec finalize_abort db (td : td) =
     incoming;
   (* Step 5: remove remaining dependencies pertaining to t_i. *)
   Dep.remove_involving db.deps td.tid;
-  (* Step 6: terminate. *)
-  append_best_effort db (Record.Abort td.tid);
+  (* Step 6: terminate.  The Abort record asserts "every undo of this
+     transaction is in the log as a CLR" — recovery replays the CLRs
+     and does not re-derive the undo.  If any CLR append was refused
+     (ENOSPC can reject a large CLR yet still fit the small Abort
+     frame), writing Abort would orphan that update's undo forever, so
+     the record is withheld: the transaction stays an unresolved loser
+     and recovery re-derives the remainder, skipping exactly the
+     CLR-covered prefix via the back-links. *)
+  if !clr_missed then Asset_util.Stats.Counter.incr db.abort_log_misses
+  else ignore (append_best_effort db (Record.Abort td.tid));
   td.status <- Status.Aborted;
   Asset_util.Stats.Counter.incr db.aborts;
   bump db;

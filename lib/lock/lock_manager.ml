@@ -421,7 +421,7 @@ let acquire t tid oid mode =
           | Some gl ->
               (* 2b: change the lock mode / remove suspension. *)
               let upgraded = not (Mode.covers ~held:gl.lrd_mode ~requested:mode) in
-              if upgraded then gl.lrd_mode <- mode;
+              if upgraded then gl.lrd_mode <- Mode.join gl.lrd_mode mode;
               let resumed = gl.lrd_status = Suspended in
               gl.lrd_status <- Granted;
               if Trace.on () then
@@ -644,8 +644,7 @@ let delegate t ~from_ ~to_ oids =
           match Hashtbl.find_opt to_h lrd.lrd_oid with
           | Some existing ->
               (* Merge into tj's existing request. *)
-              if Mode.conflicts existing.lrd_mode lrd.lrd_mode || lrd.lrd_mode = Mode.Write then
-                existing.lrd_mode <- Mode.Write;
+              existing.lrd_mode <- Mode.join existing.lrd_mode lrd.lrd_mode;
               od_remove_granted obj lrd;
               resume_suspended obj
           | None ->

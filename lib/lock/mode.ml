@@ -104,6 +104,22 @@ let covers ~held ~requested =
   | Enqueue, Enqueue -> true
   | (Read | Increment | Escrow | Enqueue | Snapshot), _ -> false
 
+(* Least upper bound of two held modes: what a granted lock must record
+   when its holder acquires a second mode on the same object.  Equal
+   modes join to themselves and Snapshot is the identity; any other
+   pair joins to Write, the only mode that both covers each operand and
+   conflicts with everything either operand conflicts with.  Replacing
+   the held mode with the requested one instead (the old upgrade
+   behaviour) loses the first mode's conflicts: I upgraded to plain R
+   lets a second reader in while the increment's uncommitted delta is
+   still live — a dirty read. *)
+let join a b =
+  if equal a b then a
+  else
+    match (a, b) with
+    | Snapshot, m | m, Snapshot -> m
+    | _ -> Write
+
 (* The operation enabled by holding a lock in a mode, used when checking
    whether a permit's operation set excuses a conflict. *)
 let as_op = function

@@ -42,6 +42,12 @@ val covers : held:t -> requested:t -> bool
     [requested] (a Write lock covers everything; anything covers
     Snapshot). *)
 
+val join : t -> t -> t
+(** Least upper bound of two held modes, for lock upgrades and
+    delegation merges: equal modes join to themselves, Snapshot is the
+    identity, and any other pair joins to Write — the only mode that
+    covers both operands and preserves both operands' conflicts. *)
+
 val as_op : t -> t
 (** The operation a lock mode enables, for permit checks. *)
 

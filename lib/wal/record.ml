@@ -57,7 +57,7 @@ type t =
          logical undo: concurrent uncommitted enqueues by other
          transactions must survive this one's abort, so undo removes
          this item rather than installing a before image. *)
-  | Clr of { tid : Tid.t; oid : Oid.t; image : Value.t option }
+  | Clr of { tid : Tid.t; oid : Oid.t; image : Value.t option; undo_lsn : int }
       (* Compensation record: the abort algorithm installed [image]
          (None = the object is deleted) while undoing [tid].  Redo-only,
          ARIES-style: recovery replays CLRs but never undoes them, and a
@@ -93,10 +93,10 @@ let pp ppf = function
         after
   | Enqueue { tid; oid; item; after } ->
       Format.fprintf ppf "ENQ %a %a item=%S after=%a" Tid.pp tid Oid.pp oid item Value.pp after
-  | Clr { tid; oid; image } ->
-      Format.fprintf ppf "CLR %a %a image=%a" Tid.pp tid Oid.pp oid
+  | Clr { tid; oid; image; undo_lsn } ->
+      Format.fprintf ppf "CLR %a %a image=%a undo=%d" Tid.pp tid Oid.pp oid
         (Format.pp_print_option Value.pp)
-        image
+        image undo_lsn
   | Checkpoint -> Format.fprintf ppf "CHECKPOINT"
   | Begin_ckpt { active; dirty } ->
       Format.fprintf ppf "BEGIN_CKPT active=[%a] dirty=%d"
@@ -161,10 +161,11 @@ let encode t =
       | Some l ->
           put_int buf (List.length l);
           List.iter (put_oid buf) l)
-  | Clr { tid; oid; image } -> (
+  | Clr { tid; oid; image; undo_lsn } ->
       put_tid buf tid;
       put_oid buf oid;
-      match image with
+      put_int buf undo_lsn;
+      (match image with
       | None -> put_int buf 0
       | Some v ->
           put_int buf 1;
@@ -268,8 +269,9 @@ let decode data =
   | 7 ->
       let tid = get_tid c in
       let oid = get_oid c in
+      let undo_lsn = get_int c in
       let image = if get_int c = 1 then Some (Value.of_string (get_string c)) else None in
-      Clr { tid; oid; image }
+      Clr { tid; oid; image; undo_lsn }
   | 8 ->
       let tid = get_tid c in
       let oid = get_oid c in

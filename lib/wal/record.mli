@@ -50,9 +50,14 @@ type t =
       (** A commuting queue append: [after] supports physical
           repeat-history redo, [item] supports logical undo (remove
           the item rather than install a before image). *)
-  | Clr of { tid : Tid.t; oid : Oid.t; image : Value.t option }
+  | Clr of { tid : Tid.t; oid : Oid.t; image : Value.t option; undo_lsn : int }
       (** Compensation record written by the abort algorithm for each
-          installed undo image ([None] = deletion).  Redo-only. *)
+          installed undo image ([None] = deletion).  Redo-only for the
+          image; [undo_lsn] back-links to the LSN of the update record
+          it compensates, so recovery can tell how far a crashed abort
+          got and never re-undoes an already-compensated update — the
+          CLR-style abort-progress record that closes the
+          double-undo window for logical (delta/dequeue) undos. *)
   | Checkpoint
   | Begin_ckpt of { active : att_entry list; dirty : Oid.t list }
       (** Fuzzy-checkpoint open: ATT snapshot plus the distinct OIDs

@@ -31,6 +31,11 @@
                algorithm already logged a CLR for each installed before
                image, and blindly undoing it again could clobber a
                later winner's committed write to the same object.
+               Likewise for a *crashed* abort: each CLR back-links the
+               update it compensated, so the persisted prefix of an
+               unresolved loser's undo is never repeated — essential
+               for logical (delta/dequeue) undos, which are not
+               idempotent.
 
    Two checkpoint flavours bound the scan:
 
@@ -130,6 +135,12 @@ let analyze ?(from_checkpoint = true) log =
   let winners = Hashtbl.create 16 in
   let aborted = Hashtbl.create 16 in
   let seen = Hashtbl.create 16 in
+  (* Update LSNs whose undo already ran before the crash, per the CLR
+     back-links: a crashed abort's progress record.  Log durability is
+     prefix-ordered and aborts undo newest-first, so the compensated
+     set is always a suffix of the loser's update history — recovery
+     undoes exactly the remainder. *)
+  let compensated = Hashtbl.create 16 in
   let anchor = if from_checkpoint then find_anchor log else No_anchor in
   let scan_from, seeds =
     match anchor with
@@ -169,7 +180,8 @@ let analyze ?(from_checkpoint = true) log =
           Hashtbl.replace seen tid ();
           updates := { lsn; oid; undo = Logical_dequeue item; after; responsible = tid } :: !updates;
           redo := Install (oid, after) :: !redo
-      | Record.Clr { oid; image; _ } ->
+      | Record.Clr { oid; image; undo_lsn; _ } ->
+          Hashtbl.replace compensated undo_lsn ();
           redo :=
             (match image with Some v -> Install (oid, v) | None -> Remove oid) :: !redo
       | Record.Delegate { from_; to_; oids } ->
@@ -190,7 +202,14 @@ let analyze ?(from_checkpoint = true) log =
   in
   let winners = Hashtbl.fold (fun tid () acc -> tid :: acc) winners [] in
   let resolved tid = Hashtbl.mem aborted tid in
-  (updates, redo, List.sort Tid.compare winners, List.sort Tid.compare losers, resolved, scan_from)
+  let undone lsn = Hashtbl.mem compensated lsn in
+  ( updates,
+    redo,
+    List.sort Tid.compare winners,
+    List.sort Tid.compare losers,
+    resolved,
+    undone,
+    scan_from )
 
 let apply_action store = function
   | Install (oid, v) -> Store.write store oid v
@@ -248,7 +267,9 @@ let redo_parallel store redo domains =
 let recover ?(from_checkpoint = true) ?(domains = 1) log store =
   if domains < 1 then invalid_arg "Recovery.recover: domains must be >= 1";
   if Trace.on () then Trace.emit Trace.Recovery_start;
-  let updates, redo, winners, losers, resolved, from = analyze ~from_checkpoint log in
+  let updates, redo, winners, losers, resolved, undone_before_crash, from =
+    analyze ~from_checkpoint log
+  in
   let winner tid = List.exists (Tid.equal tid) winners in
   (* Redo: repeat history, including the undo writes (CLRs) of aborts
      that ran before the crash. *)
@@ -256,9 +277,18 @@ let recover ?(from_checkpoint = true) ?(domains = 1) log store =
   else redo_parallel store redo domains;
   let redone = List.length redo in
   (* Undo unresolved losers (in-flight at the crash) in reverse order.
-     Resolved losers' undos were replayed as CLRs above. *)
+     Resolved losers' undos were replayed as CLRs above, and so was any
+     prefix of an *unresolved* abort that persisted CLRs before the
+     crash — those updates carry a compensating back-link and must not
+     be undone a second time (double-applying a logical delta/dequeue
+     would corrupt concurrent committers' commuting updates). *)
   let loser_updates =
-    List.filter (fun u -> (not (winner u.responsible)) && not (resolved u.responsible)) updates
+    List.filter
+      (fun u ->
+        (not (winner u.responsible))
+        && (not (resolved u.responsible))
+        && not (undone_before_crash u.lsn))
+      updates
   in
   let undone = List.length loser_updates in
   List.iter

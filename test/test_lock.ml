@@ -111,6 +111,50 @@ let test_covers () =
         all_modes)
     all_modes
 
+(* Mode.join, pinned as a full matrix plus its algebraic laws: it must
+   cover both operands (the holder keeps every right it had) and
+   preserve both operands' conflicts (no third party compatible with
+   the join that conflicted with either operand). *)
+let test_join () =
+  let expected a b =
+    if Mode.equal a b then a
+    else
+      match (a, b) with Mode.Snapshot, m | m, Mode.Snapshot -> m | _ -> Mode.Write
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let j = Mode.join a b in
+          Alcotest.(check bool)
+            (Format.asprintf "join %a %a" Mode.pp a Mode.pp b)
+            true
+            (Mode.equal (expected a b) j);
+          Alcotest.(check bool)
+            (Format.asprintf "join %a %a commutative" Mode.pp a Mode.pp b)
+            true
+            (Mode.equal j (Mode.join b a));
+          Alcotest.(check bool)
+            (Format.asprintf "join %a %a covers left" Mode.pp a Mode.pp b)
+            true
+            (Mode.covers ~held:j ~requested:a);
+          Alcotest.(check bool)
+            (Format.asprintf "join %a %a covers right" Mode.pp a Mode.pp b)
+            true
+            (Mode.covers ~held:j ~requested:b);
+          (* Conflict preservation: anything conflicting with an operand
+             conflicts with the join. *)
+          List.iter
+            (fun c ->
+              if Mode.conflicts a c || Mode.conflicts b c then
+                Alcotest.(check bool)
+                  (Format.asprintf "join %a %a keeps conflict with %a" Mode.pp a Mode.pp b Mode.pp
+                     c)
+                  true (Mode.conflicts j c))
+            all_modes)
+        all_modes)
+    all_modes
+
 let test_ops_algebra () =
   Alcotest.(check bool) "read in all" true (Ops.mem Mode.Read Ops.all);
   Alcotest.(check bool) "write not in read_only" false (Ops.mem Mode.Write Ops.read_only);
@@ -165,6 +209,27 @@ let test_upgrade_blocked_by_other_reader () =
       Alcotest.(check bool) "mode W" true (Mode.equal m Mode.Write);
       Alcotest.(check string) "status" "upgrading" (Format.asprintf "%a" Lm.pp_status s)
   | l -> Alcotest.failf "expected one pending, got %d" (List.length l)
+
+(* Regression: an upgrade must *join* the held and requested modes, not
+   replace one with the other.  Holding Increment and then acquiring
+   Read used to record plain Read, so a second transaction's R/R-
+   compatible read was granted while the first holder's uncommitted
+   increment delta was still live — a dirty read (conformance oracle
+   seed 10748338).  The joined mode is Write, which blocks the second
+   reader until the increment holder releases. *)
+let test_upgrade_joins_modes () =
+  let lm = Lm.create () in
+  check_acquired "t1 I" (Lm.acquire lm (tid 1) (oid 1) Mode.Increment);
+  check_acquired "t1 R under own I" (Lm.acquire lm (tid 1) (oid 1) Mode.Read);
+  (match Lm.holds lm (tid 1) (oid 1) with
+  | Some (Mode.Write, Lm.Granted) -> ()
+  | Some (m, _) -> Alcotest.failf "expected joined W, held %a" Mode.pp m
+  | None -> Alcotest.fail "t1 holds nothing");
+  check_blocked "t2 R blocked by live increment" [ 1 ] (Lm.acquire lm (tid 2) (oid 1) Mode.Read);
+  check_blocked "t3 I blocked too" [ 1 ] (Lm.acquire lm (tid 3) (oid 1) Mode.Increment);
+  Lm.cancel_pending_all lm (tid 3);
+  let (_ : Oid.t list) = Lm.release_all lm (tid 1) in
+  check_acquired "t2 R after release" (Lm.acquire lm (tid 2) (oid 1) Mode.Read)
 
 let test_release_unblocks () =
   let lm = Lm.create () in
@@ -659,6 +724,7 @@ let () =
           Alcotest.test_case "conflict matrix" `Quick test_conflict_matrix;
           Alcotest.test_case "conflicts_ops matrix" `Quick test_conflicts_ops_matrix;
           Alcotest.test_case "covers" `Quick test_covers;
+          Alcotest.test_case "join" `Quick test_join;
           Alcotest.test_case "ops algebra" `Quick test_ops_algebra;
         ] );
       ( "acquire",
@@ -668,6 +734,7 @@ let () =
           Alcotest.test_case "reacquire covered" `Quick test_reacquire_covered;
           Alcotest.test_case "upgrade" `Quick test_upgrade;
           Alcotest.test_case "upgrade blocked by reader" `Quick test_upgrade_blocked_by_other_reader;
+          Alcotest.test_case "upgrade joins modes" `Quick test_upgrade_joins_modes;
           Alcotest.test_case "release unblocks" `Quick test_release_unblocks;
           Alcotest.test_case "cancel pending" `Quick test_cancel_pending;
         ] );

@@ -169,6 +169,194 @@ let test_sustained_run_bounded () =
   Alcotest.(check bool) "live segments bounded below created" true
     (s.Torture.s_segments_live < s.Torture.s_segments_created)
 
+(* --- crash mid-abort: the §12 double-undo window --- *)
+
+(* A transaction whose undo is *logical* (escrow-style increments,
+   audit-queue enqueues) aborts while a concurrent committer holds
+   commuting updates on the same objects.  If the crash lands between
+   the abort's CLR appends and its Abort record, recovery sees an
+   unresolved loser with a persisted undo prefix — re-undoing it would
+   subtract the delta and dequeue the item a second time, corrupting
+   the committer's effects.  The CLR back-link closes the window; this
+   sweep pins it black-box: power loss at every WAL append of a run
+   whose shape guarantees the abort path is mid-flight, on a segmented
+   WAL whose rotation fsync makes CLR prefixes durable mid-abort. *)
+
+module Tid = Asset_util.Id.Tid
+module Log = Asset_wal.Log
+module Recovery = Asset_wal.Recovery
+module Pstore = Asset_storage.Persistent_store
+module Store = Asset_storage.Store
+module Heap_store = Asset_storage.Heap_store
+module Record = Asset_wal.Record
+
+let counter = oid 1
+let audit = oid 2
+
+type mid_abort_outcome = {
+  ma_crashed : string option;
+  ma_window : bool; (* recovered log holds loser CLRs but no Abort/Commit *)
+  ma_boundaries : int; (* appends in the recovered log *)
+  ma_failures : string list;
+}
+
+let sorted_dump s =
+  Store.dump s |> List.map (fun (o, v) -> (o, Value.to_string v)) |> List.sort compare
+
+(* One run: winner W (increment +5, enqueue "dup"), loser L (the same
+   commuting shape, explicitly aborted), then a second winner W2 whose
+   commit forces the log — so CLRs staged by a fault-hobbled abort
+   become durable without their Abort record (prefix-ordered
+   durability), exactly the ENOSPC shape of the window. *)
+let mid_abort_paths =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "asset-midabort-%d-%d" (Unix.getpid ()) !counter)
+
+let run_mid_abort ?(segment_bytes = 96) ~arm () =
+  Fault.reset_all ();
+  let base = mid_abort_paths () in
+  let pages_path = base ^ ".pages" and wal_path = base ^ ".wal.d" in
+  let ps = Pstore.create ~page_size:512 ~pool_capacity:4 pages_path in
+  let store = Pstore.to_store ps in
+  Store.write store counter (Value.of_int 100);
+  Store.write store audit (Value.of_queue []);
+  Store.flush store;
+  let log = Log.create_dir ~segment_bytes wal_path in
+  let db = E.create ~log store in
+  let w = ref Tid.null and l = ref Tid.null and w2 = ref Tid.null in
+  let acked_w = ref false and acked_w2 = ref false in
+  arm ();
+  let crashed =
+    let main () =
+      w := E.initiate db (fun () ->
+          E.increment db counter 5;
+          E.enqueue db audit "dup");
+      ignore (E.begin_ db !w);
+      if E.commit db !w then acked_w := true;
+      l := E.initiate db (fun () ->
+          E.increment db counter 7;
+          E.enqueue db audit "dup");
+      ignore (E.begin_ db !l);
+      ignore (E.wait db !l);
+      ignore (E.abort db !l);
+      w2 := E.initiate db (fun () -> E.increment db counter 3);
+      ignore (E.begin_ db !w2);
+      if E.commit db !w2 then acked_w2 := true
+    in
+    match R.run db main with
+    | { R.result = Ok (); _ } -> None
+    | { R.result = Error (Fault.Crash site | Asset_sched.Scheduler.Fiber_failed (_, Fault.Crash site)); _ } ->
+        Some site
+    | {
+        R.result =
+          Error
+            ( Fault.Storage_error _
+            | Asset_sched.Scheduler.Fiber_failed (_, Fault.Storage_error _) );
+        _;
+      } ->
+        (* A refused append (ENOSPC) surfaced outside a transaction
+           body; the run stops early but the machine stays up — the
+           harness then simulates power loss below. *)
+        None
+    | { R.result = Error e; _ } -> raise e
+    | exception Fault.Crash site -> Some site
+  in
+  (* Power off, power on. *)
+  Fault.reset_all ();
+  (match crashed with Some _ -> Log.crash log | None -> Log.close log);
+  Pstore.crash_and_reopen ps;
+  let rlog = Log.load_dir wal_path in
+  let l_clrs = ref 0 and l_terminated = ref false in
+  Log.iter rlog (fun _ r ->
+      match r with
+      | Record.Clr { tid; _ } when Tid.equal tid !l -> incr l_clrs
+      | Record.Abort tid when Tid.equal tid !l -> l_terminated := true
+      | Record.Commit tids when List.exists (Tid.equal !l) tids -> l_terminated := true
+      | _ -> ());
+  let window = !l_clrs > 0 && not !l_terminated in
+  let pre = Store.dump store in
+  let report = Recovery.recover rlog store in
+  let failures = ref [] in
+  let addf fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let winner t = List.exists (Tid.equal t) report.Recovery.winners in
+  if !acked_w && not (winner !w) then addf "W acked but not durable";
+  if !acked_w2 && not (winner !w2) then addf "W2 acked but not durable";
+  if (not (Tid.is_null !l)) && winner !l then addf "loser L recovered as winner";
+  let expected_c =
+    100 + (if winner !w then 5 else 0) + (if winner !w2 then 3 else 0)
+  in
+  let expected_dups = if winner !w then 1 else 0 in
+  (match Store.read store counter with
+  | Some v ->
+      if Value.to_int v <> expected_c then
+        addf "counter holds %d, expected %d" (Value.to_int v) expected_c
+  | None -> addf "counter missing");
+  (match Store.read store audit with
+  | Some v ->
+      let dups = List.length (List.filter (String.equal "dup") (Value.to_queue v)) in
+      if dups <> expected_dups then addf "audit holds %d dups, expected %d" dups expected_dups
+  | None -> addf "audit queue missing");
+  (* Shadow replay: a second independent recovery over the same crashed
+     image must converge to the identical state. *)
+  let shadow = Heap_store.store ~name:"shadow" () in
+  List.iter (fun (o, v) -> Store.write shadow o v) pre;
+  ignore (Recovery.recover rlog shadow);
+  if sorted_dump shadow <> sorted_dump store then addf "shadow replay diverges";
+  (* Idempotence: recovering again changes nothing. *)
+  let before = sorted_dump store in
+  ignore (Recovery.recover rlog store);
+  if sorted_dump store <> before then addf "recovery not idempotent";
+  let boundaries = Log.length rlog - Log.start_lsn rlog in
+  Log.close rlog;
+  Pstore.close ps;
+  Sys.remove pages_path;
+  if Sys.file_exists wal_path then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat wal_path f)) (Sys.readdir wal_path);
+    Sys.rmdir wal_path
+  end;
+  { ma_crashed = crashed; ma_window = window; ma_boundaries = boundaries;
+    ma_failures = List.rev !failures }
+
+let test_mid_abort_crash_sweep () =
+  let clean = run_mid_abort ~arm:(fun () -> ()) () in
+  if clean.ma_failures <> [] then
+    Alcotest.failf "fault-free: %s" (String.concat ", " clean.ma_failures);
+  let windows = ref 0 and failures = ref [] in
+  for k = 1 to clean.ma_boundaries do
+    let arm () = ignore (Fault.arm_name "wal.append" (Fault.Crash_nth k)) in
+    let r = run_mid_abort ~arm () in
+    if r.ma_window then incr windows;
+    if r.ma_failures <> [] then
+      failures := Printf.sprintf "wal.append@%d: %s" k (String.concat ", " r.ma_failures) :: !failures
+  done;
+  if !failures <> [] then
+    Alcotest.failf "%d boundary runs violated invariants: %s" (List.length !failures)
+      (String.concat "; " !failures);
+  (* The sweep is only meaningful if some crash actually landed inside
+     the window (CLRs durable, Abort lost). *)
+  Alcotest.(check bool) "window exercised" true (!windows > 0)
+
+let test_mid_abort_enospc_window () =
+  (* The ENOSPC shape: the disk fills during L's abort, so CLRs stage
+     but the Abort record is refused; W2's commit then forces the log
+     (making the CLR prefix durable) and the machine loses power.  With
+     a byte budget sweep, some budgets exhaust exactly between the
+     first CLR and the Abort record. *)
+  let hit = ref 0 in
+  for budget = 200 to 520 do
+    let arm () = ignore (Fault.arm_name "wal.append" (Fault.Disk_full budget)) in
+    (* Power loss at the very end: close is replaced by crash so only
+       forced bytes survive. *)
+    let r = run_mid_abort ~arm () in
+    if r.ma_window then incr hit;
+    if r.ma_failures <> [] then
+      Alcotest.failf "disk_full@%d: %s" budget (String.concat ", " r.ma_failures)
+  done;
+  Alcotest.(check bool) "ENOSPC window exercised" true (!hit > 0)
+
 (* --- lock-wait timeout --- *)
 
 let deadlock_pair db =
@@ -284,6 +472,13 @@ let () =
             test_random_durability_schedules;
           Alcotest.test_case "disk full aborts cleanly" `Quick test_disk_full_aborts_cleanly;
           Alcotest.test_case "sustained run stays bounded" `Quick test_sustained_run_bounded;
+        ] );
+      ( "abort_window",
+        [
+          Alcotest.test_case "crash at every boundary mid-abort" `Quick
+            test_mid_abort_crash_sweep;
+          Alcotest.test_case "ENOSPC mid-abort budget sweep" `Quick
+            test_mid_abort_enospc_window;
         ] );
       ( "resilience",
         [

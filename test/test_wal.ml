@@ -35,8 +35,8 @@ let sample_records =
     Record.Abort (tid 9);
     Record.Delegate { from_ = tid 1; to_ = tid 2; oids = None };
     Record.Delegate { from_ = tid 1; to_ = tid 2; oids = Some [ oid 1; oid 5 ] };
-    Record.Clr { tid = tid 3; oid = oid 4; image = Some (vi 8) };
-    Record.Clr { tid = tid 3; oid = oid 4; image = None };
+    Record.Clr { tid = tid 3; oid = oid 4; image = Some (vi 8); undo_lsn = 12 };
+    Record.Clr { tid = tid 3; oid = oid 4; image = None; undo_lsn = 0 };
     Record.Increment { tid = tid 2; oid = oid 3; delta = -4; after = vi 6 };
     Record.Enqueue { tid = tid 2; oid = oid 7; item = "job-1"; after = Value.of_queue [ "job-1" ] };
     Record.Checkpoint;
@@ -455,7 +455,7 @@ let test_recovery_loser_created_object_deleted () =
 let test_recovery_resolved_abort_replays_clrs () =
   let log = Log.in_memory () in
   ignore (Log.append log (Record.Update { tid = tid 1; oid = oid 1; before = Some (vi 0); after = vi 9 }));
-  ignore (Log.append log (Record.Clr { tid = tid 1; oid = oid 1; image = Some (vi 0) }));
+  ignore (Log.append log (Record.Clr { tid = tid 1; oid = oid 1; image = Some (vi 0); undo_lsn = 0 }));
   ignore (Log.append log (Record.Abort (tid 1)));
   let s = store_with [ (1, 9) ] in
   ignore (Recovery.recover log s);
@@ -467,13 +467,79 @@ let test_recovery_resolved_abort_replays_clrs () =
 let test_recovery_aborted_then_winner_same_object () =
   let log = Log.in_memory () in
   ignore (Log.append log (Record.Update { tid = tid 1; oid = oid 1; before = Some (vi 0); after = vi 9 }));
-  ignore (Log.append log (Record.Clr { tid = tid 1; oid = oid 1; image = Some (vi 0) }));
+  ignore (Log.append log (Record.Clr { tid = tid 1; oid = oid 1; image = Some (vi 0); undo_lsn = 0 }));
   ignore (Log.append log (Record.Abort (tid 1)));
   ignore (Log.append log (Record.Update { tid = tid 2; oid = oid 1; before = Some (vi 0); after = vi 42 }));
   ignore (Log.append log (Record.Commit [ tid 2 ]));
   let s = store_with [ (1, 0) ] in
   ignore (Recovery.recover log s);
   Alcotest.(check int) "winner value survives prior abort" 42 (geti s 1)
+
+(* Crash *mid*-abort: some CLRs reached the disk but the Abort record
+   did not, so the transaction is an unresolved loser.  The CLR
+   back-links mark how far the crashed abort got; recovery must undo
+   only the uncompensated remainder.  Re-undoing a compensated
+   *logical* update (delta, dequeue) would double-apply it and corrupt
+   a concurrent committer's commuting update — the DESIGN.md §12
+   window. *)
+let test_recovery_crashed_abort_skips_compensated_suffix () =
+  let log = Log.in_memory () in
+  let vq = Value.of_queue in
+  (* Winner t1: increment counter by 5, enqueue "dup" on the audit log. *)
+  ignore
+    (Log.append log (Record.Increment { tid = tid 1; oid = oid 1; delta = 5; after = vi 105 }));
+  ignore
+    (Log.append log (Record.Enqueue { tid = tid 1; oid = oid 2; item = "dup"; after = vq [ "dup" ] }));
+  ignore (Log.append log (Record.Commit [ tid 1 ]));
+  (* Loser t2: the same commuting shape on the same objects. *)
+  let inc_lsn =
+    Log.append log (Record.Increment { tid = tid 2; oid = oid 1; delta = 7; after = vi 112 })
+  in
+  let enq_lsn =
+    Log.append log
+      (Record.Enqueue { tid = tid 2; oid = oid 2; item = "dup"; after = vq [ "dup"; "dup" ] })
+  in
+  (* The abort undoes newest-first: both CLRs persisted, then power
+     loss before the Abort record. *)
+  ignore
+    (Log.append log
+       (Record.Clr { tid = tid 2; oid = oid 2; image = Some (vq [ "dup" ]); undo_lsn = enq_lsn }));
+  ignore
+    (Log.append log
+       (Record.Clr { tid = tid 2; oid = oid 1; image = Some (vi 105); undo_lsn = inc_lsn }));
+  let s = store_with [ (1, 100) ] in
+  Store.write s (oid 2) (vq []);
+  ignore (Recovery.recover log s);
+  Alcotest.(check int) "winner's delta survives exactly once" 105 (geti s 1);
+  Alcotest.(check (list string))
+    "winner's item survives exactly once" [ "dup" ]
+    (Value.to_queue (Store.read_exn s (oid 2)))
+
+(* The same crash one record earlier: only the first CLR (the enqueue's
+   undo) persisted.  Recovery replays that CLR and must still undo the
+   uncompensated increment itself — skipping compensated LSNs must not
+   turn into skipping the whole transaction. *)
+let test_recovery_crashed_abort_undoes_uncompensated_prefix () =
+  let log = Log.in_memory () in
+  let vq = Value.of_queue in
+  ignore
+    (Log.append log (Record.Increment { tid = tid 1; oid = oid 1; delta = 5; after = vi 105 }));
+  ignore (Log.append log (Record.Commit [ tid 1 ]));
+  ignore
+    (Log.append log (Record.Increment { tid = tid 2; oid = oid 1; delta = 7; after = vi 112 }));
+  let enq_lsn =
+    Log.append log (Record.Enqueue { tid = tid 2; oid = oid 2; item = "x"; after = vq [ "x" ] })
+  in
+  ignore
+    (Log.append log
+       (Record.Clr { tid = tid 2; oid = oid 2; image = Some (vq []); undo_lsn = enq_lsn }));
+  let s = store_with [ (1, 100) ] in
+  Store.write s (oid 2) (vq []);
+  ignore (Recovery.recover log s);
+  Alcotest.(check int) "uncompensated increment undone once" 105 (geti s 1);
+  Alcotest.(check (list string))
+    "compensated enqueue not re-undone" []
+    (Value.to_queue (Store.read_exn s (oid 2)))
 
 let test_recovery_interleaved_repeat_history () =
   (* t1 and t2 interleave on distinct objects; t1 commits, t2 does not.
@@ -586,12 +652,13 @@ let prop_recovery_matches_oracle =
       List.iteri
         (fun i (n_writes, obj, commits) ->
           let t = tid (i + 1) in
+          let upd_lsn = ref 0 in
           for w = 1 to n_writes do
             let before = Hashtbl.find shadow obj in
             let after = (i * 100) + w in
-            ignore
-              (Log.append log
-                 (Record.Update { tid = t; oid = oid obj; before = Some (vi before); after = vi after }));
+            upd_lsn :=
+              Log.append log
+                (Record.Update { tid = t; oid = oid obj; before = Some (vi before); after = vi after });
             Hashtbl.replace shadow obj after;
             (* Disk may or may not see the write; flip on parity. *)
             if (i + w) mod 2 = 0 then Store.write disk (oid obj) (vi after)
@@ -605,7 +672,7 @@ let prop_recovery_matches_oracle =
                value, as the engine does; shadow returns to the oracle
                value. *)
             let restored = Value.to_int (Store.read_exn oracle (oid obj)) in
-            ignore (Log.append log (Record.Clr { tid = t; oid = oid obj; image = Some (vi restored) }));
+            ignore (Log.append log (Record.Clr { tid = t; oid = oid obj; image = Some (vi restored); undo_lsn = !upd_lsn }));
             ignore (Log.append log (Record.Abort t));
             Hashtbl.replace shadow obj restored
           end)
@@ -656,6 +723,10 @@ let () =
             test_recovery_resolved_abort_replays_clrs;
           Alcotest.test_case "abort then winner on same object" `Quick
             test_recovery_aborted_then_winner_same_object;
+          Alcotest.test_case "crashed abort skips compensated suffix" `Quick
+            test_recovery_crashed_abort_skips_compensated_suffix;
+          Alcotest.test_case "crashed abort undoes uncompensated prefix" `Quick
+            test_recovery_crashed_abort_undoes_uncompensated_prefix;
           Alcotest.test_case "repeat history" `Quick test_recovery_interleaved_repeat_history;
           Alcotest.test_case "delegated to winner" `Quick test_recovery_delegated_to_winner;
           Alcotest.test_case "delegated from winner to loser" `Quick
